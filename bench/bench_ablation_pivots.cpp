@@ -1,0 +1,77 @@
+// Ablation A8: approximation quality across the estimator family of §6 —
+// Brandes-Pich pivots (uniform / degree-proportional / max-min) and
+// Geisberger linear scaling — measured as top-10 precision and Spearman-
+// style rank agreement of the top-100 against the exact scores.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bc/approx.hpp"
+#include "bc/brandes.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace apgre;
+
+std::vector<Vertex> ranking(const std::vector<double>& scores, std::size_t k) {
+  std::vector<Vertex> order(scores.size());
+  for (Vertex v = 0; v < scores.size(); ++v) order[v] = static_cast<Vertex>(v);
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(),
+                    [&](Vertex a, Vertex b) { return scores[a] > scores[b]; });
+  order.resize(k);
+  return order;
+}
+
+double top_overlap(const std::vector<Vertex>& a, const std::vector<Vertex>& b) {
+  const std::set<Vertex> sb(b.begin(), b.end());
+  std::size_t hits = 0;
+  for (Vertex v : a) hits += sb.count(v);
+  return static_cast<double>(hits) / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace apgre::bench;
+
+  const auto workloads = selected_workloads();
+  const std::vector<std::size_t> picks{0, 6};
+
+  Table table({"Graph", "Estimator", "Pivots", "Top-10 prec", "Top-100 overlap"});
+  for (std::size_t pick : picks) {
+    if (pick >= workloads.size()) continue;
+    const Workload& w = workloads[pick];
+    const CsrGraph g = w.build();
+    const auto exact = brandes_bc(g);
+    const auto exact10 = ranking(exact, 10);
+    const auto exact100 = ranking(exact, 100);
+    const Vertex k = g.num_vertices() / 16;
+
+    struct Row {
+      const char* name;
+      std::vector<double> scores;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"uniform", estimate_bc(g, select_pivots(g, k, PivotStrategy::kUniform, 7))});
+    rows.push_back({"degree", estimate_bc(g, select_pivots(g, k, PivotStrategy::kDegreeProportional, 7))});
+    rows.push_back({"maxmin", estimate_bc(g, select_pivots(g, k, PivotStrategy::kMaxMin, 7))});
+    rows.push_back({"linear-scaled",
+                    estimate_bc_linear_scaled(
+                        g, select_pivots(g, k, PivotStrategy::kUniform, 7))});
+
+    for (const Row& row : rows) {
+      table.row()
+          .cell(w.id)
+          .cell(row.name)
+          .cell(static_cast<std::uint64_t>(k))
+          .cell(top_overlap(ranking(row.scores, 10), exact10), 2)
+          .cell(top_overlap(ranking(row.scores, 100), exact100), 2);
+      std::fflush(stdout);
+    }
+  }
+  print_table("Ablation A8: approximation estimator ranking quality", table);
+  return 0;
+}

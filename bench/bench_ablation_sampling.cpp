@@ -1,0 +1,76 @@
+// Ablation A4: exact APGRE vs Brandes-Pich source sampling (the paper §5.2
+// compares against GPU sampling rates). Reports the sampling time/accuracy
+// trade-off: mean relative error on the top-100 vertices and precision of
+// the top-10 set, against the exact scores.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "bc/sampling.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+std::set<apgre::Vertex> top_k(const std::vector<double>& scores, std::size_t k) {
+  std::vector<apgre::Vertex> order(scores.size());
+  for (std::size_t v = 0; v < scores.size(); ++v) order[v] = static_cast<apgre::Vertex>(v);
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(),
+                    [&](apgre::Vertex a, apgre::Vertex b) { return scores[a] > scores[b]; });
+  return {order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace apgre;
+  using namespace apgre::bench;
+
+  const auto workloads = selected_workloads();
+  const std::vector<std::size_t> picks{0, 6};  // enron-like, youtube-like
+
+  Table table({"Graph", "Samples", "Time s", "vs exact", "Top-10 precision",
+               "Mean rel err (top-100)"});
+  for (std::size_t pick : picks) {
+    if (pick >= workloads.size()) continue;
+    const Workload& w = workloads[pick];
+    const CsrGraph g = w.build();
+
+    BcOptions exact_opts;
+    exact_opts.algorithm = Algorithm::kApgre;
+    const BcResult exact = betweenness(g, exact_opts);
+    const auto exact_top10 = top_k(exact.scores, 10);
+    const auto exact_top100 =
+        top_k(exact.scores, std::min<std::size_t>(100, exact.scores.size()));
+
+    const Vertex n = g.num_vertices();
+    for (Vertex samples : {n / 64, n / 16, n / 4, n}) {
+      if (samples == 0) continue;
+      Timer timer;
+      const auto est = sampled_bc(g, samples, 2026);
+      const double seconds = timer.seconds();
+
+      const auto est_top10 = top_k(est, 10);
+      std::size_t hits = 0;
+      for (Vertex v : est_top10) hits += exact_top10.count(v);
+
+      double err_sum = 0.0;
+      for (Vertex v : exact_top100) {
+        if (exact.scores[v] > 0.0) {
+          err_sum += std::fabs(est[v] - exact.scores[v]) / exact.scores[v];
+        }
+      }
+      table.row()
+          .cell(w.id)
+          .cell(static_cast<std::uint64_t>(samples))
+          .cell(seconds, 3)
+          .cell(exact.seconds > 0.0 ? seconds / exact.seconds : 0.0, 2)
+          .cell(static_cast<double>(hits) / 10.0, 2)
+          .cell(err_sum / static_cast<double>(exact_top100.size()), 3);
+      std::fflush(stdout);
+    }
+  }
+  print_table("Ablation A4: sampling accuracy/time vs exact APGRE", table);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Paper Table 2 (execution time in seconds, all algorithms x all graphs)
+// and Figure 6 (speedup over serial). Entries whose estimated cost exceeds
+// the bench budget print "-", as in the paper; APGRE_FULL=1 runs them all.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace apgre;
+  using namespace apgre::bench;
+
+  const auto algorithms = comparison_algorithms();
+  std::vector<std::string> header{"Graph"};
+  for (Algorithm a : algorithms) header.push_back(algorithm_name(a));
+  Table time_table(header);
+  Table speedup_table(header);
+
+  std::map<Algorithm, std::vector<double>> speedups;
+  for (const Workload& w : selected_workloads()) {
+    const CsrGraph g = w.build();
+    time_table.row().cell(w.id);
+    speedup_table.row().cell(w.id);
+    double serial_seconds = 0.0;
+    for (Algorithm a : algorithms) {
+      const auto outcome = timed_run(g, a);
+      if (!outcome) {
+        time_table.dash();
+        speedup_table.dash();
+        continue;
+      }
+      if (a == Algorithm::kBrandesSerial) serial_seconds = outcome->seconds;
+      time_table.cell(outcome->seconds, 3);
+      if (serial_seconds > 0.0 && outcome->seconds > 0.0) {
+        const double speedup = serial_seconds / outcome->seconds;
+        speedup_table.cell(speedup, 2);
+        if (a != Algorithm::kBrandesSerial) speedups[a].push_back(speedup);
+      } else {
+        speedup_table.dash();
+      }
+    }
+    std::fflush(stdout);
+  }
+
+  speedup_table.row().cell("geo-mean");
+  for (Algorithm a : algorithms) {
+    if (a == Algorithm::kBrandesSerial) {
+      speedup_table.cell(1.0, 2);
+    } else if (!speedups[a].empty()) {
+      speedup_table.cell(geometric_mean(speedups[a]), 2);
+    } else {
+      speedup_table.dash();
+    }
+  }
+
+  print_table("Table 2: execution time in seconds", time_table);
+  print_table("Figure 6: speedup relative to serial Brandes", speedup_table);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Paper Table 4: decomposition shape — number of sub-graphs and the sizes
+// of the top three, with the top sub-graph's share of the whole graph
+// (the paper's V/G.V and E/G.E columns).
+#include <algorithm>
+#include <cstdio>
+
+#include "bcc/partition.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace apgre;
+  using namespace apgre::bench;
+
+  Table table({"Graph", "#SG", "top #V", "top #E", "V/G.V %", "E/G.E %",
+               "2nd #V", "2nd #E", "3rd #V", "3rd #E"});
+  for (const Workload& w : selected_workloads()) {
+    const CsrGraph g = w.build();
+    const Decomposition dec = decompose(g);
+
+    std::vector<std::pair<EdgeId, std::size_t>> by_arcs;
+    for (std::size_t i = 0; i < dec.subgraphs.size(); ++i) {
+      by_arcs.emplace_back(dec.subgraphs[i].num_arcs(), i);
+    }
+    std::sort(by_arcs.rbegin(), by_arcs.rend());
+
+    auto row = table.row().cell(w.id).cell(
+        static_cast<std::uint64_t>(dec.subgraphs.size()));
+    for (std::size_t rank = 0; rank < 3; ++rank) {
+      if (rank >= by_arcs.size()) {
+        table.dash().dash();
+        if (rank == 0) table.dash().dash();
+        continue;
+      }
+      const Subgraph& sg = dec.subgraphs[by_arcs[rank].second];
+      table.cell(static_cast<std::uint64_t>(sg.num_vertices()))
+          .cell(static_cast<std::uint64_t>(sg.num_arcs()));
+      if (rank == 0) {
+        table
+            .cell(100.0 * static_cast<double>(sg.num_vertices()) /
+                      static_cast<double>(g.num_vertices()),
+                  2)
+            .cell(100.0 * static_cast<double>(sg.num_arcs()) /
+                      static_cast<double>(g.num_arcs()),
+                  2);
+      }
+    }
+    (void)row;
+  }
+  print_table("Table 4: sub-graph decomposition sizes", table);
+  return 0;
+}

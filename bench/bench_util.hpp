@@ -1,0 +1,81 @@
+// Shared helpers for the table/figure benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bc/bc.hpp"
+#include "graph/csr.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+#include "workloads.hpp"
+
+namespace apgre::bench {
+
+/// The comparison set of the paper's Tables 2/3 (serial first).
+inline std::vector<Algorithm> comparison_algorithms() {
+  return {Algorithm::kBrandesSerial, Algorithm::kApgre,
+          Algorithm::kParallelPreds, Algorithm::kParallelSuccs,
+          Algorithm::kLockFree,      Algorithm::kCoarse,
+          Algorithm::kHybrid};
+}
+
+/// A single timed run. Returns nullopt when the estimated cost exceeds the
+/// budget — rendered as "-" like the paper's missing entries. The estimate
+/// is n * arcs scaled by a per-algorithm constant; APGRE_FULL=1 disables
+/// skipping.
+struct RunOutcome {
+  double seconds = 0.0;
+  double mteps = 0.0;
+  BcResult result;
+};
+
+inline bool run_everything() {
+  const char* env = std::getenv("APGRE_FULL");
+  return env != nullptr && *env == '1';
+}
+
+/// Rough per-source-edge throughput assumptions used only to decide
+/// whether a run would blow the bench budget (ops/second).
+inline double cost_estimate(const CsrGraph& g, Algorithm algorithm) {
+  const double base =
+      static_cast<double>(g.num_vertices()) * static_cast<double>(g.num_arcs());
+  switch (algorithm) {
+    case Algorithm::kLockFree: {
+      // Pull-based: pays O(levels * remaining vertices) extra; the factor
+      // grows with diameter, approximated by sqrt(V) for grids.
+      return base * 4.0;
+    }
+    case Algorithm::kHybrid:
+      return base * 1.5;
+    case Algorithm::kApgre:
+      return base * 0.2;  // decomposition usually removes most of it
+    default:
+      return base;
+  }
+}
+
+inline std::optional<RunOutcome> timed_run(const CsrGraph& g, Algorithm algorithm,
+                                           double budget_ops = 6e9) {
+  if (!run_everything() && cost_estimate(g, algorithm) > budget_ops) {
+    return std::nullopt;
+  }
+  BcOptions opts;
+  opts.algorithm = algorithm;
+  RunOutcome out;
+  out.result = betweenness(g, opts);
+  out.seconds = out.result.seconds;
+  out.mteps = out.result.mteps;
+  return out;
+}
+
+/// Print a table with a headline, in both terminal and markdown layout so
+/// the output can be pasted into EXPERIMENTS.md.
+inline void print_table(const std::string& title, const Table& table) {
+  std::printf("\n== %s ==\n%s\n", title.c_str(), table.to_string().c_str());
+}
+
+}  // namespace apgre::bench

@@ -1,0 +1,77 @@
+// Contingency screening for power-grid component failures (paper §1 cites
+// Jin et al., IPDPS 2010: parallel BC for power-grid contingency analysis).
+// Ranks buses by betweenness to produce the N-1 screening list, then
+// verifies the ranking's meaning: disconnecting a top-BC articulation bus
+// splits the grid, stranding load.
+#include <algorithm>
+#include <cstdio>
+
+#include "bc/bc.hpp"
+#include "bcc/articulation.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+
+namespace {
+
+using namespace apgre;
+
+/// Size of the largest fragment after removing bus `v` (brute-force N-1
+/// contingency for one component).
+Vertex largest_fragment_without(const CsrGraph& g, Vertex v) {
+  std::vector<Vertex> keep;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (u != v) keep.push_back(u);
+  }
+  const InducedSubgraph rest = induced_subgraph(g, keep);
+  const ComponentLabels labels = connected_components(rest.graph);
+  std::vector<Vertex> sizes(labels.num_components, 0);
+  for (Vertex u = 0; u < rest.graph.num_vertices(); ++u) ++sizes[labels.component[u]];
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+}  // namespace
+
+int main() {
+  using namespace apgre;
+
+  // Grid analogue: a meshed transmission backbone (small-world ring) with
+  // radial distribution feeders (trees/pendants) hanging off it.
+  CsrGraph grid = watts_strogatz(600, 3, 0.1, /*seed=*/77);
+  grid = attach_pendants(grid, 500, 78);   // radial feeders
+  grid = attach_pendants(grid, 400, 79);   // second-level taps
+  const InducedSubgraph lc = largest_component(grid);
+  std::printf("power grid: %u buses, %llu branches\n", lc.graph.num_vertices(),
+              static_cast<unsigned long long>(lc.graph.num_edges()));
+
+  BcOptions opts;
+  opts.undirected_halving = true;
+  const BcResult result = betweenness(lc.graph, opts);
+  std::printf("screening metric computed in %.3f s (APGRE, %.0f%% of Brandes "
+              "work eliminated)\n\n",
+              result.seconds,
+              100.0 * (result.apgre_stats.partial_redundancy +
+                       result.apgre_stats.total_redundancy));
+
+  const auto is_ap = articulation_points(lc.graph);
+  std::vector<Vertex> ranking(lc.graph.num_vertices());
+  for (Vertex v = 0; v < lc.graph.num_vertices(); ++v) ranking[v] = v;
+  std::sort(ranking.begin(), ranking.end(), [&](Vertex a, Vertex b) {
+    return result.scores[a] > result.scores[b];
+  });
+
+  std::printf("N-1 contingency screening list (top 8 buses by BC):\n");
+  const auto total = lc.graph.num_vertices();
+  for (int i = 0; i < 8; ++i) {
+    const Vertex bus = ranking[static_cast<std::size_t>(i)];
+    const Vertex remaining = largest_fragment_without(lc.graph, bus);
+    const Vertex stranded = total - 1 - remaining;
+    std::printf("  bus %4u  BC %9.0f  %s — outage strands %u buses\n", bus,
+                result.scores[bus],
+                is_ap[bus] ? "cut bus " : "meshed  ", stranded);
+  }
+
+  std::printf("\nhigh-BC cut buses are the critical contingencies: their "
+              "outage islands part of the grid.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Key-actor analysis in a social/communication network (paper §1: community
+// detection and identifying key actors). Builds a community-structured
+// network, ranks members by betweenness, and contrasts BC rank with degree
+// rank: the actors APGRE surfaces are the *brokers* bridging communities,
+// who are often not the highest-degree members.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bc/bc.hpp"
+#include "bcc/articulation.hpp"
+#include "graph/generators.hpp"
+#include "graph/io_graphml.hpp"
+#include "graph/transform.hpp"
+
+int main() {
+  using namespace apgre;
+
+  // 40 communities of 12 members bridged by single links, plus casual
+  // one-contact members hanging off random actors.
+  const CsrGraph graph = attach_pendants(caveman(40, 12, /*seed=*/2016), 200, 9);
+  std::printf("social network: %u actors, %llu ties\n", graph.num_vertices(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  BcOptions opts;
+  opts.undirected_halving = true;  // conventional undirected BC
+  const BcResult result = betweenness(graph, opts);
+  std::printf("BC computed in %.3f s via APGRE (%zu communities detected as "
+              "sub-graphs)\n\n",
+              result.seconds, result.apgre_stats.num_subgraphs);
+
+  const auto is_ap = articulation_points(graph);
+
+  std::vector<Vertex> by_bc(graph.num_vertices());
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) by_bc[v] = v;
+  auto by_degree = by_bc;
+  std::sort(by_bc.begin(), by_bc.end(), [&](Vertex a, Vertex b) {
+    return result.scores[a] > result.scores[b];
+  });
+  std::sort(by_degree.begin(), by_degree.end(), [&](Vertex a, Vertex b) {
+    return graph.out_degree(a) > graph.out_degree(b);
+  });
+
+  std::printf("top-10 brokers by betweenness (vs their degree rank):\n");
+  for (int i = 0; i < 10; ++i) {
+    const Vertex v = by_bc[static_cast<std::size_t>(i)];
+    const auto degree_rank = static_cast<long>(
+        std::find(by_degree.begin(), by_degree.end(), v) - by_degree.begin());
+    std::printf("  #%2d actor %4u  BC %10.1f  degree %2u (degree rank %4ld)%s\n",
+                i + 1, v, result.scores[v], graph.out_degree(v), degree_rank + 1,
+                is_ap[v] ? "  [articulation point]" : "");
+  }
+
+  // Broker property: the top BC actors should overwhelmingly be the
+  // articulation points stitching communities together.
+  int ap_in_top10 = 0;
+  for (int i = 0; i < 10; ++i) ap_in_top10 += is_ap[by_bc[static_cast<std::size_t>(i)]];
+  std::printf("\n%d of the top-10 brokers are articulation points — removing "
+              "them fragments the network.\n",
+              ap_in_top10);
+
+  // Hand-off to visualisation: GraphML with the scores as a node attribute
+  // ("colour by betweenness" in Gephi/Cytoscape).
+  const std::string graphml_path = "social_key_actors.graphml";
+  write_graphml_file(graphml_path, graph, {{"betweenness", &result.scores}});
+  std::printf("wrote %s for visualisation.\n", graphml_path.c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Weighted betweenness on a road network where edges carry travel times —
+// the weighted extension (bc/weighted.hpp). Shows that weighting changes
+// the critical-junction ranking: a long detour edge loses traffic that the
+// unweighted hop metric would assign to it, and that weighted APGRE agrees
+// with weighted Brandes while skipping the pendant/AP redundancy.
+#include <algorithm>
+#include <cstdio>
+
+#include "bc/brandes.hpp"
+#include "bc/weighted.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "graph/weighted.hpp"
+#include "support/timer.hpp"
+
+int main() {
+  using namespace apgre;
+
+  CsrGraph shape = road_grid(36, 36, 0.25, 0.08, /*seed=*/12);
+  shape = attach_pendants(shape, 220, 13);  // dead-end streets
+  const InducedSubgraph lc = largest_component(shape);
+  // Travel times 1..9 minutes per segment.
+  const WeightedCsrGraph roads = with_random_weights(lc.graph, 1, 9, 14);
+  std::printf("road network: %u junctions, %llu segments (weights = minutes)\n",
+              roads.num_vertices(),
+              static_cast<unsigned long long>(roads.num_arcs() / 2));
+
+  Timer brandes_timer;
+  const auto exact = weighted_brandes_bc(roads);
+  const double brandes_s = brandes_timer.seconds();
+
+  Timer apgre_timer;
+  ApgreStats stats;
+  const auto fast = weighted_apgre_bc(roads, {}, &stats);
+  const double apgre_s = apgre_timer.seconds();
+
+  double max_dev = 0.0;
+  for (Vertex v = 0; v < roads.num_vertices(); ++v) {
+    max_dev = std::max(max_dev, std::abs(exact[v] - fast[v]) /
+                                    std::max(1.0, exact[v]));
+  }
+  std::printf("weighted Brandes %.3f s, weighted APGRE %.3f s (%.2fx, "
+              "%u pendants derived, max deviation %.1e)\n",
+              brandes_s, apgre_s, brandes_s / apgre_s,
+              stats.num_pendants_removed, max_dev);
+
+  // Compare against the hop-count (unweighted) ranking.
+  const auto hops = brandes_bc(lc.graph);
+  auto top_of = [&](const std::vector<double>& scores) {
+    return static_cast<Vertex>(std::max_element(scores.begin(), scores.end()) -
+                               scores.begin());
+  };
+  const Vertex weighted_top = top_of(exact);
+  const Vertex hop_top = top_of(hops);
+  std::printf("\nbusiest junction by travel time: %u (load %.0f)\n",
+              weighted_top, exact[weighted_top]);
+  std::printf("busiest junction by hop count:   %u (load %.0f)\n", hop_top,
+              hops[hop_top]);
+  std::printf(weighted_top == hop_top
+                  ? "the two metrics agree on this network.\n"
+                  : "travel-time weighting shifts the critical junction.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "apps/girvan_newman.hpp"
+
+#include <algorithm>
+
+#include "bc/edge_bc.hpp"
+#include "graph/components.hpp"
+#include "support/error.hpp"
+
+namespace apgre::apps {
+
+double modularity(const CsrGraph& g, const std::vector<Vertex>& community) {
+  APGRE_REQUIRE(!g.directed(), "modularity expects an undirected graph");
+  APGRE_ASSERT(community.size() == g.num_vertices());
+  const double m = static_cast<double>(g.num_edges());
+  if (m == 0.0) return 0.0;
+  const Vertex num_communities =
+      community.empty()
+          ? 0
+          : *std::max_element(community.begin(), community.end()) + 1;
+  std::vector<double> internal(num_communities, 0.0);   // edges inside c
+  std::vector<double> degree_sum(num_communities, 0.0); // sum of degrees in c
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    degree_sum[community[v]] += static_cast<double>(g.out_degree(v));
+    for (Vertex w : g.out_neighbors(v)) {
+      if (v < w && community[v] == community[w]) internal[community[v]] += 1.0;
+    }
+  }
+  double q = 0.0;
+  for (Vertex c = 0; c < num_communities; ++c) {
+    const double fraction = internal[c] / m;
+    const double expected = degree_sum[c] / (2.0 * m);
+    q += fraction - expected * expected;
+  }
+  return q;
+}
+
+CommunityResult girvan_newman(const CsrGraph& g, const GirvanNewmanOptions& opts) {
+  APGRE_REQUIRE(!g.directed(), "girvan_newman expects an undirected graph");
+  CsrGraph current = g;
+  CommunityResult result;
+  const std::size_t max_cuts = opts.max_cuts > 0 ? opts.max_cuts : g.num_edges();
+
+  while (result.removed_edges.size() < max_cuts) {
+    const ComponentLabels labels = connected_components(current);
+    if (opts.target_communities > 0 &&
+        labels.num_components >= opts.target_communities) {
+      break;
+    }
+    if (current.num_edges() == 0) break;
+
+    const auto scores = edge_betweenness_bc(current);
+    const auto top = top_edges(current, scores, 1);
+    APGRE_ASSERT(!top.empty());
+    const Edge cut = top.front().first;
+    result.removed_edges.push_back(cut);
+
+    EdgeList arcs = current.arcs();
+    std::erase_if(arcs, [&](const Edge& e) {
+      return (e.src == cut.src && e.dst == cut.dst) ||
+             (e.src == cut.dst && e.dst == cut.src);
+    });
+    current = CsrGraph::from_edges(current.num_vertices(), std::move(arcs), false);
+  }
+
+  const ComponentLabels labels = connected_components(current);
+  result.community = labels.component;
+  result.num_communities = labels.num_components;
+  result.modularity = modularity(g, result.community);
+  return result;
+}
+
+}  // namespace apgre::apps

@@ -1,0 +1,38 @@
+// Girvan-Newman community detection as a library routine (paper §1 cites
+// Girvan & Newman 2002 as a primary BC application). Repeatedly removes
+// the highest-edge-betweenness edge; communities are the connected
+// components when the requested count (or edge budget) is reached.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre::apps {
+
+struct CommunityResult {
+  /// community[v] in [0, num_communities).
+  std::vector<Vertex> community;
+  Vertex num_communities = 0;
+  /// The removed edges, in removal order (canonical src < dst).
+  EdgeList removed_edges;
+  /// Newman-Girvan modularity of the final partition on the *original*
+  /// graph (unit weights): Q = sum_c (e_c/m - (d_c/2m)^2).
+  double modularity = 0.0;
+};
+
+struct GirvanNewmanOptions {
+  /// Stop when at least this many components exist (0 = rely on max_cuts).
+  Vertex target_communities = 2;
+  /// Hard cap on removed edges (guards degenerate inputs); 0 = |E|.
+  std::size_t max_cuts = 0;
+};
+
+/// Undirected graphs only. O(cuts * |V||E|) — intended for community-scale
+/// networks, exactly like the original algorithm.
+CommunityResult girvan_newman(const CsrGraph& g, const GirvanNewmanOptions& opts);
+
+/// Modularity of an arbitrary partition of `g` (undirected, unit weights).
+double modularity(const CsrGraph& g, const std::vector<Vertex>& community);
+
+}  // namespace apgre::apps

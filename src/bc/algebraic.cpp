@@ -1,0 +1,167 @@
+#include "bc/algebraic.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+namespace {
+
+constexpr int kLanes = 64;
+
+/// Batched per-source state, lane-major per vertex: slot(v, lane) at
+/// v * kLanes + lane, so one vertex's 64 lanes share cache lines.
+struct Batch {
+  std::vector<std::int16_t> dist;
+  std::vector<double> sigma;
+  std::vector<double> delta;
+  std::vector<std::uint64_t> visited;   // lane bitmask per vertex
+  // (vertex, lanes-discovered-at-this-level) per BFS level.
+  std::vector<std::vector<std::pair<Vertex, std::uint64_t>>> levels;
+
+  explicit Batch(Vertex n)
+      : dist(static_cast<std::size_t>(n) * kLanes, -1),
+        sigma(static_cast<std::size_t>(n) * kLanes, 0.0),
+        delta(static_cast<std::size_t>(n) * kLanes, 0.0),
+        visited(n, 0) {}
+
+  void reset() {
+    for (const auto& level : levels) {
+      for (const auto& [v, lanes] : level) {
+        const std::size_t base = static_cast<std::size_t>(v) * kLanes;
+        std::uint64_t m = lanes;
+        while (m != 0) {
+          const int lane = __builtin_ctzll(m);
+          m &= m - 1;
+          dist[base + lane] = -1;
+          sigma[base + lane] = 0.0;
+          delta[base + lane] = 0.0;
+        }
+        visited[v] = 0;
+      }
+    }
+    levels.clear();
+  }
+};
+
+}  // namespace
+
+std::vector<double> algebraic_bc(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+  if (n == 0) return bc;
+  Batch batch(n);
+
+  for (Vertex batch_start = 0; batch_start < n; batch_start += kLanes) {
+    const int width = static_cast<int>(
+        std::min<Vertex>(kLanes, n - batch_start));
+
+    // Seed: lane `l` runs the BFS from source batch_start + l.
+    auto& level0 = batch.levels.emplace_back();
+    for (int lane = 0; lane < width; ++lane) {
+      const Vertex s = batch_start + static_cast<Vertex>(lane);
+      batch.dist[static_cast<std::size_t>(s) * kLanes + lane] = 0;
+      batch.sigma[static_cast<std::size_t>(s) * kLanes + lane] = 1.0;
+      batch.visited[s] |= std::uint64_t{1} << lane;
+      level0.emplace_back(s, std::uint64_t{1} << lane);
+    }
+    // Lanes seeded on the same vertex never happen (sources are distinct),
+    // but multiple entries of level0 may share... they do not: one per s.
+
+    // Forward: per level, first discover (masked frontier expansion), then
+    // accumulate sigma along all (frontier -> next) lane pairs.
+    for (std::int16_t depth = 0; !batch.levels.back().empty(); ++depth) {
+      APGRE_REQUIRE(depth < 32000, "graph diameter exceeds the int16 level range");
+      const auto frontier = batch.levels.back();  // copy: levels vector grows
+      auto& next = batch.levels.emplace_back();
+      // Discovery pass.
+      for (const auto& [v, lanes] : frontier) {
+        for (Vertex w : g.out_neighbors(v)) {
+          const std::uint64_t fresh = lanes & ~batch.visited[w];
+          if (fresh == 0) continue;
+          if ((batch.visited[w] | fresh) != batch.visited[w]) {
+            // First discovery of these lanes at w this level.
+            bool already_queued = false;
+            if (!next.empty() && next.back().first == w) {
+              next.back().second |= fresh;
+              already_queued = true;
+            }
+            if (!already_queued) {
+              // Linear tail check keeps duplicates out cheaply only when
+              // consecutive; use the dist value as the real guard below.
+              next.emplace_back(w, fresh);
+            }
+            batch.visited[w] |= fresh;
+            const std::size_t base = static_cast<std::size_t>(w) * kLanes;
+            std::uint64_t m = fresh;
+            while (m != 0) {
+              const int lane = __builtin_ctzll(m);
+              m &= m - 1;
+              batch.dist[base + lane] = static_cast<std::int16_t>(depth + 1);
+            }
+          }
+        }
+      }
+      // Merge duplicate next entries (a vertex discovered from several
+      // frontier vertices appears multiple times with disjoint fresh sets
+      // only for its first discoverer; later ones were filtered by
+      // `visited`, so duplicates carry no lanes — drop empties).
+      // Sigma accumulation pass over every DAG arc of this level.
+      for (const auto& [v, lanes] : frontier) {
+        const std::size_t vbase = static_cast<std::size_t>(v) * kLanes;
+        for (Vertex w : g.out_neighbors(v)) {
+          const std::size_t wbase = static_cast<std::size_t>(w) * kLanes;
+          std::uint64_t m = lanes;
+          while (m != 0) {
+            const int lane = __builtin_ctzll(m);
+            m &= m - 1;
+            if (batch.dist[wbase + lane] == depth + 1) {
+              batch.sigma[wbase + lane] += batch.sigma[vbase + lane];
+            }
+          }
+        }
+      }
+      if (next.empty()) break;
+    }
+
+    // Backward: levels deepest-first; each (v, lanes) pulls from the lanes'
+    // successors exactly as the scalar kernel does.
+    for (std::size_t lvl = batch.levels.size(); lvl-- > 0;) {
+      for (const auto& [v, lanes] : batch.levels[lvl]) {
+        const std::size_t vbase = static_cast<std::size_t>(v) * kLanes;
+        for (Vertex w : g.out_neighbors(v)) {
+          const std::size_t wbase = static_cast<std::size_t>(w) * kLanes;
+          std::uint64_t m = lanes;
+          while (m != 0) {
+            const int lane = __builtin_ctzll(m);
+            m &= m - 1;
+            if (batch.dist[wbase + lane] ==
+                batch.dist[vbase + lane] + 1) {
+              batch.delta[vbase + lane] += batch.sigma[vbase + lane] /
+                                           batch.sigma[wbase + lane] *
+                                           (1.0 + batch.delta[wbase + lane]);
+            }
+          }
+        }
+        // Contribute: skip each lane's own source (level 0 entries are the
+        // sources themselves).
+        if (lvl > 0) {
+          std::uint64_t m = lanes;
+          double sum = 0.0;
+          while (m != 0) {
+            const int lane = __builtin_ctzll(m);
+            m &= m - 1;
+            sum += batch.delta[vbase + lane];
+          }
+          bc[v] += sum;
+        }
+      }
+    }
+    batch.reset();
+  }
+  return bc;
+}
+
+}  // namespace apgre

@@ -1,0 +1,23 @@
+// Batched ("algebraic") betweenness centrality — the Combinatorial-BLAS
+// formulation of Buluc & Gilbert (IJHPCA 2011), cited in the paper's
+// related work (§6): Brandes over b sources at once, where each BFS level
+// is one masked matrix product frontier = A^T * frontier.
+//
+// This implementation fixes the batch width at 64 so the per-vertex lane
+// set is a single machine word: discovery masks replace the sparse
+// boolean frontier matrix, and sigma/delta are dense n x 64 lane arrays.
+// Amortising the adjacency traversal over 64 sources is the algebraic
+// method's selling point; the ablation bench measures it against the
+// source-at-a-time baseline.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// Exact BC scores via 64-wide batched Brandes.
+std::vector<double> algebraic_bc(const CsrGraph& g);
+
+}  // namespace apgre

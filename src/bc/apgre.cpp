@@ -1,0 +1,447 @@
+#include "bc/apgre.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+
+#include "bc/frontier.hpp"
+#include "bcc/reach.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/timer.hpp"
+
+namespace apgre {
+
+namespace {
+
+constexpr std::int32_t kUnvisited = -1;
+
+// --------------------------------------------------------------------------
+// Serial per-sub-graph kernel (paper Algorithm 2). One backward sweep
+// accumulates all four dependency types:
+//   d_i2i: plain Brandes dependency restricted to the sub-graph,
+//   d_i2o: initialised with alpha at boundary APs, propagated upward,
+//   d_o2o: initialised with beta(s)*alpha at boundary APs when the source
+//          is itself a boundary AP,
+//   out2in needs no array: delta_o2i = beta(s) * d_i2i (paper eq. 5).
+// --------------------------------------------------------------------------
+
+struct SubgraphScratch {
+  std::vector<std::int32_t> dist;
+  std::vector<double> sigma;
+  std::vector<double> d_i2i;
+  std::vector<double> d_i2o;
+  std::vector<double> d_o2o;
+  LevelBuckets levels;
+
+  void ensure(Vertex n) {
+    if (dist.size() < n) {
+      dist.assign(n, kUnvisited);
+      sigma.assign(n, 0.0);
+      d_i2i.assign(n, 0.0);
+      d_i2o.assign(n, 0.0);
+      d_o2o.assign(n, 0.0);
+    }
+  }
+
+  void reset_touched(const Subgraph& sg) {
+    for (Vertex v : levels.touched()) {
+      dist[v] = kUnvisited;
+      sigma[v] = 0.0;
+      d_i2i[v] = 0.0;
+      d_i2o[v] = 0.0;
+      d_o2o[v] = 0.0;
+    }
+    levels.clear();
+    // Unreachable boundary APs keep their Phase-0 init values; clear them too.
+    for (Vertex a : sg.boundary_aps) {
+      d_i2o[a] = 0.0;
+      d_o2o[a] = 0.0;
+    }
+  }
+};
+
+void subgraph_source_serial(const Subgraph& sg, Vertex s, SubgraphScratch& scratch,
+                            std::vector<double>& bc) {
+  const CsrGraph& g = sg.graph;
+  auto& dist = scratch.dist;
+  auto& sigma = scratch.sigma;
+  auto& d_i2i = scratch.d_i2i;
+  auto& d_i2o = scratch.d_i2o;
+  auto& d_o2o = scratch.d_o2o;
+  auto& levels = scratch.levels;
+
+  const bool s_is_ap = sg.is_boundary_ap[s] != 0;
+  const double size_o2i = s_is_ap ? static_cast<double>(sg.beta[s]) : 0.0;
+  const double gamma_s = static_cast<double>(sg.gamma[s]);
+
+  // Phase 0: dependency seeds at boundary articulation points (other than
+  // the source; paths ending at the source's own sub-DAG are accounted in
+  // the sub-graphs on the other side of s).
+  for (Vertex a : sg.boundary_aps) {
+    if (a == s) continue;
+    d_i2o[a] = static_cast<double>(sg.alpha[a]);
+    if (s_is_ap) d_o2o[a] = size_o2i * static_cast<double>(sg.alpha[a]);
+  }
+
+  // Phase 1: forward BFS building sigma and level buckets.
+  dist[s] = 0;
+  sigma[s] = 1.0;
+  levels.push(s);
+  levels.finish_level();
+  for (std::size_t current = 0; !levels.level(current).empty(); ++current) {
+    // Index-based scan: push() may reallocate the level storage.
+    const auto [begin, end] = levels.level_range(current);
+    for (std::size_t idx = begin; idx < end; ++idx) {
+      const Vertex v = levels.vertex(idx);
+      for (Vertex w : g.out_neighbors(v)) {
+        if (dist[w] == kUnvisited) {
+          dist[w] = dist[v] + 1;
+          levels.push(w);
+        }
+        if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+      }
+    }
+    levels.finish_level();
+    if (levels.level(current + 1).empty()) break;
+  }
+
+  // Phase 2: backward sweep; level 0 (the source itself) is processed too,
+  // because the pendant-derived contribution needs the recursion values at
+  // v == s (Theorem 3).
+  for (std::size_t lvl = levels.num_levels(); lvl-- > 0;) {
+    for (Vertex v : levels.level(lvl)) {
+      double acc_i2i = 0.0;
+      double acc_i2o = d_i2o[v];
+      double acc_o2o = d_o2o[v];
+      for (Vertex w : g.out_neighbors(v)) {
+        if (dist[w] != dist[v] + 1) continue;
+        const double coef = sigma[v] / sigma[w];
+        acc_i2i += coef * (1.0 + d_i2i[w]);
+        acc_i2o += coef * d_i2o[w];
+        if (s_is_ap) acc_o2o += coef * d_o2o[w];
+      }
+      d_i2i[v] = acc_i2i;
+      d_i2o[v] = acc_i2o;
+      d_o2o[v] = acc_o2o;
+      if (v != s) {
+        bc[v] += (1.0 + gamma_s) * (acc_i2i + acc_i2o) + size_o2i * acc_i2i +
+                 acc_o2o;
+      } else if (gamma_s > 0.0) {
+        // Derived pendant DAGs: dependency of each pendant on its host.
+        // Undirected pendants are reachable from the host, so the pair
+        // (pendant, pendant) must be excluded (-1); a boundary-AP host
+        // additionally separates the pendant from alpha(s) outside targets.
+        double self = acc_i2i + acc_i2o;
+        if (!g.directed()) self -= 1.0;
+        if (s_is_ap) self += static_cast<double>(sg.alpha[s]);
+        bc[s] += gamma_s * self;
+      }
+    }
+  }
+  scratch.reset_touched(sg);
+}
+
+std::vector<double> subgraph_bc_serial(const Subgraph& sg) {
+  std::vector<double> bc(sg.num_vertices(), 0.0);
+  SubgraphScratch scratch;
+  scratch.ensure(sg.num_vertices());
+  for (Vertex s : sg.roots) subgraph_source_serial(sg, s, scratch, bc);
+  return bc;
+}
+
+// --------------------------------------------------------------------------
+// Fine-grained parallel kernel: the same mathematics with a level-
+// synchronous parallel forward phase (CAS vertex claims, atomic sigma) and
+// a parallel successor-pull backward phase (single writer per delta cell).
+// Used for the large ("top") sub-graphs — paper §4, Algorithm 2.
+// --------------------------------------------------------------------------
+
+struct ParallelScratch {
+  std::vector<std::atomic<std::int32_t>> dist;
+  std::vector<std::atomic<double>> sigma;
+  std::vector<double> d_i2i;
+  std::vector<double> d_i2o;
+  std::vector<double> d_o2o;
+  LevelBuckets levels;
+  ThreadLocalFrontier next;
+  // Direction-optimising forward phase (hybrid_inner): unvisited list and
+  // per-thread split buffers.
+  std::vector<Vertex> candidates;
+  ThreadLocalFrontier remaining;
+
+  explicit ParallelScratch(Vertex n)
+      : dist(n), sigma(n), d_i2i(n, 0.0), d_i2o(n, 0.0), d_o2o(n, 0.0) {
+    for (Vertex v = 0; v < n; ++v) {
+      dist[v].store(kUnvisited, std::memory_order_relaxed);
+      sigma[v].store(0.0, std::memory_order_relaxed);
+    }
+  }
+};
+
+void subgraph_source_parallel(const Subgraph& sg, Vertex s, ParallelScratch& st,
+                              std::vector<double>& bc, bool hybrid_inner) {
+  const CsrGraph& g = sg.graph;
+  const bool s_is_ap = sg.is_boundary_ap[s] != 0;
+  const double size_o2i = s_is_ap ? static_cast<double>(sg.beta[s]) : 0.0;
+  const double gamma_s = static_cast<double>(sg.gamma[s]);
+
+  for (Vertex a : sg.boundary_aps) {
+    if (a == s) continue;
+    st.d_i2o[a] = static_cast<double>(sg.alpha[a]);
+    if (s_is_ap) st.d_o2o[a] = size_o2i * static_cast<double>(sg.alpha[a]);
+  }
+
+  st.dist[s].store(0, std::memory_order_relaxed);
+  st.sigma[s].store(1.0, std::memory_order_relaxed);
+  st.levels.push(s);
+  st.levels.finish_level();
+  const auto total_arcs = static_cast<double>(g.num_arcs());
+  std::uint64_t frontier_out_edges = g.out_degree(s);
+  double explored_arcs = 0.0;
+  bool candidates_valid = false;
+
+  for (std::size_t current = 0; !st.levels.level(current).empty(); ++current) {
+    const auto frontier = st.levels.level(current);
+    const auto depth = static_cast<std::int32_t>(current);
+    explored_arcs += static_cast<double>(frontier_out_edges);
+    // Beamer thresholds (alpha=15, beta=20), only when requested.
+    const bool bottom_up =
+        hybrid_inner &&
+        static_cast<double>(frontier_out_edges) >
+            (total_arcs - explored_arcs) / 15.0 &&
+        static_cast<double>(frontier.size()) >
+            static_cast<double>(g.num_vertices()) / 20.0;
+
+    if (bottom_up) {
+      if (!candidates_valid) {
+        st.candidates.clear();
+        for (Vertex v = 0; v < g.num_vertices(); ++v) {
+          if (st.dist[v].load(std::memory_order_relaxed) == kUnvisited) {
+            st.candidates.push_back(v);
+          }
+        }
+        candidates_valid = true;
+      }
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(st.candidates.size());
+           ++i) {
+        const Vertex v = st.candidates[static_cast<std::size_t>(i)];
+        double paths = 0.0;
+        for (Vertex u : g.in_neighbors(v)) {
+          if (st.dist[u].load(std::memory_order_relaxed) == depth) {
+            paths += st.sigma[u].load(std::memory_order_relaxed);
+          }
+        }
+        if (paths > 0.0) {
+          st.dist[v].store(depth + 1, std::memory_order_relaxed);
+          st.sigma[v].store(paths, std::memory_order_relaxed);
+          st.next.local().push_back(v);
+        } else {
+          st.remaining.local().push_back(v);
+        }
+      }
+      st.candidates.clear();
+      st.next.drain_into(st.levels);
+      {
+        // Re-collect the shrunken unvisited list from the split buffers.
+        LevelBuckets tmp;
+        st.remaining.drain_into(tmp);
+        st.candidates.assign(tmp.touched().begin(), tmp.touched().end());
+      }
+    } else {
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size()); ++i) {
+        const Vertex v = frontier[static_cast<std::size_t>(i)];
+        for (Vertex w : g.out_neighbors(v)) {
+          std::int32_t expected = kUnvisited;
+          if (st.dist[w].compare_exchange_strong(expected, depth + 1,
+                                                 std::memory_order_relaxed)) {
+            st.next.local().push_back(w);
+            expected = depth + 1;
+          }
+          if (expected == depth + 1) {
+            st.sigma[w].fetch_add(st.sigma[v].load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+          }
+        }
+      }
+      st.next.drain_into(st.levels);
+      candidates_valid = false;  // stale after a push level
+    }
+    st.levels.finish_level();
+    const auto fresh = st.levels.level(current + 1);
+    if (fresh.empty()) break;
+    frontier_out_edges = 0;
+    for (Vertex v : fresh) frontier_out_edges += g.out_degree(v);
+  }
+
+  for (std::size_t lvl = st.levels.num_levels(); lvl-- > 0;) {
+    const auto level = st.levels.level(lvl);
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(level.size()); ++i) {
+      const Vertex v = level[static_cast<std::size_t>(i)];
+      const auto dv = st.dist[v].load(std::memory_order_relaxed);
+      const double sv = st.sigma[v].load(std::memory_order_relaxed);
+      double acc_i2i = 0.0;
+      double acc_i2o = st.d_i2o[v];
+      double acc_o2o = st.d_o2o[v];
+      for (Vertex w : g.out_neighbors(v)) {
+        if (st.dist[w].load(std::memory_order_relaxed) != dv + 1) continue;
+        const double coef = sv / st.sigma[w].load(std::memory_order_relaxed);
+        acc_i2i += coef * (1.0 + st.d_i2i[w]);
+        acc_i2o += coef * st.d_i2o[w];
+        if (s_is_ap) acc_o2o += coef * st.d_o2o[w];
+      }
+      st.d_i2i[v] = acc_i2i;
+      st.d_i2o[v] = acc_i2o;
+      st.d_o2o[v] = acc_o2o;
+      if (v != s) {
+        bc[v] += (1.0 + gamma_s) * (acc_i2i + acc_i2o) + size_o2i * acc_i2i +
+                 acc_o2o;
+      } else if (gamma_s > 0.0) {
+        double self = acc_i2i + acc_i2o;
+        if (!g.directed()) self -= 1.0;
+        if (s_is_ap) self += static_cast<double>(sg.alpha[s]);
+        bc[s] += gamma_s * self;
+      }
+    }
+  }
+
+  for (Vertex v : st.levels.touched()) {
+    st.dist[v].store(kUnvisited, std::memory_order_relaxed);
+    st.sigma[v].store(0.0, std::memory_order_relaxed);
+    st.d_i2i[v] = 0.0;
+    st.d_i2o[v] = 0.0;
+    st.d_o2o[v] = 0.0;
+  }
+  st.levels.clear();
+  for (Vertex a : sg.boundary_aps) {
+    st.d_i2o[a] = 0.0;
+    st.d_o2o[a] = 0.0;
+  }
+}
+
+std::vector<double> subgraph_bc_parallel(const Subgraph& sg, bool hybrid_inner) {
+  std::vector<double> bc(sg.num_vertices(), 0.0);
+  ParallelScratch scratch(sg.num_vertices());
+  for (Vertex s : sg.roots) {
+    subgraph_source_parallel(sg, s, scratch, bc, hybrid_inner);
+  }
+  return bc;
+}
+
+}  // namespace
+
+std::vector<double> apgre_subgraph_bc(const Subgraph& sg, bool parallel_inner,
+                                      bool hybrid_inner) {
+  return parallel_inner ? subgraph_bc_parallel(sg, hybrid_inner)
+                        : subgraph_bc_serial(sg);
+}
+
+std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
+                             ApgreStats* stats) {
+  Timer total_timer;
+  ApgreStats local_stats;
+
+  // Step 1: decomposition (timed separately from reach counting so the
+  // Figure-8 breakdown can report both).
+  PartitionOptions popts = opts.partition;
+  popts.compute_reach = false;
+  Decomposition dec;
+  {
+    ScopedTimer t(local_stats.partition_seconds);
+    dec = decompose(g, popts);
+  }
+  // Step 2: alpha/beta counting.
+  {
+    ScopedTimer t(local_stats.reach_seconds);
+    compute_reach_counts(g, dec, opts.partition.reach);
+  }
+
+  // Step 3: per-sub-graph BC with two-level parallelism. Large sub-graphs
+  // (by arc share) run one at a time with the fine-grained kernel; the
+  // rest are distributed across threads.
+  const EdgeId total_arcs = g.num_arcs();
+  const EdgeId fine_cutoff = std::max<EdgeId>(
+      opts.fine_grain_min_arcs,
+      static_cast<EdgeId>(opts.fine_grain_fraction * static_cast<double>(total_arcs)));
+
+  std::vector<std::size_t> fine;
+  std::vector<std::size_t> coarse;
+  // With a single thread the fine-grained kernel only adds atomic-CAS
+  // overhead; route everything through the serial kernel instead. The top
+  // sub-graph is always processed on its own so its share of the runtime
+  // is measured directly (paper Figure 8).
+  const bool inner_parallel_pays = num_threads() > 1;
+  for (std::size_t i = 0; i < dec.subgraphs.size(); ++i) {
+    if (i == dec.top_subgraph) continue;
+    const bool fine_grained =
+        inner_parallel_pays && dec.subgraphs[i].num_arcs() >= fine_cutoff;
+    (fine_grained ? fine : coarse).push_back(i);
+  }
+
+  std::vector<double> bc(g.num_vertices(), 0.0);
+  auto merge_local = [&dec](std::vector<double>& into, std::size_t sgi,
+                            const std::vector<double>& local) {
+    const Subgraph& sg = dec.subgraphs[sgi];
+    for (Vertex v = 0; v < sg.num_vertices(); ++v) {
+      into[sg.to_global[v]] += local[v];
+    }
+  };
+
+  if (!dec.subgraphs.empty()) {
+    ScopedTimer t(local_stats.top_bc_seconds);
+    const Subgraph& top = dec.subgraphs[dec.top_subgraph];
+    const bool parallel_top =
+        inner_parallel_pays && top.num_arcs() >= fine_cutoff;
+    merge_local(bc, dec.top_subgraph,
+                apgre_subgraph_bc(top, parallel_top, opts.hybrid_inner));
+  }
+  {
+    ScopedTimer t(local_stats.rest_bc_seconds);
+    for (std::size_t sgi : fine) {
+      merge_local(bc, sgi,
+                  subgraph_bc_parallel(dec.subgraphs[sgi], opts.hybrid_inner));
+    }
+#pragma omp parallel
+    {
+      // Per-thread global accumulation buffer: sub-graphs share vertices
+      // only at articulation points, but a private buffer avoids all races.
+      std::vector<double> thread_bc(g.num_vertices(), 0.0);
+      SubgraphScratch scratch;
+      std::vector<double> local;
+#pragma omp for schedule(dynamic, 8)
+      for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(coarse.size());
+           ++idx) {
+        const Subgraph& sg = dec.subgraphs[coarse[static_cast<std::size_t>(idx)]];
+        scratch.ensure(sg.num_vertices());
+        local.assign(sg.num_vertices(), 0.0);
+        for (Vertex s : sg.roots) subgraph_source_serial(sg, s, scratch, local);
+        merge_local(thread_bc, coarse[static_cast<std::size_t>(idx)], local);
+      }
+#pragma omp critical(apgre_bc_merge)
+      {
+        for (Vertex v = 0; v < g.num_vertices(); ++v) bc[v] += thread_bc[v];
+      }
+    }
+  }
+
+  local_stats.total_seconds = total_timer.seconds();
+  local_stats.num_subgraphs = dec.subgraphs.size();
+  local_stats.num_articulation_points = dec.num_articulation_points;
+  local_stats.num_pendants_removed = dec.num_pendants_removed;
+  if (!dec.subgraphs.empty()) {
+    const Subgraph& top = dec.subgraphs[dec.top_subgraph];
+    local_stats.top_vertices = top.num_vertices();
+    local_stats.top_arcs = top.num_arcs();
+  }
+  const auto work = dec.work_model(total_arcs);
+  local_stats.partial_redundancy = work.partial_redundancy;
+  local_stats.total_redundancy = work.total_redundancy;
+  if (stats != nullptr) *stats = local_stats;
+  return bc;
+}
+
+}  // namespace apgre

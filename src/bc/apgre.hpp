@@ -1,0 +1,74 @@
+// APGRE — Articulation-Points-Guided Redundancy Elimination for betweenness
+// centrality (the paper's contribution, §3-§4).
+//
+// Pipeline (paper Figure 5):
+//   1. decompose the graph along articulation points (bcc/partition.hpp),
+//   2. count alpha/beta for every boundary articulation point (bcc/reach.hpp),
+//   3. run a per-sub-graph Brandes variant that accumulates the four
+//      dependency types (in2in, in2out, out2in, out2out) in one backward
+//      sweep and merges them into global BC scores, with
+//        * coarse-grained parallelism across sub-graphs and
+//        * fine-grained level-synchronous parallelism inside large ones
+//      (the paper's two-level parallelism).
+//
+// Two deliberate corrections to the paper's pseudocode (validated against
+// Brandes and the naive oracle; see DESIGN.md §2):
+//   * the pendant-derived self term adds alpha(s) when the host is a
+//     boundary AP,
+//   * for undirected graphs each pendant subtracts 1 from the derived
+//     in2in reach (the pendant is itself reachable from its host).
+#pragma once
+
+#include <vector>
+
+#include "bcc/partition.hpp"
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+struct ApgreOptions {
+  PartitionOptions partition;
+  /// Sub-graphs holding at least this fraction of all arcs are processed
+  /// one at a time with fine-grained (level-synchronous) inner parallelism;
+  /// the rest are distributed across threads and processed serially inside.
+  double fine_grain_fraction = 0.125;
+  /// Sub-graphs with fewer arcs than this never use inner parallelism.
+  EdgeId fine_grain_min_arcs = 1u << 14;
+  /// Use a direction-optimising (Beamer-style top-down/bottom-up) forward
+  /// phase inside the fine-grained kernel — the composition of the paper's
+  /// decomposition with the `hybrid` baseline's BFS. Exactness is
+  /// unaffected; pays off on low-diameter sub-graphs with fat frontiers.
+  bool hybrid_inner = false;
+};
+
+/// Phase breakdown and decomposition summary (paper Figure 8 / Table 4).
+struct ApgreStats {
+  double partition_seconds = 0.0;  ///< biconnected decomposition + grouping
+  double reach_seconds = 0.0;      ///< alpha/beta counting
+  double top_bc_seconds = 0.0;     ///< BC of fine-grained (large) sub-graphs
+  double rest_bc_seconds = 0.0;    ///< BC of the remaining sub-graphs
+  double total_seconds = 0.0;
+
+  std::size_t num_subgraphs = 0;
+  Vertex num_articulation_points = 0;
+  Vertex num_pendants_removed = 0;
+  Vertex top_vertices = 0;
+  EdgeId top_arcs = 0;
+  /// Redundancy work model (Figure 7).
+  double partial_redundancy = 0.0;
+  double total_redundancy = 0.0;
+};
+
+/// Full APGRE run.
+std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts = {},
+                             ApgreStats* stats = nullptr);
+
+/// BC scores of one sub-graph in local ids (paper Algorithm 2, BCinSG).
+/// Exposed for tests and the breakdown benchmark. `parallel_inner` selects
+/// the level-synchronous parallel kernel; the serial kernel otherwise.
+/// `hybrid_inner` additionally enables the direction-optimising forward
+/// phase (only meaningful with parallel_inner).
+std::vector<double> apgre_subgraph_bc(const Subgraph& sg, bool parallel_inner,
+                                      bool hybrid_inner = false);
+
+}  // namespace apgre

@@ -1,0 +1,193 @@
+#include "bc/approx.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bc/brandes.hpp"
+#include "bc/brandes_kernel.hpp"
+#include "graph/bfs.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace apgre {
+
+namespace {
+
+std::vector<Vertex> uniform_pivots(Vertex n, Vertex k, Xoshiro256& rng) {
+  std::vector<Vertex> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (Vertex i = 0; i < k; ++i) {
+    const auto j = static_cast<Vertex>(i + rng.bounded(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<Vertex> degree_pivots(const CsrGraph& g, Vertex k, Xoshiro256& rng) {
+  // Sample without replacement, probability proportional to out-degree + 1
+  // (the +1 keeps isolated vertices samplable, as uniform does).
+  const Vertex n = g.num_vertices();
+  std::vector<double> weight(n);
+  for (Vertex v = 0; v < n; ++v) weight[v] = static_cast<double>(g.out_degree(v)) + 1.0;
+  std::vector<Vertex> pivots;
+  pivots.reserve(k);
+  std::vector<bool> taken(n, false);
+  double total = std::accumulate(weight.begin(), weight.end(), 0.0);
+  for (Vertex i = 0; i < k; ++i) {
+    double target = rng.uniform() * total;
+    Vertex chosen = kInvalidVertex;
+    for (Vertex v = 0; v < n; ++v) {
+      if (taken[v]) continue;
+      target -= weight[v];
+      if (target <= 0.0) {
+        chosen = v;
+        break;
+      }
+    }
+    if (chosen == kInvalidVertex) {  // numeric tail: take the last free vertex
+      for (Vertex v = n; v-- > 0;) {
+        if (!taken[v]) {
+          chosen = v;
+          break;
+        }
+      }
+    }
+    taken[chosen] = true;
+    total -= weight[chosen];
+    pivots.push_back(chosen);
+  }
+  return pivots;
+}
+
+std::vector<Vertex> maxmin_pivots(const CsrGraph& g, Vertex k, Xoshiro256& rng) {
+  // Farthest-first traversal: start from a random vertex, then repeatedly
+  // add the vertex farthest from the current pivot set (multi-source BFS).
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> pivots{static_cast<Vertex>(rng.bounded(n))};
+  while (pivots.size() < k) {
+    const auto dist = bfs_distances(g, pivots);
+    Vertex best = kInvalidVertex;
+    std::uint32_t best_dist = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t d = dist[v] == kUnreachable ? 0 : dist[v];
+      if (best == kInvalidVertex || d > best_dist) {
+        // Unreachable vertices tie at 0; prefer any unvisited reachable
+        // vertex, falling back to unpicked ones for disconnected graphs.
+        if (std::find(pivots.begin(), pivots.end(), v) == pivots.end()) {
+          best = v;
+          best_dist = d;
+        }
+      }
+    }
+    if (best == kInvalidVertex) break;  // all vertices picked
+    pivots.push_back(best);
+  }
+  return pivots;
+}
+
+}  // namespace
+
+std::vector<Vertex> select_pivots(const CsrGraph& g, Vertex k,
+                                  PivotStrategy strategy, std::uint64_t seed) {
+  const Vertex n = g.num_vertices();
+  if (n == 0) return {};
+  k = std::min(k, n);
+  APGRE_REQUIRE(k > 0, "need at least one pivot");
+  Xoshiro256 rng(seed);
+  switch (strategy) {
+    case PivotStrategy::kUniform: return uniform_pivots(n, k, rng);
+    case PivotStrategy::kDegreeProportional: return degree_pivots(g, k, rng);
+    case PivotStrategy::kMaxMin: return maxmin_pivots(g, k, rng);
+  }
+  return {};
+}
+
+std::vector<double> estimate_bc(const CsrGraph& g,
+                                const std::vector<Vertex>& pivots) {
+  APGRE_REQUIRE(!pivots.empty(), "need at least one pivot");
+  const double weight =
+      static_cast<double>(g.num_vertices()) / static_cast<double>(pivots.size());
+  return brandes_bc_from_sources(g, pivots, weight);
+}
+
+std::vector<double> estimate_bc_linear_scaled(const CsrGraph& g,
+                                              const std::vector<Vertex>& pivots) {
+  APGRE_REQUIRE(!pivots.empty(), "need at least one pivot");
+  const Vertex n = g.num_vertices();
+  const double weight =
+      static_cast<double>(n) / static_cast<double>(pivots.size());
+  std::vector<double> bc(n, 0.0);
+  detail::BrandesScratch scratch(n);
+
+  for (Vertex s : pivots) {
+    auto& dist = scratch.dist;
+    auto& sigma = scratch.sigma;
+    auto& delta = scratch.delta;
+    auto& levels = scratch.levels;
+
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    levels.push(s);
+    levels.finish_level();
+    for (std::size_t current = 0; !levels.level(current).empty(); ++current) {
+      const auto [begin, end] = levels.level_range(current);
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        const Vertex v = levels.vertex(idx);
+        for (Vertex w : g.out_neighbors(v)) {
+          if (dist[w] == detail::kUnvisited) {
+            dist[w] = dist[v] + 1;
+            levels.push(w);
+          }
+          if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+        }
+      }
+      levels.finish_level();
+      if (levels.level(current + 1).empty()) break;
+    }
+
+    // Scaled backward sweep: delta'(v) = sum_w (sv/sw)*(dv/dw)*(1+delta'(w)).
+    for (std::size_t lvl = levels.num_levels(); lvl-- > 1;) {
+      for (Vertex v : levels.level(lvl)) {
+        double acc = 0.0;
+        const double dv = static_cast<double>(dist[v]);
+        for (Vertex w : g.out_neighbors(v)) {
+          if (dist[w] != dist[v] + 1) continue;
+          acc += sigma[v] / sigma[w] * dv / static_cast<double>(dist[w]) *
+                 (1.0 + delta[w]);
+        }
+        delta[v] = acc;
+        bc[v] += weight * acc;
+      }
+    }
+    scratch.reset_touched();
+  }
+  return bc;
+}
+
+AdaptiveEstimate adaptive_estimate_bc(const CsrGraph& g, Vertex v, double c,
+                                      std::uint64_t seed) {
+  APGRE_ASSERT(v < g.num_vertices());
+  APGRE_REQUIRE(c > 0.0, "adaptive sampling needs a positive threshold factor");
+  const Vertex n = g.num_vertices();
+  Xoshiro256 rng(seed);
+  std::vector<Vertex> order = uniform_pivots(n, n, rng);  // random permutation
+
+  const double stop = c * static_cast<double>(n);
+  double accumulated = 0.0;
+  AdaptiveEstimate out;
+  detail::BrandesScratch scratch(n);
+  std::vector<double> bc(n, 0.0);
+  for (Vertex s : order) {
+    // One Brandes iteration; the dependency of s on v lands in bc[v].
+    detail::brandes_iteration(g, s, 1.0, scratch, bc);
+    ++out.samples_used;
+    accumulated = bc[v];
+    if (accumulated >= stop) break;
+  }
+  out.score = static_cast<double>(n) / static_cast<double>(out.samples_used) *
+              accumulated;
+  return out;
+}
+
+}  // namespace apgre

@@ -1,0 +1,99 @@
+#include "bc/bc.hpp"
+
+#include "bc/algebraic.hpp"
+#include "bc/brandes.hpp"
+#include "bc/coarse.hpp"
+#include "bc/hybrid.hpp"
+#include "bc/lockfree.hpp"
+#include "bc/naive.hpp"
+#include "bc/parallel_preds.hpp"
+#include "bc/parallel_succs.hpp"
+#include "bc/sampling.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/timer.hpp"
+
+namespace apgre {
+
+Algorithm algorithm_from_name(const std::string& name) {
+  if (name == "naive") return Algorithm::kNaive;
+  if (name == "serial") return Algorithm::kBrandesSerial;
+  if (name == "preds") return Algorithm::kParallelPreds;
+  if (name == "succs") return Algorithm::kParallelSuccs;
+  if (name == "lockfree") return Algorithm::kLockFree;
+  if (name == "coarse" || name == "async") return Algorithm::kCoarse;
+  if (name == "hybrid") return Algorithm::kHybrid;
+  if (name == "apgre") return Algorithm::kApgre;
+  if (name == "algebraic" || name == "batched") return Algorithm::kAlgebraic;
+  if (name == "sampling") return Algorithm::kSampling;
+  throw OptionError("unknown BC algorithm: " + name);
+}
+
+std::string algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kNaive: return "naive";
+    case Algorithm::kBrandesSerial: return "serial";
+    case Algorithm::kParallelPreds: return "preds";
+    case Algorithm::kParallelSuccs: return "succs";
+    case Algorithm::kLockFree: return "lockfree";
+    case Algorithm::kCoarse: return "coarse";
+    case Algorithm::kHybrid: return "hybrid";
+    case Algorithm::kApgre: return "apgre";
+    case Algorithm::kAlgebraic: return "algebraic";
+    case Algorithm::kSampling: return "sampling";
+  }
+  return "?";
+}
+
+BcResult betweenness(const CsrGraph& g, const BcOptions& opts) {
+  BcResult result;
+  ThreadBudget budget(opts.threads > 0 ? opts.threads : num_threads());
+
+  Timer timer;
+  switch (opts.algorithm) {
+    case Algorithm::kNaive:
+      result.scores = naive_bc(g);
+      break;
+    case Algorithm::kBrandesSerial:
+      result.scores = brandes_bc(g);
+      break;
+    case Algorithm::kParallelPreds:
+      result.scores = parallel_preds_bc(g);
+      break;
+    case Algorithm::kParallelSuccs:
+      result.scores = parallel_succs_bc(g);
+      break;
+    case Algorithm::kLockFree:
+      result.scores = lockfree_bc(g);
+      break;
+    case Algorithm::kCoarse:
+      result.scores = coarse_bc(g);
+      break;
+    case Algorithm::kHybrid:
+      result.scores = hybrid_bc(g);
+      break;
+    case Algorithm::kApgre:
+      result.scores = apgre_bc(g, opts.apgre, &result.apgre_stats);
+      break;
+    case Algorithm::kAlgebraic:
+      result.scores = algebraic_bc(g);
+      break;
+    case Algorithm::kSampling:
+      result.scores = sampled_bc(g, opts.num_samples, opts.seed);
+      break;
+  }
+  result.seconds = timer.seconds();
+
+  if (opts.undirected_halving && !g.directed()) {
+    for (double& score : result.scores) score *= 0.5;
+  }
+
+  // Paper §5.1: TEPS_BC = n * m / t, reported in millions.
+  if (result.seconds > 0.0) {
+    result.mteps = static_cast<double>(g.num_vertices()) *
+                   static_cast<double>(g.num_arcs()) / result.seconds / 1e6;
+  }
+  return result;
+}
+
+}  // namespace apgre

@@ -1,0 +1,74 @@
+// Public entry point of the APGRE betweenness-centrality library.
+//
+//   #include "bc/bc.hpp"
+//   apgre::BcResult r = apgre::betweenness(graph);            // APGRE
+//   apgre::BcOptions o; o.algorithm = apgre::Algorithm::kBrandesSerial;
+//   apgre::BcResult serial = apgre::betweenness(graph, o);    // baseline
+//
+// Scores follow the directed-BC convention: BC(v) = sum over ordered pairs
+// (s, t), s != v != t, of sigma_st(v) / sigma_st. For symmetric
+// (undirected) graphs each unordered pair is therefore counted twice; set
+// BcOptions::undirected_halving to report the conventional undirected
+// score. All algorithms in the family produce identical scores (up to
+// floating-point accumulation order); they differ only in strategy, which
+// is exactly what the paper's evaluation compares.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bc/apgre.hpp"
+#include "bcc/partition.hpp"
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// The algorithm family of the paper's evaluation (§5.1) plus the naive
+/// reference and the sampling extension.
+enum class Algorithm {
+  kNaive,         ///< O(|V|^3) definition-based oracle (tests only)
+  kBrandesSerial, ///< Brandes 2001; the paper's `serial` baseline
+  kParallelPreds, ///< level-synchronous, predecessor lists (Bader-Madduri)
+  kParallelSuccs, ///< level-synchronous, successor scans (Madduri et al.)
+  kLockFree,      ///< pull-based level-synchronous, no atomics (Tan et al.)
+  kCoarse,        ///< source-parallel, per-thread buffers (`async` stand-in)
+  kHybrid,        ///< direction-optimising BFS (Beamer; Ligra's hybrid)
+  kApgre,         ///< the paper's contribution
+  kAlgebraic,     ///< 64-wide batched Brandes (Buluc-Gilbert style)
+  kSampling,      ///< Brandes-Pich source sampling (approximate)
+};
+
+/// Parse / print algorithm names used by benches and examples
+/// ("apgre", "serial", "preds", "succs", "lockfree", "coarse", "hybrid",
+/// "naive", "sampling").
+Algorithm algorithm_from_name(const std::string& name);
+std::string algorithm_name(Algorithm algorithm);
+
+struct BcOptions {
+  Algorithm algorithm = Algorithm::kApgre;
+  /// Thread budget; 0 keeps the runtime default.
+  int threads = 0;
+  /// Halve the scores of symmetric graphs (conventional undirected BC).
+  bool undirected_halving = false;
+  /// APGRE tuning (ignored by other algorithms).
+  ApgreOptions apgre;
+  /// kSampling: number of sampled sources (0 = sqrt(|V|)) and seed.
+  Vertex num_samples = 0;
+  std::uint64_t seed = 1;
+};
+
+struct BcResult {
+  std::vector<double> scores;
+  /// Filled when algorithm == kApgre (phase breakdown, decomposition info).
+  ApgreStats apgre_stats;
+  /// Wall time of the scoring computation in seconds.
+  double seconds = 0.0;
+  /// Paper §5.1 traversal-rate metric: TEPS_BC = n * m / t, reported in
+  /// millions (m counts stored arcs).
+  double mteps = 0.0;
+};
+
+/// Compute betweenness centrality with the selected algorithm.
+BcResult betweenness(const CsrGraph& g, const BcOptions& opts = {});
+
+}  // namespace apgre

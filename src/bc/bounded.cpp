@@ -1,0 +1,59 @@
+#include "bc/bounded.hpp"
+
+#include "bc/brandes_kernel.hpp"
+
+namespace apgre {
+
+std::vector<double> bounded_bc(const CsrGraph& g, std::uint32_t radius) {
+  const Vertex n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+  detail::BrandesScratch scratch(n);
+
+  for (Vertex s = 0; s < n; ++s) {
+    auto& dist = scratch.dist;
+    auto& sigma = scratch.sigma;
+    auto& delta = scratch.delta;
+    auto& levels = scratch.levels;
+
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    levels.push(s);
+    levels.finish_level();
+    for (std::size_t current = 0;
+         current < radius && !levels.level(current).empty(); ++current) {
+      const auto [begin, end] = levels.level_range(current);
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        const Vertex v = levels.vertex(idx);
+        for (Vertex w : g.out_neighbors(v)) {
+          if (dist[w] == detail::kUnvisited) {
+            dist[w] = dist[v] + 1;
+            levels.push(w);
+          }
+          if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+        }
+      }
+      levels.finish_level();
+      if (levels.level(current + 1).empty()) break;
+    }
+    // The last opened level may be unfinished when the radius cut in; close
+    // it so the backward sweep sees a consistent bucket structure.
+    if (levels.current_level_size() > 0) levels.finish_level();
+
+    for (std::size_t lvl = levels.num_levels(); lvl-- > 0;) {
+      for (Vertex v : levels.level(lvl)) {
+        double acc = 0.0;
+        for (Vertex w : g.out_neighbors(v)) {
+          // Successors beyond the radius were never labelled; the dist
+          // check excludes them automatically.
+          if (dist[w] == dist[v] + 1) acc += sigma[v] / sigma[w] * (1.0 + delta[w]);
+        }
+        delta[v] = acc;
+        if (v != s) bc[v] += acc;
+      }
+    }
+    scratch.reset_touched();
+  }
+  return bc;
+}
+
+}  // namespace apgre

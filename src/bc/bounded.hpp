@@ -1,0 +1,21 @@
+// Distance-bounded ("k-hop") betweenness centrality:
+//
+//   BC_k(v) = sum over ordered pairs (s, t) with dist(s, t) <= k of
+//             sigma_st(v) / sigma_st
+//
+// the local-centrality variant used when only short-range brokerage
+// matters (Madduri et al., IPDPS 2009, motivate bounded variants for
+// massive graphs). Computed by truncating every Brandes BFS at depth k;
+// with k >= diameter it equals exact BC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+std::vector<double> bounded_bc(const CsrGraph& g, std::uint32_t radius);
+
+}  // namespace apgre

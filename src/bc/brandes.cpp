@@ -1,0 +1,83 @@
+#include "bc/brandes.hpp"
+
+#include <numeric>
+
+#include "bc/brandes_kernel.hpp"
+#include "support/error.hpp"
+
+namespace apgre {
+
+std::vector<double> brandes_bc(const CsrGraph& g) {
+  std::vector<Vertex> sources(g.num_vertices());
+  std::iota(sources.begin(), sources.end(), 0);
+  return brandes_bc_from_sources(g, sources, 1.0);
+}
+
+std::vector<double> brandes_bc_from_sources(const CsrGraph& g,
+                                            const std::vector<Vertex>& sources,
+                                            double source_weight) {
+  std::vector<double> bc(g.num_vertices(), 0.0);
+  detail::BrandesScratch scratch(g.num_vertices());
+  for (Vertex s : sources) {
+    APGRE_ASSERT(s < g.num_vertices());
+    detail::brandes_iteration(g, s, source_weight, scratch, bc);
+  }
+  return bc;
+}
+
+std::vector<double> brandes_preds_serial_bc(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+  detail::BrandesScratch scratch(n);
+  // Predecessor lists in slots parallel to the in-adjacency (a vertex's
+  // predecessors are a subset of its in-neighbours).
+  std::vector<Vertex> pred_slots(g.num_arcs());
+  std::vector<std::uint32_t> pred_count(n, 0);
+
+  for (Vertex s = 0; s < n; ++s) {
+    auto& dist = scratch.dist;
+    auto& sigma = scratch.sigma;
+    auto& delta = scratch.delta;
+    auto& levels = scratch.levels;
+
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    levels.push(s);
+    levels.finish_level();
+    for (std::size_t current = 0; !levels.level(current).empty(); ++current) {
+      const auto [begin, end] = levels.level_range(current);
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        const Vertex v = levels.vertex(idx);
+        for (Vertex w : g.out_neighbors(v)) {
+          if (dist[w] == detail::kUnvisited) {
+            dist[w] = dist[v] + 1;
+            levels.push(w);
+          }
+          if (dist[w] == dist[v] + 1) {
+            sigma[w] += sigma[v];
+            pred_slots[g.in_offset(w) + pred_count[w]++] = v;
+          }
+        }
+      }
+      levels.finish_level();
+      if (levels.level(current + 1).empty()) break;
+    }
+
+    // Backward: scatter through the recorded predecessor lists.
+    for (std::size_t lvl = levels.num_levels(); lvl-- > 1;) {
+      for (Vertex w : levels.level(lvl)) {
+        const double coef = (1.0 + delta[w]) / sigma[w];
+        for (std::uint32_t p = 0; p < pred_count[w]; ++p) {
+          const Vertex v = pred_slots[g.in_offset(w) + p];
+          delta[v] += sigma[v] * coef;
+        }
+        bc[w] += delta[w];
+      }
+    }
+    for (Vertex v : levels.touched()) pred_count[v] = 0;
+    scratch.reset_touched();
+  }
+  return bc;
+}
+
+}  // namespace apgre

@@ -1,0 +1,28 @@
+// Brandes' sequential algorithm (Brandes 2001), the paper's `serial`
+// baseline: one BFS per source building the shortest-path DAG implicitly
+// (distance labels), then a backward sweep accumulating dependencies via
+// successor scans. O(|V||E|) time, O(|V|+|E|) space.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+std::vector<double> brandes_bc(const CsrGraph& g);
+
+/// Brandes restricted to a subset of sources, each weighted by
+/// `source_weight` (shared by the sampling estimator and tests).
+std::vector<double> brandes_bc_from_sources(const CsrGraph& g,
+                                            const std::vector<Vertex>& sources,
+                                            double source_weight);
+
+/// Serial Brandes with explicit predecessor lists, as in the SSCA#2
+/// benchmark code the paper uses for its `preds-serial` baseline. Same
+/// results as brandes_bc; kept separately because the two variants have
+/// different memory behaviour (stored predecessor lists vs successor
+/// rescans), which the kernel bench contrasts.
+std::vector<double> brandes_preds_serial_bc(const CsrGraph& g);
+
+}  // namespace apgre

@@ -1,0 +1,30 @@
+#include "bc/coarse.hpp"
+
+#include <memory>
+
+#include "bc/brandes_kernel.hpp"
+#include "support/parallel.hpp"
+
+namespace apgre {
+
+std::vector<double> coarse_bc(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+
+#pragma omp parallel
+  {
+    detail::BrandesScratch scratch(n);
+    std::vector<double> local_bc(n, 0.0);
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t s = 0; s < static_cast<std::int64_t>(n); ++s) {
+      detail::brandes_iteration(g, static_cast<Vertex>(s), 1.0, scratch, local_bc);
+    }
+#pragma omp critical(apgre_coarse_merge)
+    {
+      for (Vertex v = 0; v < n; ++v) bc[v] += local_bc[v];
+    }
+  }
+  return bc;
+}
+
+}  // namespace apgre

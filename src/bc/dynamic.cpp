@@ -1,0 +1,129 @@
+#include "bc/dynamic.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bc/brandes.hpp"
+#include "bc/brandes_kernel.hpp"
+#include "support/error.hpp"
+
+namespace apgre {
+
+namespace {
+
+/// Distances *to* `target` from every vertex (reverse BFS over in-arcs).
+std::vector<std::uint32_t> distances_to(const CsrGraph& g, Vertex target) {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(g.num_vertices(), kInf);
+  std::vector<Vertex> queue{target};
+  dist[target] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex v = queue[head];
+    for (Vertex w : g.in_neighbors(v)) {
+      if (dist[w] == kInf) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool has_arc(const CsrGraph& g, Vertex u, Vertex v) {
+  const auto neighbors = g.out_neighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+}  // namespace
+
+DynamicBc::DynamicBc(CsrGraph graph)
+    : graph_(std::move(graph)), bc_(brandes_bc(graph_)) {}
+
+std::vector<Vertex> DynamicBc::affected_sources(const CsrGraph& reference,
+                                                Vertex u, Vertex v,
+                                                bool inserting) const {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  const auto to_u = distances_to(reference, u);
+  const auto to_v = distances_to(reference, v);
+  // For undirected graphs the reverse arc changes the complementary
+  // condition, so both directions are merged.
+  const bool symmetric = !reference.directed();
+
+  std::vector<Vertex> affected;
+  for (Vertex s = 0; s < reference.num_vertices(); ++s) {
+    bool hit = false;
+    if (to_u[s] != kInf) {
+      if (inserting) {
+        // New arc creates or shortens s -> u -> v paths.
+        hit = to_v[s] == kInf || to_u[s] + 1 <= to_v[s];
+      } else {
+        // Removed arc lay on a shortest path iff it was tight.
+        hit = to_v[s] != kInf && to_u[s] + 1 == to_v[s];
+      }
+    }
+    if (!hit && symmetric && to_v[s] != kInf) {
+      if (inserting) {
+        hit = to_u[s] == kInf || to_v[s] + 1 <= to_u[s];
+      } else {
+        hit = to_u[s] != kInf && to_v[s] + 1 == to_u[s];
+      }
+    }
+    if (hit) affected.push_back(s);
+  }
+  return affected;
+}
+
+Vertex DynamicBc::apply_update(Vertex u, Vertex v, bool inserting) {
+  APGRE_ASSERT(u < graph_.num_vertices() && v < graph_.num_vertices());
+  APGRE_REQUIRE(u != v, "self-loops do not affect betweenness");
+  if (inserting) {
+    APGRE_REQUIRE(!has_arc(graph_, u, v), "arc already present");
+  } else {
+    APGRE_REQUIRE(has_arc(graph_, u, v), "arc not present");
+    if (!graph_.directed()) {
+      APGRE_REQUIRE(has_arc(graph_, v, u), "symmetric arc missing");
+    }
+  }
+
+  // The affected set is evaluated on the graph that *contains* the arc's
+  // shortest-path structure change potential: the old graph works for both
+  // directions of the update because the conditions are mirrored.
+  const auto affected = affected_sources(graph_, u, v, inserting);
+
+  detail::BrandesScratch scratch(graph_.num_vertices());
+  for (Vertex s : affected) {
+    detail::brandes_iteration(graph_, s, -1.0, scratch, bc_);
+  }
+
+  EdgeList arcs = graph_.arcs();
+  if (inserting) {
+    arcs.push_back(Edge{u, v});
+    if (!graph_.directed()) arcs.push_back(Edge{v, u});
+  } else {
+    std::erase_if(arcs, [&](const Edge& e) {
+      return (e.src == u && e.dst == v) ||
+             (!graph_.directed() && e.src == v && e.dst == u);
+    });
+  }
+  graph_ = CsrGraph::from_edges(graph_.num_vertices(), std::move(arcs),
+                                graph_.directed());
+
+  for (Vertex s : affected) {
+    detail::brandes_iteration(graph_, s, 1.0, scratch, bc_);
+  }
+  // Clamp accumulated cancellation noise on exact zeros.
+  for (double& score : bc_) {
+    if (std::abs(score) < 1e-9) score = std::max(score, 0.0);
+  }
+  return static_cast<Vertex>(affected.size());
+}
+
+Vertex DynamicBc::insert_edge(Vertex u, Vertex v) {
+  return apply_update(u, v, /*inserting=*/true);
+}
+
+Vertex DynamicBc::remove_edge(Vertex u, Vertex v) {
+  return apply_update(u, v, /*inserting=*/false);
+}
+
+}  // namespace apgre

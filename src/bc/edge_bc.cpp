@@ -1,0 +1,99 @@
+#include "bc/edge_bc.hpp"
+
+#include <algorithm>
+
+#include "bc/brandes_kernel.hpp"
+#include "support/error.hpp"
+
+namespace apgre {
+
+std::vector<double> edge_betweenness_bc(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<double> scores(g.num_arcs(), 0.0);
+  detail::BrandesScratch scratch(n);
+
+  for (Vertex s = 0; s < n; ++s) {
+    auto& dist = scratch.dist;
+    auto& sigma = scratch.sigma;
+    auto& delta = scratch.delta;
+    auto& levels = scratch.levels;
+
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    levels.push(s);
+    levels.finish_level();
+    for (std::size_t current = 0; !levels.level(current).empty(); ++current) {
+      const auto [begin, end] = levels.level_range(current);
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        const Vertex v = levels.vertex(idx);
+        for (Vertex w : g.out_neighbors(v)) {
+          if (dist[w] == detail::kUnvisited) {
+            dist[w] = dist[v] + 1;
+            levels.push(w);
+          }
+          if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+        }
+      }
+      levels.finish_level();
+      if (levels.level(current + 1).empty()) break;
+    }
+
+    // Backward: the per-arc contribution is exactly the summand of the
+    // vertex dependency recursion.
+    for (std::size_t lvl = levels.num_levels(); lvl-- > 0;) {
+      for (Vertex v : levels.level(lvl)) {
+        const auto neighbors = g.out_neighbors(v);
+        const EdgeId base = g.out_offset(v);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < neighbors.size(); ++j) {
+          const Vertex w = neighbors[j];
+          if (dist[w] != dist[v] + 1) continue;
+          const double contribution = sigma[v] / sigma[w] * (1.0 + delta[w]);
+          scores[base + j] += contribution;
+          acc += contribution;
+        }
+        delta[v] = acc;
+      }
+    }
+    scratch.reset_touched();
+  }
+  return scores;
+}
+
+double arc_score(const CsrGraph& g, const std::vector<double>& scores, Vertex v,
+                 Vertex w) {
+  APGRE_ASSERT(scores.size() == g.num_arcs());
+  const auto neighbors = g.out_neighbors(v);
+  const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), w);
+  APGRE_ASSERT_MSG(it != neighbors.end() && *it == w, "arc does not exist");
+  return scores[g.out_offset(v) + static_cast<std::size_t>(it - neighbors.begin())];
+}
+
+std::vector<std::pair<Edge, double>> top_edges(const CsrGraph& g,
+                                               const std::vector<double>& scores,
+                                               std::size_t k) {
+  APGRE_ASSERT(scores.size() == g.num_arcs());
+  std::vector<std::pair<Edge, double>> all;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto neighbors = g.out_neighbors(v);
+    const EdgeId base = g.out_offset(v);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      const Vertex w = neighbors[j];
+      if (!g.directed()) {
+        if (v > w) continue;  // one entry per undirected edge
+        all.emplace_back(Edge{v, w},
+                         scores[base + j] + arc_score(g, scores, w, v));
+      } else {
+        all.emplace_back(Edge{v, w}, scores[base + j]);
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace apgre

@@ -1,0 +1,100 @@
+// Level-bucket frontier structures for the BFS phases.
+//
+// LevelBuckets records the vertices of every BFS level contiguously so the
+// backward dependency sweep can walk levels in reverse (paper Algorithm 2,
+// `Levels[]`). ThreadLocalFrontier is the OpenMP stand-in for the paper's
+// CilkPlus reducer bag: threads append to private buffers which are
+// concatenated into the next level at the barrier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace apgre {
+
+/// Vertices grouped by BFS level, stored back to back.
+class LevelBuckets {
+ public:
+  void clear() {
+    vertices_.clear();
+    offsets_.assign(1, 0);
+  }
+
+  /// Close the current level and start the next one.
+  void finish_level() { offsets_.push_back(vertices_.size()); }
+
+  void push(Vertex v) { vertices_.push_back(v); }
+
+  /// Append a whole batch (used when merging thread-local buffers).
+  void push_batch(const std::vector<Vertex>& batch) {
+    vertices_.insert(vertices_.end(), batch.begin(), batch.end());
+  }
+
+  /// Number of *closed* levels.
+  std::size_t num_levels() const { return offsets_.size() - 1; }
+
+  /// Vertices of closed level `i`. NOTE: the returned span is invalidated
+  /// by push()/push_batch(); loops that grow the frontier while scanning a
+  /// level must use level_range() + vertex() instead.
+  std::span<const Vertex> level(std::size_t i) const {
+    APGRE_ASSERT(i + 1 < offsets_.size());
+    return {vertices_.data() + offsets_[i], vertices_.data() + offsets_[i + 1]};
+  }
+
+  /// [begin, end) index range of closed level `i`, stable across push().
+  std::pair<std::size_t, std::size_t> level_range(std::size_t i) const {
+    APGRE_ASSERT(i + 1 < offsets_.size());
+    return {offsets_[i], offsets_[i + 1]};
+  }
+
+  /// Vertex at flat index `idx`; safe to call while pushing.
+  Vertex vertex(std::size_t idx) const {
+    APGRE_ASSERT(idx < vertices_.size());
+    return vertices_[idx];
+  }
+
+  std::size_t current_level_size() const {
+    return vertices_.size() - offsets_.back();
+  }
+
+  /// Every vertex touched by the BFS, in discovery-level order. Used to
+  /// reset per-source state in O(touched) instead of O(|V|).
+  const std::vector<Vertex>& touched() const { return vertices_; }
+
+  bool empty() const { return vertices_.empty(); }
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<std::size_t> offsets_{0};
+};
+
+/// Per-thread append buffers merged into a LevelBuckets level at the end of
+/// a parallel region (reduction-bag substitute, see paper §5.1).
+class ThreadLocalFrontier {
+ public:
+  ThreadLocalFrontier() : buffers_(static_cast<std::size_t>(num_threads())) {}
+
+  std::vector<Vertex>& local() {
+    return buffers_[static_cast<std::size_t>(thread_id())].items;
+  }
+
+  /// Single-threaded merge; call outside the parallel region.
+  void drain_into(LevelBuckets& levels) {
+    for (auto& buffer : buffers_) {
+      levels.push_batch(buffer.items);
+      buffer.items.clear();
+    }
+  }
+
+ private:
+  struct alignas(64) Buffer {
+    std::vector<Vertex> items;
+  };
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace apgre

@@ -1,0 +1,112 @@
+#include "bc/lockfree.hpp"
+
+#include <cstdint>
+#include <numeric>
+
+#include "bc/frontier.hpp"
+#include "support/parallel.hpp"
+
+namespace apgre {
+
+namespace {
+
+constexpr std::int32_t kUnvisited = -1;
+
+/// Per-thread split of the candidate list: vertices discovered this level
+/// and vertices still unvisited, merged serially at the level barrier.
+struct CandidateSplit {
+  struct alignas(64) Local {
+    std::vector<Vertex> discovered;
+    std::vector<Vertex> remaining;
+  };
+  std::vector<Local> per_thread;
+
+  CandidateSplit() : per_thread(static_cast<std::size_t>(num_threads())) {}
+
+  Local& local() { return per_thread[static_cast<std::size_t>(thread_id())]; }
+};
+
+}  // namespace
+
+std::vector<double> lockfree_bc(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+
+  std::vector<std::int32_t> dist(n, kUnvisited);
+  std::vector<double> sigma(n, 0.0);
+  std::vector<double> delta(n, 0.0);
+  LevelBuckets levels;
+  CandidateSplit split;
+  // Vertices not yet visited this source; shrinks after every level so the
+  // pull scan narrows as the BFS progresses.
+  std::vector<Vertex> candidates;
+
+  for (Vertex s = 0; s < n; ++s) {
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    levels.push(s);
+    levels.finish_level();
+
+    candidates.resize(n);
+    std::iota(candidates.begin(), candidates.end(), 0);
+    candidates.erase(candidates.begin() + s);
+
+    for (std::int32_t depth = 0;
+         !levels.level(static_cast<std::size_t>(depth)).empty(); ++depth) {
+      // Pull phase: every candidate checks whether a level-`depth`
+      // in-neighbour reaches it; each dist/sigma cell has a single writer,
+      // so no locks or atomics are required.
+#pragma omp parallel for schedule(static)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(candidates.size()); ++i) {
+        const Vertex v = candidates[static_cast<std::size_t>(i)];
+        double paths = 0.0;
+        for (Vertex u : g.in_neighbors(v)) {
+          if (dist[u] == depth) paths += sigma[u];
+        }
+        if (paths > 0.0) {
+          dist[v] = depth + 1;
+          sigma[v] = paths;
+          split.local().discovered.push_back(v);
+        } else {
+          split.local().remaining.push_back(v);
+        }
+      }
+      candidates.clear();
+      for (auto& local : split.per_thread) {
+        levels.push_batch(local.discovered);
+        candidates.insert(candidates.end(), local.remaining.begin(),
+                          local.remaining.end());
+        local.discovered.clear();
+        local.remaining.clear();
+      }
+      levels.finish_level();
+      if (levels.level(static_cast<std::size_t>(depth) + 1).empty()) break;
+    }
+
+    // Backward successor pull (same maths as `succs`, also free of
+    // synchronisation).
+    for (std::size_t lvl = levels.num_levels(); lvl-- > 0;) {
+      const auto level = levels.level(lvl);
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(level.size()); ++i) {
+        const Vertex v = level[static_cast<std::size_t>(i)];
+        double acc = 0.0;
+        for (Vertex w : g.out_neighbors(v)) {
+          if (dist[w] == dist[v] + 1) acc += sigma[v] / sigma[w] * (1.0 + delta[w]);
+        }
+        delta[v] = acc;
+        if (v != s) bc[v] += acc;
+      }
+    }
+
+    for (Vertex v : levels.touched()) {
+      dist[v] = kUnvisited;
+      sigma[v] = 0.0;
+      delta[v] = 0.0;
+    }
+    levels.clear();
+  }
+  return bc;
+}
+
+}  // namespace apgre

@@ -1,0 +1,51 @@
+#include "bc/naive.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+std::vector<double> naive_bc(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  APGRE_REQUIRE(n <= 4096, "naive_bc is an O(V^3) oracle; graph too large");
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+  // All-pairs BFS: dist[s][t] and path counts sigma[s][t].
+  std::vector<std::vector<std::uint32_t>> dist(n, std::vector<std::uint32_t>(n, kInf));
+  std::vector<std::vector<double>> sigma(n, std::vector<double>(n, 0.0));
+  std::vector<Vertex> queue;
+
+  for (Vertex s = 0; s < n; ++s) {
+    dist[s][s] = 0;
+    sigma[s][s] = 1.0;
+    queue.assign(1, s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex v = queue[head];
+      for (Vertex w : g.out_neighbors(v)) {
+        if (dist[s][w] == kInf) {
+          dist[s][w] = dist[s][v] + 1;
+          queue.push_back(w);
+        }
+        if (dist[s][w] == dist[s][v] + 1) sigma[s][w] += sigma[s][v];
+      }
+    }
+  }
+
+  std::vector<double> bc(n, 0.0);
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      if (s == t || dist[s][t] == kInf) continue;
+      for (Vertex v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        if (dist[s][v] == kInf || dist[v][t] == kInf) continue;
+        if (dist[s][v] + dist[v][t] != dist[s][t]) continue;
+        bc[v] += sigma[s][v] * sigma[v][t] / sigma[s][t];
+      }
+    }
+  }
+  return bc;
+}
+
+}  // namespace apgre

@@ -1,0 +1,18 @@
+// Definition-based betweenness oracle in O(|V|^3) time and O(|V|^2) space:
+//   BC(v) = sum over (s, t) with dist(s,v) + dist(v,t) == dist(s,t) of
+//           sigma_sv * sigma_vt / sigma_st
+// using shortest-path property 2 of the paper (sigma_st(v) factorises).
+// Deliberately shares no code with Brandes so the test suite has an
+// independent ground truth. Intended for graphs up to a few hundred
+// vertices.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+std::vector<double> naive_bc(const CsrGraph& g);
+
+}  // namespace apgre

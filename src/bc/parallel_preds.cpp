@@ -1,0 +1,120 @@
+#include "bc/parallel_preds.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+#include "bc/frontier.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace apgre {
+
+namespace {
+
+constexpr std::int32_t kUnvisited = -1;
+
+/// Shared per-source state. Predecessor lists live in slots parallel to the
+/// in-adjacency array: the predecessors of w are a prefix-compacted subset
+/// of its in-neighbours, claimed with an atomic cursor.
+struct PredsState {
+  std::vector<std::atomic<std::int32_t>> dist;
+  std::vector<std::atomic<double>> sigma;
+  std::vector<std::atomic<double>> delta;
+  std::vector<Vertex> pred_slots;                  // |arcs| entries
+  std::vector<std::atomic<std::uint32_t>> pred_count;  // per vertex
+  LevelBuckets levels;
+  ThreadLocalFrontier next;
+
+  explicit PredsState(const CsrGraph& g)
+      : dist(g.num_vertices()),
+        sigma(g.num_vertices()),
+        delta(g.num_vertices()),
+        pred_slots(g.num_arcs()),
+        pred_count(g.num_vertices()) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      dist[v].store(kUnvisited, std::memory_order_relaxed);
+      sigma[v].store(0.0, std::memory_order_relaxed);
+      delta[v].store(0.0, std::memory_order_relaxed);
+      pred_count[v].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void reset_touched() {
+    for (Vertex v : levels.touched()) {
+      dist[v].store(kUnvisited, std::memory_order_relaxed);
+      sigma[v].store(0.0, std::memory_order_relaxed);
+      delta[v].store(0.0, std::memory_order_relaxed);
+      pred_count[v].store(0, std::memory_order_relaxed);
+    }
+    levels.clear();
+  }
+};
+
+}  // namespace
+
+std::vector<double> parallel_preds_bc(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+  PredsState st(g);
+
+  for (Vertex s = 0; s < n; ++s) {
+    st.dist[s].store(0, std::memory_order_relaxed);
+    st.sigma[s].store(1.0, std::memory_order_relaxed);
+    st.levels.push(s);
+    st.levels.finish_level();
+
+    // Forward: expand each level in parallel; claim vertices with CAS on
+    // dist, accumulate sigma atomically, record predecessors.
+    for (std::size_t current = 0; !st.levels.level(current).empty(); ++current) {
+      const auto frontier = st.levels.level(current);
+      const auto depth = static_cast<std::int32_t>(current);
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size()); ++i) {
+        const Vertex v = frontier[static_cast<std::size_t>(i)];
+        for (Vertex w : g.out_neighbors(v)) {
+          std::int32_t expected = kUnvisited;
+          if (st.dist[w].compare_exchange_strong(expected, depth + 1,
+                                                 std::memory_order_relaxed)) {
+            st.next.local().push_back(w);
+            expected = depth + 1;
+          }
+          if (expected == depth + 1) {
+            st.sigma[w].fetch_add(st.sigma[v].load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+            const std::uint32_t slot =
+                st.pred_count[w].fetch_add(1, std::memory_order_relaxed);
+            st.pred_slots[g.in_offset(w) + slot] = v;
+          }
+        }
+      }
+      st.next.drain_into(st.levels);
+      st.levels.finish_level();
+      if (st.levels.level(current + 1).empty()) break;
+    }
+
+    // Backward: per level, scatter dependencies to predecessors. Multiple
+    // successors update the same predecessor concurrently -> atomic adds
+    // (this contention is exactly what `succs` eliminates).
+    for (std::size_t lvl = st.levels.num_levels(); lvl-- > 1;) {
+      const auto level = st.levels.level(lvl);
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(level.size()); ++i) {
+        const Vertex w = level[static_cast<std::size_t>(i)];
+        const double coef =
+            (1.0 + st.delta[w].load(std::memory_order_relaxed)) /
+            st.sigma[w].load(std::memory_order_relaxed);
+        const std::uint32_t count = st.pred_count[w].load(std::memory_order_relaxed);
+        for (std::uint32_t p = 0; p < count; ++p) {
+          const Vertex v = st.pred_slots[g.in_offset(w) + p];
+          st.delta[v].fetch_add(st.sigma[v].load(std::memory_order_relaxed) * coef,
+                                std::memory_order_relaxed);
+        }
+        bc[w] += st.delta[w].load(std::memory_order_relaxed);
+      }
+    }
+    st.reset_touched();
+  }
+  return bc;
+}
+
+}  // namespace apgre

@@ -1,0 +1,91 @@
+#include "bc/parallel_succs.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+#include "bc/frontier.hpp"
+#include "support/parallel.hpp"
+
+namespace apgre {
+
+namespace {
+constexpr std::int32_t kUnvisited = -1;
+}  // namespace
+
+std::vector<double> parallel_succs_bc(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<double> bc(n, 0.0);
+
+  std::vector<std::atomic<std::int32_t>> dist(n);
+  std::vector<std::atomic<double>> sigma(n);
+  std::vector<double> delta(n, 0.0);
+  for (Vertex v = 0; v < n; ++v) {
+    dist[v].store(kUnvisited, std::memory_order_relaxed);
+    sigma[v].store(0.0, std::memory_order_relaxed);
+  }
+  LevelBuckets levels;
+  ThreadLocalFrontier next;
+
+  for (Vertex s = 0; s < n; ++s) {
+    dist[s].store(0, std::memory_order_relaxed);
+    sigma[s].store(1.0, std::memory_order_relaxed);
+    levels.push(s);
+    levels.finish_level();
+
+    // Forward: identical claim-and-count expansion to `preds`, but no
+    // predecessor recording.
+    for (std::size_t current = 0; !levels.level(current).empty(); ++current) {
+      const auto frontier = levels.level(current);
+      const auto depth = static_cast<std::int32_t>(current);
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size()); ++i) {
+        const Vertex v = frontier[static_cast<std::size_t>(i)];
+        for (Vertex w : g.out_neighbors(v)) {
+          std::int32_t expected = kUnvisited;
+          if (dist[w].compare_exchange_strong(expected, depth + 1,
+                                              std::memory_order_relaxed)) {
+            next.local().push_back(w);
+            expected = depth + 1;
+          }
+          if (expected == depth + 1) {
+            sigma[w].fetch_add(sigma[v].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+          }
+        }
+      }
+      next.drain_into(levels);
+      levels.finish_level();
+      if (levels.level(current + 1).empty()) break;
+    }
+
+    // Backward: each vertex pulls from its successors; delta[v] has a
+    // single writer, no synchronisation needed.
+    for (std::size_t lvl = levels.num_levels(); lvl-- > 0;) {
+      const auto level = levels.level(lvl);
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(level.size()); ++i) {
+        const Vertex v = level[static_cast<std::size_t>(i)];
+        const auto dv = dist[v].load(std::memory_order_relaxed);
+        const double sv = sigma[v].load(std::memory_order_relaxed);
+        double acc = 0.0;
+        for (Vertex w : g.out_neighbors(v)) {
+          if (dist[w].load(std::memory_order_relaxed) == dv + 1) {
+            acc += sv / sigma[w].load(std::memory_order_relaxed) * (1.0 + delta[w]);
+          }
+        }
+        delta[v] = acc;
+        if (v != s) bc[v] += acc;
+      }
+    }
+
+    for (Vertex v : levels.touched()) {
+      dist[v].store(kUnvisited, std::memory_order_relaxed);
+      sigma[v].store(0.0, std::memory_order_relaxed);
+      delta[v] = 0.0;
+    }
+    levels.clear();
+  }
+  return bc;
+}
+
+}  // namespace apgre

@@ -1,0 +1,36 @@
+#include "bc/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "bc/brandes.hpp"
+#include "support/prng.hpp"
+
+namespace apgre {
+
+std::vector<double> sampled_bc(const CsrGraph& g, Vertex num_samples,
+                               std::uint64_t seed) {
+  const Vertex n = g.num_vertices();
+  if (n == 0) return {};
+  if (num_samples == 0) {
+    num_samples = static_cast<Vertex>(std::ceil(std::sqrt(static_cast<double>(n))));
+  }
+  num_samples = std::min(num_samples, n);
+
+  // Partial Fisher-Yates: the first `num_samples` entries are a uniform
+  // sample without replacement.
+  std::vector<Vertex> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  Xoshiro256 rng(seed);
+  for (Vertex i = 0; i < num_samples; ++i) {
+    const auto j = static_cast<Vertex>(i + rng.bounded(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(num_samples);
+
+  const double weight = static_cast<double>(n) / static_cast<double>(num_samples);
+  return brandes_bc_from_sources(g, pool, weight);
+}
+
+}  // namespace apgre

@@ -1,0 +1,18 @@
+// Approximate BC by uniform source sampling — Brandes & Pich 2007 (paper
+// §6 "approximation algorithms"; §5.2 compares APGRE's exact rates against
+// GPU sampling rates). Runs Brandes from k sampled sources and scales every
+// dependency by n/k, an unbiased estimator of the exact scores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// `num_samples == 0` picks ceil(sqrt(n)). Sampling without replacement.
+std::vector<double> sampled_bc(const CsrGraph& g, Vertex num_samples,
+                               std::uint64_t seed);
+
+}  // namespace apgre

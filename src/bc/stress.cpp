@@ -1,0 +1,101 @@
+#include "bc/stress.hpp"
+
+#include <limits>
+
+#include "bc/brandes_kernel.hpp"
+#include "support/error.hpp"
+
+namespace apgre {
+
+std::vector<double> stress_centrality(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<double> stress(n, 0.0);
+  detail::BrandesScratch scratch(n);
+
+  for (Vertex s = 0; s < n; ++s) {
+    auto& dist = scratch.dist;
+    auto& sigma = scratch.sigma;
+    auto& delta = scratch.delta;  // here: accumulated path *counts*
+    auto& levels = scratch.levels;
+
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    levels.push(s);
+    levels.finish_level();
+    for (std::size_t current = 0; !levels.level(current).empty(); ++current) {
+      const auto [begin, end] = levels.level_range(current);
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        const Vertex v = levels.vertex(idx);
+        for (Vertex w : g.out_neighbors(v)) {
+          if (dist[w] == detail::kUnvisited) {
+            dist[w] = dist[v] + 1;
+            levels.push(w);
+          }
+          if (dist[w] == dist[v] + 1) sigma[w] += sigma[v];
+        }
+      }
+      levels.finish_level();
+      if (levels.level(current + 1).empty()) break;
+    }
+
+    // Backward: S_s(v) = sum over successors w of
+    //   sigma_sv * (1 + S_s(w) / sigma_sw)
+    // (each of sigma_sv paths to v extends to w, carrying w's own pair
+    // plus its share of deeper path counts).
+    for (std::size_t lvl = levels.num_levels(); lvl-- > 0;) {
+      for (Vertex v : levels.level(lvl)) {
+        double acc = 0.0;
+        for (Vertex w : g.out_neighbors(v)) {
+          if (dist[w] == dist[v] + 1) {
+            acc += sigma[v] * (1.0 + delta[w] / sigma[w]);
+          }
+        }
+        delta[v] = acc;
+        if (v != s) stress[v] += acc;
+      }
+    }
+    scratch.reset_touched();
+  }
+  return stress;
+}
+
+std::vector<double> stress_centrality_naive(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  APGRE_REQUIRE(n <= 4096, "stress oracle is O(V^3); graph too large");
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+  std::vector<std::vector<std::uint32_t>> dist(n, std::vector<std::uint32_t>(n, kInf));
+  std::vector<std::vector<double>> sigma(n, std::vector<double>(n, 0.0));
+  std::vector<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    dist[s][s] = 0;
+    sigma[s][s] = 1.0;
+    queue.assign(1, s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex v = queue[head];
+      for (Vertex w : g.out_neighbors(v)) {
+        if (dist[s][w] == kInf) {
+          dist[s][w] = dist[s][v] + 1;
+          queue.push_back(w);
+        }
+        if (dist[s][w] == dist[s][v] + 1) sigma[s][w] += sigma[s][v];
+      }
+    }
+  }
+
+  std::vector<double> stress(n, 0.0);
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      if (s == t || dist[s][t] == kInf) continue;
+      for (Vertex v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        if (dist[s][v] == kInf || dist[v][t] == kInf) continue;
+        if (dist[s][v] + dist[v][t] != dist[s][t]) continue;
+        stress[v] += sigma[s][v] * sigma[v][t];
+      }
+    }
+  }
+  return stress;
+}
+
+}  // namespace apgre

@@ -1,0 +1,24 @@
+// Stress centrality (Shimbel 1953; surveyed alongside BC in Freeman
+// 1977, the paper's reference [1]): the *count* of shortest paths through
+// a vertex instead of BC's fractional weight,
+//
+//   stress(v) = sum over ordered pairs (s, t), s != v != t, of sigma_st(v).
+//
+// Same Brandes-style accumulation with the recursion
+//   delta(v) = sum_w sigma_sv * (1 + delta(w) / sigma_sw)  ... rearranged:
+//   S(v) = sum_{w : v in P_s(w)} (sigma_sv / sigma_sw) * (sigma_sw + S(w))
+// so the whole algorithm family's machinery carries over.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+std::vector<double> stress_centrality(const CsrGraph& g);
+
+/// O(V^3) oracle used by tests.
+std::vector<double> stress_centrality_naive(const CsrGraph& g);
+
+}  // namespace apgre

@@ -1,0 +1,109 @@
+#include "bcc/articulation.hpp"
+
+#include <vector>
+
+#include "graph/components.hpp"
+#include "graph/transform.hpp"
+
+namespace apgre {
+
+namespace {
+
+/// Iterative DFS frame. `next` indexes into the CSR neighbour list so the
+/// traversal is allocation-free per step; `skipped_parent` ensures exactly
+/// one parent arc is ignored (the projection is simple, so there is one).
+struct Frame {
+  Vertex v;
+  Vertex parent;
+  std::uint32_t next;
+  bool skipped_parent;
+};
+
+}  // namespace
+
+std::vector<bool> articulation_points(const CsrGraph& g) {
+  const CsrGraph projection_storage =
+      g.directed() ? undirected_projection(g) : CsrGraph();
+  const CsrGraph& u = g.directed() ? projection_storage : g;
+
+  const Vertex n = u.num_vertices();
+  std::vector<bool> is_ap(n, false);
+  std::vector<Vertex> disc(n, kInvalidVertex);
+  std::vector<Vertex> low(n, 0);
+  std::vector<Frame> stack;
+  Vertex time = 0;
+
+  for (Vertex root = 0; root < n; ++root) {
+    if (disc[root] != kInvalidVertex) continue;
+    disc[root] = low[root] = time++;
+    stack.push_back(Frame{root, kInvalidVertex, 0, true});
+    Vertex root_children = 0;
+
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const Vertex v = frame.v;
+      const auto neighbors = u.out_neighbors(v);
+      if (frame.next < neighbors.size()) {
+        const Vertex w = neighbors[frame.next++];
+        if (w == frame.parent && !frame.skipped_parent) {
+          frame.skipped_parent = true;
+        } else if (disc[w] == kInvalidVertex) {
+          disc[w] = low[w] = time++;
+          if (v == root) ++root_children;
+          stack.push_back(Frame{w, v, 0, false});
+        } else {
+          low[v] = std::min(low[v], disc[w]);
+        }
+      } else {
+        stack.pop_back();
+        if (frame.parent != kInvalidVertex) {
+          low[frame.parent] = std::min(low[frame.parent], low[v]);
+          if (frame.parent != root && low[v] >= disc[frame.parent]) {
+            is_ap[frame.parent] = true;
+          }
+        }
+      }
+    }
+    is_ap[root] = root_children >= 2;
+  }
+  return is_ap;
+}
+
+std::vector<bool> articulation_points_bruteforce(const CsrGraph& g) {
+  const CsrGraph projection_storage =
+      g.directed() ? undirected_projection(g) : CsrGraph();
+  const CsrGraph& u = g.directed() ? projection_storage : g;
+
+  const Vertex n = u.num_vertices();
+  const Vertex base_components = connected_components(u).num_components;
+  std::vector<bool> is_ap(n, false);
+  std::vector<Vertex> queue;
+  std::vector<bool> seen(n);
+
+  for (Vertex removed = 0; removed < n; ++removed) {
+    if (u.out_degree(removed) == 0) continue;
+    std::fill(seen.begin(), seen.end(), false);
+    seen[removed] = true;
+    Vertex components = 1;  // the removed vertex forms its own
+    for (Vertex start = 0; start < n; ++start) {
+      if (seen[start]) continue;
+      ++components;
+      seen[start] = true;
+      queue.assign(1, start);
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        for (Vertex w : u.out_neighbors(queue[head])) {
+          if (!seen[w]) {
+            seen[w] = true;
+            queue.push_back(w);
+          }
+        }
+      }
+    }
+    // Removing `removed` splits the graph iff the component count (with the
+    // removed vertex counted alone) exceeds base + 1.
+    is_ap[removed] = components > base_components + 1;
+  }
+  return is_ap;
+}
+
+}  // namespace apgre

@@ -1,0 +1,25 @@
+// Articulation points of the undirected projection via an iterative
+// Hopcroft-Tarjan low-link DFS (paper Algorithm 1 uses Tarjan's algorithm,
+// O(|V|+|E|)).
+//
+// This standalone finder is intentionally independent of the biconnected-
+// component decomposition in bicomp.hpp; the test suite cross-checks the
+// two implementations against each other and against brute force.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// Per-vertex articulation flag. `g` may be directed; the undirected
+/// projection is what gets analysed (arcs in both directions are followed).
+std::vector<bool> articulation_points(const CsrGraph& g);
+
+/// Oracle used by tests: v is an articulation point iff removing it
+/// increases the number of connected components of the undirected
+/// projection. O(|V| * (|V|+|E|)).
+std::vector<bool> articulation_points_bruteforce(const CsrGraph& g);
+
+}  // namespace apgre

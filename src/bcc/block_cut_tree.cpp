@@ -1,0 +1,58 @@
+#include "bcc/block_cut_tree.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+BlockCutTree block_cut_tree(const BiconnectedComponents& bcc, Vertex num_vertices) {
+  BlockCutTree tree;
+  tree.ap_index.assign(num_vertices, kInvalidVertex);
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    if (bcc.is_articulation[v]) {
+      tree.ap_index[v] = static_cast<Vertex>(tree.articulation_vertices.size());
+      tree.articulation_vertices.push_back(v);
+    }
+  }
+
+  tree.block_aps.resize(bcc.num_components);
+  tree.ap_blocks.resize(tree.articulation_vertices.size());
+  for (Vertex block = 0; block < bcc.num_components; ++block) {
+    for (Vertex v : bcc.component_vertices[block]) {
+      const Vertex ap = tree.ap_index[v];
+      if (ap == kInvalidVertex) continue;
+      tree.block_aps[block].push_back(ap);
+      tree.ap_blocks[ap].push_back(block);
+    }
+    std::sort(tree.block_aps[block].begin(), tree.block_aps[block].end());
+  }
+  for (auto& blocks : tree.ap_blocks) std::sort(blocks.begin(), blocks.end());
+  return tree;
+}
+
+bool is_forest(const BlockCutTree& tree) {
+  // Count bipartite edges and do a union-find cycle check.
+  const Vertex blocks = tree.num_blocks();
+  const Vertex nodes = blocks + tree.num_aps();
+  std::vector<Vertex> parent(nodes);
+  for (Vertex i = 0; i < nodes; ++i) parent[i] = i;
+  auto find = [&](Vertex x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (Vertex block = 0; block < blocks; ++block) {
+    for (Vertex ap : tree.block_aps[block]) {
+      const Vertex a = find(block);
+      const Vertex b = find(blocks + ap);
+      if (a == b) return false;  // cycle
+      parent[a] = b;
+    }
+  }
+  return true;
+}
+
+}  // namespace apgre

@@ -1,0 +1,34 @@
+// Block-cut tree: the bipartite tree whose nodes are biconnected components
+// ("blocks") and articulation points, with an edge between a block and every
+// articulation point it contains (paper §3.1, property 3: "any connected
+// graph decomposes into a tree of biconnected components").
+#pragma once
+
+#include <vector>
+
+#include "bcc/bicomp.hpp"
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+struct BlockCutTree {
+  /// Sorted vertex ids of the articulation points.
+  std::vector<Vertex> articulation_vertices;
+  /// vertex id -> index into articulation_vertices, or kInvalidVertex.
+  std::vector<Vertex> ap_index;
+  /// Per block: indices (into articulation_vertices) of its APs, sorted.
+  std::vector<std::vector<Vertex>> block_aps;
+  /// Per AP index: ids of blocks containing it, sorted.
+  std::vector<std::vector<Vertex>> ap_blocks;
+
+  Vertex num_blocks() const { return static_cast<Vertex>(block_aps.size()); }
+  Vertex num_aps() const { return static_cast<Vertex>(articulation_vertices.size()); }
+};
+
+BlockCutTree block_cut_tree(const BiconnectedComponents& bcc, Vertex num_vertices);
+
+/// Structural sanity check used by tests: per connected component the
+/// bipartite graph must be a tree (nodes == edges + 1).
+bool is_forest(const BlockCutTree& tree);
+
+}  // namespace apgre

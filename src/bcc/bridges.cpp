@@ -1,0 +1,100 @@
+#include "bcc/bridges.hpp"
+
+#include <algorithm>
+
+#include "graph/components.hpp"
+#include "graph/transform.hpp"
+
+namespace apgre {
+
+namespace {
+
+struct Frame {
+  Vertex v;
+  Vertex parent;
+  std::uint32_t next;
+  bool skipped_parent;
+};
+
+}  // namespace
+
+BridgeDecomposition bridge_decomposition(const CsrGraph& g) {
+  const CsrGraph projection_storage =
+      g.directed() ? undirected_projection(g) : CsrGraph();
+  const CsrGraph& u = g.directed() ? projection_storage : g;
+
+  const Vertex n = u.num_vertices();
+  BridgeDecomposition out;
+  std::vector<Vertex> disc(n, kInvalidVertex);
+  std::vector<Vertex> low(n, 0);
+  std::vector<Frame> stack;
+  Vertex time = 0;
+
+  for (Vertex root = 0; root < n; ++root) {
+    if (disc[root] != kInvalidVertex) continue;
+    disc[root] = low[root] = time++;
+    stack.push_back(Frame{root, kInvalidVertex, 0, true});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const Vertex v = frame.v;
+      const auto neighbors = u.out_neighbors(v);
+      if (frame.next < neighbors.size()) {
+        const Vertex w = neighbors[frame.next++];
+        if (w == frame.parent && !frame.skipped_parent) {
+          frame.skipped_parent = true;
+        } else if (disc[w] == kInvalidVertex) {
+          disc[w] = low[w] = time++;
+          stack.push_back(Frame{w, v, 0, false});
+        } else {
+          low[v] = std::min(low[v], disc[w]);
+        }
+      } else {
+        stack.pop_back();
+        if (frame.parent != kInvalidVertex) {
+          low[frame.parent] = std::min(low[frame.parent], low[v]);
+          // Tree edge (parent, v) is a bridge iff nothing below v reaches
+          // parent or above.
+          if (low[v] > disc[frame.parent]) {
+            out.bridges.push_back(Edge{std::min(frame.parent, v),
+                                       std::max(frame.parent, v)});
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.bridges.begin(), out.bridges.end());
+
+  // 2-edge-connected components: connected components after bridge removal.
+  EdgeList remaining = u.arcs();
+  std::erase_if(remaining, [&](const Edge& e) {
+    const Edge canonical{std::min(e.src, e.dst), std::max(e.src, e.dst)};
+    return std::binary_search(out.bridges.begin(), out.bridges.end(), canonical);
+  });
+  const CsrGraph stripped = CsrGraph::from_edges(n, std::move(remaining), false);
+  const ComponentLabels labels = connected_components(stripped);
+  out.component = labels.component;
+  out.num_components = labels.num_components;
+  return out;
+}
+
+EdgeList bridges_bruteforce(const CsrGraph& g) {
+  const CsrGraph projection_storage =
+      g.directed() ? undirected_projection(g) : CsrGraph();
+  const CsrGraph& u = g.directed() ? projection_storage : g;
+
+  const Vertex base = connected_components(u).num_components;
+  EdgeList bridges;
+  for (const Edge& e : u.arcs()) {
+    if (e.src >= e.dst) continue;  // one test per undirected edge
+    EdgeList arcs = u.arcs();
+    std::erase_if(arcs, [&](const Edge& a) {
+      return (a.src == e.src && a.dst == e.dst) ||
+             (a.src == e.dst && a.dst == e.src);
+    });
+    const CsrGraph without = CsrGraph::from_edges(u.num_vertices(), std::move(arcs), false);
+    if (connected_components(without).num_components > base) bridges.push_back(e);
+  }
+  return bridges;
+}
+
+}  // namespace apgre

@@ -1,0 +1,130 @@
+#include "bcc/queries.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+BlockCutQueries::BlockCutQueries(const CsrGraph& g)
+    : bcc_(biconnected_components(g)),
+      tree_(block_cut_tree(bcc_, g.num_vertices())) {
+  const Vertex blocks = tree_.num_blocks();
+  const Vertex nodes = blocks + tree_.num_aps();
+  parent_.assign(nodes, kInvalidVertex);
+  depth_.assign(nodes, 0);
+  tree_component_.assign(nodes, kInvalidVertex);
+
+  // Root every tree of the bipartite forest with a BFS.
+  std::vector<Vertex> queue;
+  std::vector<bool> seen(nodes, false);
+  Vertex component = 0;
+  auto neighbors = [&](Vertex node, auto&& visit) {
+    if (node < blocks) {
+      for (Vertex ap : tree_.block_aps[node]) visit(blocks + ap);
+    } else {
+      for (Vertex block : tree_.ap_blocks[node - blocks]) visit(block);
+    }
+  };
+  for (Vertex root = 0; root < nodes; ++root) {
+    if (seen[root]) continue;
+    seen[root] = true;
+    tree_component_[root] = component;
+    queue.assign(1, root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex node = queue[head];
+      neighbors(node, [&](Vertex next) {
+        if (!seen[next]) {
+          seen[next] = true;
+          parent_[next] = node;
+          depth_[next] = depth_[node] + 1;
+          tree_component_[next] = component;
+          queue.push_back(next);
+        }
+      });
+    }
+    ++component;
+  }
+}
+
+Vertex BlockCutQueries::node_of(Vertex v) const {
+  const Vertex ap = tree_.ap_index[v];
+  if (ap != kInvalidVertex) return tree_.num_blocks() + ap;
+  return bcc_.any_component[v];  // kInvalidVertex for isolated vertices
+}
+
+Vertex BlockCutQueries::lca(Vertex x, Vertex y) const {
+  while (depth_[x] > depth_[y]) x = parent_[x];
+  while (depth_[y] > depth_[x]) y = parent_[y];
+  while (x != y) {
+    x = parent_[x];
+    y = parent_[y];
+  }
+  return x;
+}
+
+bool BlockCutQueries::on_path(Vertex node, Vertex x, Vertex y) const {
+  // node lies on the x..y tree path iff it is an ancestor of x or y with
+  // depth >= depth(lca), and is an ancestor of at least one endpoint.
+  const Vertex meet = lca(x, y);
+  if (depth_[node] < depth_[meet]) return false;
+  auto is_ancestor_of = [&](Vertex descendant) {
+    Vertex cur = descendant;
+    while (depth_[cur] > depth_[node]) cur = parent_[cur];
+    return cur == node;
+  };
+  return is_ancestor_of(x) || is_ancestor_of(y);
+}
+
+bool BlockCutQueries::same_block(Vertex u, Vertex v) const {
+  APGRE_ASSERT(u < tree_.ap_index.size() && v < tree_.ap_index.size());
+  if (u == v) return true;
+  const Vertex au = tree_.ap_index[u];
+  const Vertex av = tree_.ap_index[v];
+  if (au == kInvalidVertex && av == kInvalidVertex) {
+    return bcc_.any_component[u] != kInvalidVertex &&
+           bcc_.any_component[u] == bcc_.any_component[v];
+  }
+  if (au != kInvalidVertex && av != kInvalidVertex) {
+    // Intersect the two sorted block lists.
+    const auto& bu = tree_.ap_blocks[au];
+    const auto& bv = tree_.ap_blocks[av];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < bu.size() && j < bv.size()) {
+      if (bu[i] == bv[j]) return true;
+      bu[i] < bv[j] ? ++i : ++j;
+    }
+    return false;
+  }
+  // One AP, one plain vertex: check the plain vertex's unique block.
+  const Vertex plain = au == kInvalidVertex ? u : v;
+  const Vertex ap = au == kInvalidVertex ? av : au;
+  const Vertex block = bcc_.any_component[plain];
+  if (block == kInvalidVertex) return false;
+  const auto& blocks = tree_.ap_blocks[ap];
+  return std::binary_search(blocks.begin(), blocks.end(), block);
+}
+
+bool BlockCutQueries::connected(Vertex u, Vertex v) const {
+  if (u == v) return true;
+  const Vertex nu = node_of(u);
+  const Vertex nv = node_of(v);
+  if (nu == kInvalidVertex || nv == kInvalidVertex) return false;
+  return tree_component_[nu] == tree_component_[nv];
+}
+
+bool BlockCutQueries::separates(Vertex a, Vertex u, Vertex v) const {
+  APGRE_ASSERT(a < tree_.ap_index.size());
+  if (a == u || a == v || u == v) return false;
+  const Vertex ap = tree_.ap_index[a];
+  if (ap == kInvalidVertex) return false;  // not an articulation point
+  if (!connected(u, v)) return false;      // already apart
+  const Vertex nu = node_of(u);
+  const Vertex nv = node_of(v);
+  const Vertex na = tree_.num_blocks() + ap;
+  if (tree_component_[na] != tree_component_[nu]) return false;
+  return on_path(na, nu, nv);
+}
+
+}  // namespace apgre

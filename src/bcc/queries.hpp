@@ -1,0 +1,52 @@
+// Constant-ish-time connectivity robustness queries over the block-cut
+// tree: "are u and v in a common biconnected component?" and "does removing
+// vertex a disconnect u from v?". The power-grid example motivates these —
+// contingency questions are separation queries.
+#pragma once
+
+#include <vector>
+
+#include "bcc/bicomp.hpp"
+#include "bcc/block_cut_tree.hpp"
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// Prebuilt query structure; O(|V|+|E|) construction, O(tree depth) per
+/// separation query, O(log deg) per same-block query.
+class BlockCutQueries {
+ public:
+  explicit BlockCutQueries(const CsrGraph& g);
+
+  /// True iff u and v share a biconnected component (equivalently: at
+  /// least two vertex-disjoint paths join them, or they share an edge).
+  bool same_block(Vertex u, Vertex v) const;
+
+  /// True iff removing `a` disconnects u from v. False whenever u and v
+  /// are already in different components, or a is not an articulation
+  /// point, or a coincides with u or v.
+  bool separates(Vertex a, Vertex u, Vertex v) const;
+
+  /// True iff u and v are connected in the undirected projection.
+  bool connected(Vertex u, Vertex v) const;
+
+  const BiconnectedComponents& bcc() const { return bcc_; }
+  const BlockCutTree& tree() const { return tree_; }
+
+ private:
+  /// Bipartite tree node id of a vertex: AP node if articulation,
+  /// otherwise its unique block node. kInvalidVertex for isolated vertices.
+  Vertex node_of(Vertex v) const;
+  /// Walk-up LCA on the rooted bipartite tree.
+  Vertex lca(Vertex x, Vertex y) const;
+  bool on_path(Vertex node, Vertex x, Vertex y) const;
+
+  BiconnectedComponents bcc_;
+  BlockCutTree tree_;
+  // Rooted bipartite forest: blocks [0, B), APs [B, B + A).
+  std::vector<Vertex> parent_;
+  std::vector<Vertex> depth_;
+  std::vector<Vertex> tree_component_;
+};
+
+}  // namespace apgre

@@ -1,0 +1,176 @@
+#include "bcc/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "graph/components.hpp"
+#include "graph/transform.hpp"
+#include "support/error.hpp"
+
+namespace apgre {
+
+namespace {
+
+/// Vertices reachable from `start` without entering `blocked` (start
+/// itself excluded from blocking and from the count).
+std::uint64_t restricted_reach(const CsrGraph& g, Vertex start,
+                               const std::vector<std::uint8_t>& blocked,
+                               bool forward) {
+  std::vector<std::uint8_t> visited(g.num_vertices(), 0);
+  std::vector<Vertex> queue{start};
+  visited[start] = 1;
+  std::uint64_t count = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex v = queue[head];
+    const auto neighbors = forward ? g.out_neighbors(v) : g.in_neighbors(v);
+    for (Vertex w : neighbors) {
+      if (visited[w] || blocked[w]) continue;
+      visited[w] = 1;
+      queue.push_back(w);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_decomposition(const CsrGraph& g,
+                                                const Decomposition& dec,
+                                                std::size_t reach_samples) {
+  std::vector<std::string> violations;
+  auto fail = [&violations](const std::string& message) {
+    violations.push_back(message);
+  };
+
+  // 1. Arc partition.
+  std::map<Edge, int> arc_count;
+  for (const Edge& e : g.arcs()) arc_count[e] = 0;
+  for (std::size_t i = 0; i < dec.subgraphs.size(); ++i) {
+    const Subgraph& sg = dec.subgraphs[i];
+    for (const Edge& local : sg.graph.arcs()) {
+      if (local.src >= sg.to_global.size() || local.dst >= sg.to_global.size()) {
+        fail("sub-graph " + std::to_string(i) + " has out-of-range local arc");
+        continue;
+      }
+      const Edge global{sg.to_global[local.src], sg.to_global[local.dst]};
+      const auto it = arc_count.find(global);
+      if (it == arc_count.end()) {
+        fail("sub-graph " + std::to_string(i) + " contains arc " +
+             std::to_string(global.src) + "->" + std::to_string(global.dst) +
+             " absent from the graph");
+      } else {
+        ++it->second;
+      }
+    }
+  }
+  for (const auto& [e, count] : arc_count) {
+    if (count != 1) {
+      std::ostringstream os;
+      os << "arc " << e.src << "->" << e.dst << " assigned " << count
+         << " times (expected 1)";
+      fail(os.str());
+    }
+  }
+
+  // 2. Shared vertices are boundary APs everywhere they appear.
+  std::vector<int> membership(g.num_vertices(), 0);
+  std::vector<int> boundary_membership(g.num_vertices(), 0);
+  for (const Subgraph& sg : dec.subgraphs) {
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      ++membership[sg.to_global[local]];
+      if (sg.is_boundary_ap[local]) ++boundary_membership[sg.to_global[local]];
+    }
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (membership[v] > 1 && boundary_membership[v] != membership[v]) {
+      fail("vertex " + std::to_string(v) +
+           " is shared by sub-graphs without being a boundary AP in all of them");
+    }
+  }
+
+  // 3. Root/gamma bookkeeping.
+  for (std::size_t i = 0; i < dec.subgraphs.size(); ++i) {
+    const Subgraph& sg = dec.subgraphs[i];
+    Vertex gamma_sum = 0;
+    Vertex removed = 0;
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      gamma_sum += sg.gamma[local];
+      removed += sg.removed[local];
+    }
+    if (gamma_sum != removed) {
+      fail("sub-graph " + std::to_string(i) + ": gamma sum " +
+           std::to_string(gamma_sum) + " != removed " + std::to_string(removed));
+    }
+    if (sg.roots.size() + removed != sg.num_vertices()) {
+      fail("sub-graph " + std::to_string(i) + ": |roots| + removed != |V|");
+    }
+    for (Vertex root : sg.roots) {
+      if (root >= sg.num_vertices() || sg.removed[root]) {
+        fail("sub-graph " + std::to_string(i) + " has an invalid root");
+        break;
+      }
+    }
+  }
+
+  // 4. Sampled alpha/beta re-check by restricted BFS.
+  std::size_t checked = 0;
+  std::vector<std::uint8_t> blocked(g.num_vertices(), 0);
+  for (const Subgraph& sg : dec.subgraphs) {
+    if (checked >= reach_samples) break;
+    if (sg.boundary_aps.empty()) continue;
+    for (Vertex v : sg.to_global) blocked[v] = 1;
+    for (Vertex a : sg.boundary_aps) {
+      if (checked >= reach_samples) break;
+      ++checked;
+      const Vertex global = sg.to_global[a];
+      blocked[global] = 0;
+      const std::uint64_t alpha = restricted_reach(g, global, blocked, true);
+      const std::uint64_t beta =
+          g.directed() ? restricted_reach(g, global, blocked, false) : alpha;
+      blocked[global] = 1;
+      if (alpha != sg.alpha[a]) {
+        fail("alpha mismatch at vertex " + std::to_string(global) + ": stored " +
+             std::to_string(sg.alpha[a]) + ", BFS " + std::to_string(alpha));
+      }
+      if (beta != sg.beta[a]) {
+        fail("beta mismatch at vertex " + std::to_string(global));
+      }
+    }
+    for (Vertex v : sg.to_global) blocked[v] = 0;
+  }
+
+  // 5. Undirected alpha-sum identity.
+  if (!g.directed()) {
+    const ComponentLabels comp = connected_components(g);
+    std::vector<std::uint64_t> comp_size(comp.num_components, 0);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (g.out_degree(v) > 0) ++comp_size[comp.component[v]];
+    }
+    for (std::size_t i = 0; i < dec.subgraphs.size(); ++i) {
+      const Subgraph& sg = dec.subgraphs[i];
+      if (sg.num_vertices() == 0) continue;
+      std::uint64_t alpha_sum = 0;
+      for (Vertex a : sg.boundary_aps) alpha_sum += sg.alpha[a];
+      const Vertex c = comp.component[sg.to_global[0]];
+      if (alpha_sum + sg.num_vertices() != comp_size[c]) {
+        fail("sub-graph " + std::to_string(i) +
+             ": sum(alpha) + |V_sgi| != component size");
+      }
+    }
+  }
+
+  return violations;
+}
+
+void require_valid_decomposition(const CsrGraph& g, const Decomposition& dec) {
+  const auto violations = validate_decomposition(g, dec);
+  if (violations.empty()) return;
+  std::ostringstream os;
+  os << "invalid decomposition (" << violations.size() << " violations):";
+  for (const auto& v : violations) os << "\n  - " << v;
+  throw Error(os.str());
+}
+
+}  // namespace apgre

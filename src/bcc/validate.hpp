@@ -1,0 +1,33 @@
+// Structural validation of a Decomposition against its source graph.
+//
+// Downstream code that builds custom partitions (or loads them) can verify
+// every invariant the APGRE kernel relies on before trusting BC output.
+// The checks mirror paper §3.1 properties 1-4 plus the BUILDSUBGRAPH
+// bookkeeping; the test suite runs them across the random-graph sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bcc/partition.hpp"
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// Human-readable list of violated invariants; empty means valid.
+/// Checks:
+///  1. every arc of `g` is assigned to exactly one sub-graph,
+///  2. vertices shared between sub-graphs are boundary APs everywhere,
+///  3. root sets partition sub-graph vertices with gamma accounting,
+///  4. alpha/beta are consistent with restricted reachability
+///     (sampled: up to `reach_samples` boundary APs re-checked by BFS),
+///  5. for undirected graphs, per sub-graph: sum(alpha) + |V_sgi| equals
+///     the component size.
+std::vector<std::string> validate_decomposition(const CsrGraph& g,
+                                                const Decomposition& dec,
+                                                std::size_t reach_samples = 16);
+
+/// Convenience wrapper: throws apgre::Error listing the violations.
+void require_valid_decomposition(const CsrGraph& g, const Decomposition& dec);
+
+}  // namespace apgre

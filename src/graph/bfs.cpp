@@ -1,0 +1,77 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, Vertex source) {
+  return bfs_distances(g, std::vector<Vertex>{source});
+}
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g,
+                                         const std::vector<Vertex>& sources) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::vector<Vertex> queue;
+  queue.reserve(sources.size());
+  for (Vertex s : sources) {
+    APGRE_ASSERT(s < g.num_vertices());
+    if (dist[s] == kUnreachable) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex v = queue[head];
+    for (Vertex w : g.out_neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint64_t reachable_count(const CsrGraph& g, Vertex source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint64_t count = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) ++count;
+  }
+  return count - 1;  // exclude the source
+}
+
+std::uint32_t eccentricity(const CsrGraph& g, Vertex source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t pseudo_diameter(const CsrGraph& g, Vertex seed, int sweeps) {
+  if (g.num_vertices() == 0) return 0;
+  APGRE_ASSERT(seed < g.num_vertices());
+  Vertex current = seed;
+  std::uint32_t best = 0;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    const auto dist = bfs_distances(g, current);
+    Vertex farthest = current;
+    std::uint32_t far_dist = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (dist[v] != kUnreachable && dist[v] > far_dist) {
+        far_dist = dist[v];
+        farthest = v;
+      }
+    }
+    best = std::max(best, far_dist);
+    if (farthest == current) break;
+    current = farthest;
+  }
+  return best;
+}
+
+}  // namespace apgre

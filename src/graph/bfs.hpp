@@ -1,0 +1,34 @@
+// Breadth-first-search utilities shared by analyses and examples:
+// single/multi-source distance maps, reachability counts, eccentricity and
+// pseudo-diameter estimation (double-sweep heuristic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// Distance label for unreachable vertices.
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// BFS distances from `source` following out-arcs.
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, Vertex source);
+
+/// BFS distances from multiple sources (distance to the nearest source).
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g,
+                                         const std::vector<Vertex>& sources);
+
+/// Number of vertices reachable from `source` (excluding itself).
+std::uint64_t reachable_count(const CsrGraph& g, Vertex source);
+
+/// Eccentricity of `source`: the largest finite BFS distance from it.
+std::uint32_t eccentricity(const CsrGraph& g, Vertex source);
+
+/// Lower bound on the diameter by the double-sweep heuristic: BFS from
+/// `seed`, then BFS again from the farthest vertex found, repeated
+/// `sweeps` times. Exact on trees; a tight bound on most real graphs.
+std::uint32_t pseudo_diameter(const CsrGraph& g, Vertex seed = 0, int sweeps = 2);
+
+}  // namespace apgre

@@ -1,0 +1,46 @@
+#include "graph/components.hpp"
+
+#include <vector>
+
+namespace apgre {
+
+ComponentLabels connected_components(const CsrGraph& g) {
+  ComponentLabels out;
+  out.component.assign(g.num_vertices(), kInvalidVertex);
+
+  std::vector<Vertex> queue;
+  for (Vertex start = 0; start < g.num_vertices(); ++start) {
+    if (out.component[start] != kInvalidVertex) continue;
+    const Vertex id = out.num_components++;
+    out.component[start] = id;
+    queue.assign(1, start);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex v = queue[head];
+      auto visit = [&](Vertex w) {
+        if (out.component[w] == kInvalidVertex) {
+          out.component[w] = id;
+          queue.push_back(w);
+        }
+      };
+      for (Vertex w : g.out_neighbors(v)) visit(w);
+      if (g.directed()) {
+        for (Vertex w : g.in_neighbors(v)) visit(w);
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const CsrGraph& g) {
+  return connected_components(g).num_components <= 1;
+}
+
+std::vector<std::vector<Vertex>> component_members(const ComponentLabels& labels) {
+  std::vector<std::vector<Vertex>> members(labels.num_components);
+  for (Vertex v = 0; v < labels.component.size(); ++v) {
+    members[labels.component[v]].push_back(v);
+  }
+  return members;
+}
+
+}  // namespace apgre

@@ -1,0 +1,29 @@
+// Connected components of the undirected projection (for directed graphs
+// this is weak connectivity). The APGRE decomposition runs per component.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+struct ComponentLabels {
+  /// component[v] in [0, num_components); components are numbered in order
+  /// of their smallest vertex.
+  std::vector<Vertex> component;
+  Vertex num_components = 0;
+};
+
+/// BFS-based connected components over the undirected projection. For
+/// directed graphs both arc directions are followed (weak connectivity).
+ComponentLabels connected_components(const CsrGraph& g);
+
+/// True if the undirected projection is a single component (n == 0 counts
+/// as connected).
+bool is_connected(const CsrGraph& g);
+
+/// Vertices of each component, grouped (index = component id).
+std::vector<std::vector<Vertex>> component_members(const ComponentLabels& labels);
+
+}  // namespace apgre

@@ -1,0 +1,103 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace apgre {
+
+namespace {
+
+/// Counting-sort an arc list into offsets/targets arrays.
+void build_adjacency(Vertex num_vertices, const EdgeList& edges, bool transpose,
+                     std::vector<EdgeId>& offsets, std::vector<Vertex>& targets) {
+  offsets.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) {
+    const Vertex key = transpose ? e.dst : e.src;
+    ++offsets[key + 1];
+  }
+  for (std::size_t v = 1; v < offsets.size(); ++v) offsets[v] += offsets[v - 1];
+
+  targets.resize(edges.size());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    const Vertex key = transpose ? e.dst : e.src;
+    const Vertex value = transpose ? e.src : e.dst;
+    targets[cursor[key]++] = value;
+  }
+  // Sorted neighbour lists make equality/round-trip tests deterministic and
+  // improve locality of the BFS kernels.
+  for (Vertex v = 0; v < num_vertices; ++v) {
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+}
+
+}  // namespace
+
+CsrGraph CsrGraph::from_edges(Vertex num_vertices, EdgeList edges, bool directed) {
+  for (const Edge& e : edges) {
+    APGRE_ASSERT_MSG(e.src < num_vertices && e.dst < num_vertices,
+                     "edge endpoint out of range");
+  }
+  remove_self_loops(edges);
+  sort_unique(edges);
+
+  CsrGraph g;
+  g.num_vertices_ = num_vertices;
+  g.directed_ = directed;
+  build_adjacency(num_vertices, edges, /*transpose=*/false, g.out_offsets_,
+                  g.out_targets_);
+  if (directed) {
+    build_adjacency(num_vertices, edges, /*transpose=*/true, g.in_offsets_,
+                    g.in_targets_);
+  }
+  return g;
+}
+
+CsrGraph CsrGraph::undirected_from_edges(Vertex num_vertices, EdgeList edges) {
+  symmetrize(edges);
+  return from_edges(num_vertices, std::move(edges), /*directed=*/false);
+}
+
+Vertex CsrGraph::undirected_degree(Vertex v) const {
+  if (!directed_) return out_degree(v);
+  // Count the union of in- and out-neighbours; both lists are sorted.
+  auto outs = out_neighbors(v);
+  auto ins = in_neighbors(v);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  Vertex count = 0;
+  while (i < outs.size() && j < ins.size()) {
+    if (outs[i] == ins[j]) {
+      ++i;
+      ++j;
+    } else if (outs[i] < ins[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+    ++count;
+  }
+  count += static_cast<Vertex>((outs.size() - i) + (ins.size() - j));
+  return count;
+}
+
+EdgeList CsrGraph::arcs() const {
+  EdgeList edges;
+  edges.reserve(out_targets_.size());
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    for (Vertex w : out_neighbors(v)) edges.push_back(Edge{v, w});
+  }
+  return edges;
+}
+
+bool CsrGraph::is_symmetric() const {
+  for (Vertex v = 0; v < num_vertices_; ++v) {
+    for (Vertex w : out_neighbors(v)) {
+      auto back = out_neighbors(w);
+      if (!std::binary_search(back.begin(), back.end(), v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace apgre

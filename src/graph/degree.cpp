@@ -1,0 +1,28 @@
+#include "graph/degree.hpp"
+
+namespace apgre {
+
+DegreeStats degree_stats(const CsrGraph& g) {
+  DegreeStats stats;
+  stats.num_vertices = g.num_vertices();
+  stats.num_arcs = g.num_arcs();
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const Vertex out = g.out_degree(v);
+    stats.out_degree.add(static_cast<double>(out));
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    stats.out_degree_histogram.add(out);
+    const Vertex und = g.undirected_degree(v);
+    if (und == 1) ++stats.pendant_count;
+    if (und == 0) ++stats.isolated_count;
+  }
+  return stats;
+}
+
+double pendant_fraction(const CsrGraph& g) {
+  if (g.num_vertices() == 0) return 0.0;
+  const DegreeStats stats = degree_stats(g);
+  return static_cast<double>(stats.pendant_count) /
+         static_cast<double>(g.num_vertices());
+}
+
+}  // namespace apgre

@@ -1,0 +1,30 @@
+// Degree statistics used by the structure analysis (paper Figure 2: many
+// articulation points, many single-edge vertices in real graphs).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "support/stats.hpp"
+
+namespace apgre {
+
+struct DegreeStats {
+  Vertex num_vertices = 0;
+  EdgeId num_arcs = 0;
+  RunningStats out_degree;        // over all vertices
+  Vertex max_out_degree = 0;
+  /// Vertices with undirected degree exactly 1 ("single-edge vertices",
+  /// the paper's total-redundancy candidates).
+  Vertex pendant_count = 0;
+  /// Vertices with no arcs at all.
+  Vertex isolated_count = 0;
+  Log2Histogram out_degree_histogram;
+};
+
+DegreeStats degree_stats(const CsrGraph& g);
+
+/// Fraction of vertices whose undirected degree is 1.
+double pendant_fraction(const CsrGraph& g);
+
+}  // namespace apgre

@@ -1,0 +1,35 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+namespace apgre {
+
+void sort_unique(EdgeList& edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+void remove_self_loops(EdgeList& edges) {
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const Edge& e) { return e.src == e.dst; }),
+              edges.end());
+}
+
+void symmetrize(EdgeList& edges) {
+  const std::size_t original = edges.size();
+  edges.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i) {
+    edges.push_back(Edge{edges[i].dst, edges[i].src});
+  }
+  sort_unique(edges);
+}
+
+Vertex min_vertex_count(const EdgeList& edges) {
+  Vertex n = 0;
+  for (const Edge& e : edges) {
+    n = std::max(n, static_cast<Vertex>(std::max(e.src, e.dst) + 1));
+  }
+  return n;
+}
+
+}  // namespace apgre

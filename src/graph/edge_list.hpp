@@ -1,0 +1,43 @@
+// Edge-list representation: the exchange format between parsers, generators
+// and the CSR builder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apgre {
+
+/// Vertex id. 32 bits cover every graph this reproduction targets
+/// (laptop-scale analogues of the paper's inputs, <= ~16M vertices) while
+/// halving the memory traffic of the BFS kernels.
+using Vertex = std::uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr Vertex kInvalidVertex = static_cast<Vertex>(-1);
+
+/// Directed arc src -> dst. Undirected edges are represented by storing both
+/// arcs before CSR construction.
+struct Edge {
+  Vertex src;
+  Vertex dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+
+/// Sort by (src, dst) and drop duplicate arcs.
+void sort_unique(EdgeList& edges);
+
+/// Drop arcs with src == dst. BC is invariant to self-loops.
+void remove_self_loops(EdgeList& edges);
+
+/// Append the reverse of every arc (then dedupe); turns a directed edge list
+/// into a symmetric one.
+void symmetrize(EdgeList& edges);
+
+/// Largest endpoint id + 1, i.e. the minimal vertex count covering `edges`.
+Vertex min_vertex_count(const EdgeList& edges);
+
+}  // namespace apgre

@@ -1,0 +1,249 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace apgre {
+
+CsrGraph erdos_renyi(Vertex n, EdgeId m, bool directed, std::uint64_t seed) {
+  APGRE_ASSERT(n >= 2);
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(m);
+  for (EdgeId i = 0; i < m; ++i) {
+    auto u = static_cast<Vertex>(rng.bounded(n));
+    auto v = static_cast<Vertex>(rng.bounded(n));
+    while (v == u) v = static_cast<Vertex>(rng.bounded(n));
+    edges.push_back(Edge{u, v});
+  }
+  if (directed) return CsrGraph::from_edges(n, std::move(edges), true);
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph barabasi_albert(Vertex n, Vertex k, std::uint64_t seed) {
+  APGRE_ASSERT(k >= 1 && n > k);
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  // `endpoints` holds one entry per half-edge, so sampling uniformly from it
+  // is degree-proportional sampling.
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * k * 2);
+
+  // Seed graph: (k+1)-clique.
+  for (Vertex u = 0; u <= k; ++u) {
+    for (Vertex v = u + 1; v <= k; ++v) {
+      edges.push_back(Edge{u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (Vertex v = k + 1; v < n; ++v) {
+    for (Vertex j = 0; j < k; ++j) {
+      const Vertex target = endpoints[rng.bounded(endpoints.size())];
+      edges.push_back(Edge{v, target});
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph rmat(int scale, int edge_factor, double a, double b, double c,
+              bool symmetric, std::uint64_t seed) {
+  APGRE_ASSERT(scale >= 1 && scale < 31);
+  const double d = 1.0 - a - b - c;
+  APGRE_ASSERT_MSG(a > 0 && b >= 0 && c >= 0 && d >= 0, "invalid RMAT quadrants");
+  const Vertex n = Vertex{1} << scale;
+  const EdgeId m = static_cast<EdgeId>(edge_factor) * n;
+
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  edges.reserve(m);
+  for (EdgeId i = 0; i < m; ++i) {
+    Vertex u = 0;
+    Vertex v = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      const double r = rng.uniform();
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= Vertex{1} << bit;
+      } else if (r < a + b + c) {
+        u |= Vertex{1} << bit;
+      } else {
+        u |= Vertex{1} << bit;
+        v |= Vertex{1} << bit;
+      }
+    }
+    if (u != v) edges.push_back(Edge{u, v});
+  }
+  if (symmetric) return CsrGraph::undirected_from_edges(n, std::move(edges));
+  return CsrGraph::from_edges(n, std::move(edges), /*directed=*/true);
+}
+
+CsrGraph watts_strogatz(Vertex n, Vertex k, double p, std::uint64_t seed) {
+  APGRE_ASSERT(n > 2 * k && k >= 1);
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  for (Vertex v = 0; v < n; ++v) {
+    for (Vertex j = 1; j <= k; ++j) {
+      Vertex w = (v + j) % n;
+      if (rng.bernoulli(p)) {
+        // Rewire to a uniform non-self target.
+        w = static_cast<Vertex>(rng.bounded(n));
+        while (w == v) w = static_cast<Vertex>(rng.bounded(n));
+      }
+      edges.push_back(Edge{v, w});
+    }
+  }
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph road_grid(Vertex rows, Vertex cols, double diagonal_p, double prune_p,
+                   std::uint64_t seed) {
+  APGRE_ASSERT(rows >= 2 && cols >= 2);
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols && !rng.bernoulli(prune_p)) {
+        edges.push_back(Edge{id(r, c), id(r, c + 1)});
+      }
+      if (r + 1 < rows && !rng.bernoulli(prune_p)) {
+        edges.push_back(Edge{id(r, c), id(r + 1, c)});
+      }
+      if (r + 1 < rows && c + 1 < cols && rng.bernoulli(diagonal_p)) {
+        edges.push_back(Edge{id(r, c), id(r + 1, c + 1)});
+      }
+    }
+  }
+  return CsrGraph::undirected_from_edges(rows * cols, std::move(edges));
+}
+
+CsrGraph caveman(Vertex cliques, Vertex clique_size, std::uint64_t seed) {
+  APGRE_ASSERT(cliques >= 1 && clique_size >= 2);
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  const Vertex n = cliques * clique_size;
+  for (Vertex q = 0; q < cliques; ++q) {
+    const Vertex base = q * clique_size;
+    for (Vertex u = 0; u < clique_size; ++u) {
+      for (Vertex v = u + 1; v < clique_size; ++v) {
+        edges.push_back(Edge{base + u, base + v});
+      }
+    }
+    if (q + 1 < cliques) {
+      // A single bridge to the next clique; both endpoints become
+      // articulation points.
+      const auto from = static_cast<Vertex>(base + rng.bounded(clique_size));
+      const auto to =
+          static_cast<Vertex>(base + clique_size + rng.bounded(clique_size));
+      edges.push_back(Edge{from, to});
+    }
+  }
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph random_tree(Vertex n, std::uint64_t seed) {
+  APGRE_ASSERT(n >= 1);
+  Xoshiro256 rng(seed);
+  EdgeList edges;
+  for (Vertex v = 1; v < n; ++v) {
+    const auto parent = static_cast<Vertex>(rng.bounded(v));
+    edges.push_back(Edge{parent, v});
+  }
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph path(Vertex n) {
+  APGRE_ASSERT(n >= 1);
+  EdgeList edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.push_back(Edge{v, static_cast<Vertex>(v + 1)});
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph cycle(Vertex n) {
+  APGRE_ASSERT(n >= 3);
+  EdgeList edges;
+  for (Vertex v = 0; v < n; ++v) edges.push_back(Edge{v, static_cast<Vertex>((v + 1) % n)});
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph star(Vertex n) {
+  APGRE_ASSERT(n >= 2);
+  EdgeList edges;
+  for (Vertex v = 1; v < n; ++v) edges.push_back(Edge{0, v});
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph complete(Vertex n) {
+  APGRE_ASSERT(n >= 1);
+  EdgeList edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  }
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph binary_tree(Vertex n) {
+  APGRE_ASSERT(n >= 1);
+  EdgeList edges;
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex left = 2 * v + 1;
+    const Vertex right = 2 * v + 2;
+    if (left < n) edges.push_back(Edge{v, left});
+    if (right < n) edges.push_back(Edge{v, right});
+  }
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph barbell(Vertex clique, Vertex bridge) {
+  APGRE_ASSERT(clique >= 3);
+  EdgeList edges;
+  const Vertex n = 2 * clique + bridge;
+  // First clique: [0, clique); second clique: [clique + bridge, n).
+  for (Vertex u = 0; u < clique; ++u) {
+    for (Vertex v = u + 1; v < clique; ++v) edges.push_back(Edge{u, v});
+  }
+  const Vertex second = clique + bridge;
+  for (Vertex u = second; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  }
+  // Path joining vertex clique-1 to vertex `second` through the bridge ids.
+  Vertex prev = clique - 1;
+  for (Vertex b = 0; b < bridge; ++b) {
+    edges.push_back(Edge{prev, clique + b});
+    prev = clique + b;
+  }
+  edges.push_back(Edge{prev, second});
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph paper_figure3() {
+  // 13 vertices; blocks {2,3,4,5,6}, {6,7,8,9}, {3,10,12} are symmetric,
+  // pendants 0 and 1 have a single out-arc into the articulation point 2
+  // (in-degree 0), matching the paper's total-redundancy setup.
+  EdgeList block_edges = {
+      {2, 5}, {2, 4}, {5, 3}, {4, 3}, {2, 6}, {5, 6},   // middle block
+      {6, 7}, {6, 8}, {7, 9}, {8, 9},                   // block SG3
+      {3, 10}, {3, 12}, {10, 12},                       // block SG1
+  };
+  EdgeList edges;
+  for (const Edge& e : block_edges) {
+    edges.push_back(e);
+    edges.push_back(Edge{e.dst, e.src});
+  }
+  edges.push_back(Edge{0, 2});
+  edges.push_back(Edge{1, 2});
+  // Vertex 11 feeds SG1 one-way: it shares the green SD3 sub-DAG with
+  // D10/D12 but is absent from the blue SD6 (unreachable from 6).
+  edges.push_back(Edge{11, 10});
+  edges.push_back(Edge{11, 12});
+  return CsrGraph::from_edges(13, std::move(edges), /*directed=*/true);
+}
+
+}  // namespace apgre

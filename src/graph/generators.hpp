@@ -1,0 +1,85 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on 12 SNAP / DIMACS / web-crawl graphs (Table 1),
+// which are not available offline. These generators produce deterministic
+// analogues of each structural class the paper covers:
+//   * power-law social / email / web graphs  -> barabasi_albert, rmat
+//   * community-structured collaboration     -> caveman
+//   * road networks                          -> road_grid
+//   * pendant-heavy graphs (total redundancy)-> attach_pendants (transform.hpp)
+// plus small deterministic shapes for unit tests (path, cycle, star, ...).
+//
+// All generators are seeded and reproducible; the same (parameters, seed)
+// always yields the same graph.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// G(n, m) Erdos-Renyi: m arcs sampled uniformly without replacement
+/// (deduped, so the result may have slightly fewer). Undirected variant
+/// samples unordered pairs.
+CsrGraph erdos_renyi(Vertex n, EdgeId m, bool directed, std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment: each new vertex attaches to
+/// `k` existing vertices chosen proportionally to degree. Produces the
+/// power-law degree distribution of social/email networks. Undirected.
+CsrGraph barabasi_albert(Vertex n, Vertex k, std::uint64_t seed);
+
+/// R-MAT / Graph500 recursive-matrix generator: 2^scale vertices,
+/// edge_factor * 2^scale arcs, partition probabilities (a, b, c, d).
+/// Skewed web-graph-like structure. Directed unless `symmetric`.
+CsrGraph rmat(int scale, int edge_factor, double a, double b, double c,
+              bool symmetric, std::uint64_t seed);
+
+/// Watts-Strogatz small world: ring lattice with k nearest neighbours,
+/// each edge rewired with probability p. Undirected.
+CsrGraph watts_strogatz(Vertex n, Vertex k, double p, std::uint64_t seed);
+
+/// Road-network analogue: rows x cols 2-D grid, each cell additionally
+/// connected to its diagonal neighbour with probability `diagonal_p`, and a
+/// fraction `prune_p` of grid edges removed (keeping the graph connected is
+/// not guaranteed; callers wanting one component use largest_component).
+/// Undirected, low-degree, large diameter - matches USA-road inputs.
+CsrGraph road_grid(Vertex rows, Vertex cols, double diagonal_p, double prune_p,
+                   std::uint64_t seed);
+
+/// Connected caveman: `cliques` cliques of `clique_size` vertices, adjacent
+/// cliques joined by a single bridge edge (bridges create articulation
+/// points). Collaboration-network analogue. Undirected.
+CsrGraph caveman(Vertex cliques, Vertex clique_size, std::uint64_t seed);
+
+/// Uniform random recursive tree on n vertices (every non-root vertex picks
+/// a random earlier parent). Every internal vertex is an articulation
+/// point - the APGRE best case. Undirected.
+CsrGraph random_tree(Vertex n, std::uint64_t seed);
+
+// ---- Small deterministic shapes (unit tests & examples) -----------------
+
+/// Path 0-1-...-(n-1). Undirected.
+CsrGraph path(Vertex n);
+
+/// Cycle on n >= 3 vertices. Undirected (biconnected: no APs).
+CsrGraph cycle(Vertex n);
+
+/// Star: centre 0 joined to 1..n-1. Undirected.
+CsrGraph star(Vertex n);
+
+/// Complete graph K_n. Undirected.
+CsrGraph complete(Vertex n);
+
+/// Complete binary tree with n vertices (vertex v's children 2v+1, 2v+2).
+CsrGraph binary_tree(Vertex n);
+
+/// Two cliques of size `clique` joined by a path of `bridge` extra
+/// vertices; the classic articulation-point stress shape.
+CsrGraph barbell(Vertex clique, Vertex bridge);
+
+/// The 13-vertex directed example of paper Figure 3(a). Vertices 2, 3 and 6
+/// are articulation points of its undirected projection.
+CsrGraph paper_figure3();
+
+}  // namespace apgre

@@ -1,0 +1,74 @@
+#include "graph/io_dimacs.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+CsrGraph read_dimacs(std::istream& in, bool directed, const std::string& name) {
+  EdgeList edges;
+  Vertex n = 0;
+  bool saw_header = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      std::uint64_t nn = 0;
+      std::uint64_t mm = 0;
+      if (!(ls >> kind >> nn >> mm)) {
+        throw ParseError(name, line_no, "malformed problem line: " + line);
+      }
+      n = static_cast<Vertex>(nn);
+      edges.reserve(mm);
+      saw_header = true;
+    } else if (tag == 'a') {
+      if (!saw_header) throw ParseError(name, line_no, "arc before problem line");
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      if (!(ls >> u >> v)) {
+        throw ParseError(name, line_no, "malformed arc line: " + line);
+      }
+      if (u == 0 || v == 0 || u > n || v > n) {
+        throw ParseError(name, line_no, "vertex id out of range: " + line);
+      }
+      // Weight column is optional and ignored.
+      edges.push_back(Edge{static_cast<Vertex>(u - 1), static_cast<Vertex>(v - 1)});
+    } else {
+      throw ParseError(name, line_no, std::string("unknown record tag `") + tag + "`");
+    }
+  }
+  APGRE_REQUIRE(saw_header, name + ": missing `p sp n m` header");
+  if (directed) return CsrGraph::from_edges(n, std::move(edges), true);
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph read_dimacs_file(const std::string& path, bool directed) {
+  std::ifstream in(path);
+  APGRE_REQUIRE(in.good(), "cannot open " + path);
+  return read_dimacs(in, directed, path);
+}
+
+void write_dimacs(std::ostream& out, const CsrGraph& g) {
+  out << "c apgre dimacs export\n";
+  out << "p sp " << g.num_vertices() << " " << g.num_arcs() << "\n";
+  for (const Edge& e : g.arcs()) {
+    out << "a " << (e.src + 1) << " " << (e.dst + 1) << " 1\n";
+  }
+}
+
+void write_dimacs_file(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path);
+  APGRE_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  write_dimacs(out, g);
+}
+
+}  // namespace apgre

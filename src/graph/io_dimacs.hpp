@@ -1,0 +1,22 @@
+// DIMACS-9 shortest-path challenge `.gr` format (the paper's USA road
+// inputs): 'c' comments, one 'p sp <n> <m>' header, then 'a <u> <v> <w>'
+// arcs with 1-based ids. Weights are ignored (the paper treats all inputs
+// as unweighted).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// Parse a DIMACS .gr stream. Throws ParseError on malformed input.
+CsrGraph read_dimacs(std::istream& in, bool directed, const std::string& name = "<stream>");
+CsrGraph read_dimacs_file(const std::string& path, bool directed);
+
+/// Write in .gr format with unit weights.
+void write_dimacs(std::ostream& out, const CsrGraph& g);
+void write_dimacs_file(const std::string& path, const CsrGraph& g);
+
+}  // namespace apgre

@@ -1,0 +1,78 @@
+#include "graph/io_metis.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+CsrGraph read_metis(std::istream& in, const std::string& name) {
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto next_data_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line[0] == '%') continue;  // comment
+      return true;
+    }
+    return false;
+  };
+
+  APGRE_REQUIRE(next_data_line(), name + ": empty input");
+  std::istringstream header(line);
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  if (!(header >> n >> m)) throw ParseError(name, line_no, "malformed header");
+  std::uint64_t fmt = 0;
+  if (header >> fmt) {
+    APGRE_REQUIRE(fmt == 0, name + ": weighted METIS graphs not supported");
+  }
+
+  EdgeList edges;
+  edges.reserve(m * 2);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (!next_data_line()) {
+      throw ParseError(name, line_no, "expected " + std::to_string(n) +
+                                          " adjacency lines, got " + std::to_string(v));
+    }
+    std::istringstream ls(line);
+    std::uint64_t w = 0;
+    while (ls >> w) {
+      if (w == 0 || w > n) throw ParseError(name, line_no, "neighbour id out of range");
+      edges.push_back(Edge{static_cast<Vertex>(v), static_cast<Vertex>(w - 1)});
+    }
+  }
+  // The format lists each undirected edge from both endpoints already.
+  return CsrGraph::from_edges(static_cast<Vertex>(n), std::move(edges),
+                              /*directed=*/false);
+}
+
+CsrGraph read_metis_file(const std::string& path) {
+  std::ifstream in(path);
+  APGRE_REQUIRE(in.good(), "cannot open " + path);
+  return read_metis(in, path);
+}
+
+void write_metis(std::ostream& out, const CsrGraph& g) {
+  APGRE_REQUIRE(!g.directed(), "METIS format is undirected");
+  out << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    bool first = true;
+    for (Vertex w : g.out_neighbors(v)) {
+      if (!first) out << " ";
+      out << (w + 1);
+      first = false;
+    }
+    out << "\n";
+  }
+}
+
+void write_metis_file(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path);
+  APGRE_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  write_metis(out, g);
+}
+
+}  // namespace apgre

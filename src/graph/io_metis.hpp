@@ -1,0 +1,20 @@
+// METIS graph format: header "<n> <m>", then line i (1-based) lists the
+// neighbours of vertex i. Only the unweighted variant is supported; the
+// format is inherently undirected.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+CsrGraph read_metis(std::istream& in, const std::string& name = "<stream>");
+CsrGraph read_metis_file(const std::string& path);
+
+/// Write an undirected graph in METIS format. Requires g.is_symmetric().
+void write_metis(std::ostream& out, const CsrGraph& g);
+void write_metis_file(const std::string& path, const CsrGraph& g);
+
+}  // namespace apgre

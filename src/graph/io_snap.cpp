@@ -1,0 +1,67 @@
+#include "graph/io_snap.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+SnapGraph read_snap(std::istream& in, bool directed, const std::string& name) {
+  std::unordered_map<std::uint64_t, Vertex> compact;
+  SnapGraph out;
+  EdgeList edges;
+
+  auto intern = [&](std::uint64_t id) {
+    auto [it, inserted] = compact.emplace(id, static_cast<Vertex>(out.original_ids.size()));
+    if (inserted) out.original_ids.push_back(id);
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t src = 0;
+    std::uint64_t dst = 0;
+    if (!(ls >> src >> dst)) {
+      throw ParseError(name, line_no, "expected `src dst`, got: " + line);
+    }
+    edges.push_back(Edge{intern(src), intern(dst)});
+  }
+
+  const auto n = static_cast<Vertex>(out.original_ids.size());
+  if (directed) {
+    out.graph = CsrGraph::from_edges(n, std::move(edges), true);
+  } else {
+    out.graph = CsrGraph::undirected_from_edges(n, std::move(edges));
+  }
+  return out;
+}
+
+SnapGraph read_snap_file(const std::string& path, bool directed) {
+  std::ifstream in(path);
+  APGRE_REQUIRE(in.good(), "cannot open " + path);
+  return read_snap(in, directed, path);
+}
+
+void write_snap(std::ostream& out, const CsrGraph& g) {
+  out << "# apgre snap export: " << g.num_vertices() << " vertices, "
+      << g.num_arcs() << " arcs, " << (g.directed() ? "directed" : "undirected")
+      << "\n";
+  for (const Edge& e : g.arcs()) {
+    if (!g.directed() && e.src > e.dst) continue;  // one line per undirected edge
+    out << e.src << "\t" << e.dst << "\n";
+  }
+}
+
+void write_snap_file(const std::string& path, const CsrGraph& g) {
+  std::ofstream out(path);
+  APGRE_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  write_snap(out, g);
+}
+
+}  // namespace apgre

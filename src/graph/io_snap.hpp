@@ -1,0 +1,31 @@
+// SNAP edge-list text format (snap.stanford.edu): '#' comment lines, then
+// one "src<ws>dst" pair per line. Vertex ids are arbitrary and are
+// compacted to [0, n) preserving first-appearance order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+struct SnapGraph {
+  CsrGraph graph;
+  /// compacted id -> original id from the file.
+  std::vector<std::uint64_t> original_ids;
+};
+
+/// Parse a SNAP edge list. `directed` selects the stored adjacency;
+/// undirected inputs get their arcs symmetrised. Throws ParseError on
+/// malformed lines.
+SnapGraph read_snap(std::istream& in, bool directed, const std::string& name = "<stream>");
+SnapGraph read_snap_file(const std::string& path, bool directed);
+
+/// Write the stored arcs back out (compacted ids). Round-trips with
+/// read_snap for verification.
+void write_snap(std::ostream& out, const CsrGraph& g);
+void write_snap_file(const std::string& path, const CsrGraph& g);
+
+}  // namespace apgre

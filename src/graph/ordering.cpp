@@ -1,0 +1,135 @@
+#include "graph/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/transform.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace apgre {
+
+namespace {
+
+Vertex highest_degree_vertex(const CsrGraph& g) {
+  Vertex best = 0;
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > g.out_degree(best)) best = v;
+  }
+  return best;
+}
+
+/// Turn a visit sequence (new id -> old id, possibly partial) into the
+/// old -> new permutation, appending unvisited vertices in natural order.
+std::vector<Vertex> sequence_to_permutation(Vertex n, std::vector<Vertex> sequence) {
+  std::vector<Vertex> position(n, kInvalidVertex);
+  for (std::size_t i = 0; i < sequence.size(); ++i) position[sequence[i]] = static_cast<Vertex>(i);
+  auto next = static_cast<Vertex>(sequence.size());
+  for (Vertex v = 0; v < n; ++v) {
+    if (position[v] == kInvalidVertex) position[v] = next++;
+  }
+  APGRE_ASSERT(next == n);
+  return position;
+}
+
+}  // namespace
+
+std::vector<Vertex> vertex_order(const CsrGraph& g, VertexOrder order,
+                                 std::uint64_t seed) {
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> permutation(n);
+  std::iota(permutation.begin(), permutation.end(), 0);
+  if (n == 0) return permutation;
+
+  switch (order) {
+    case VertexOrder::kNatural:
+      return permutation;
+
+    case VertexOrder::kDegreeDescending: {
+      std::vector<Vertex> by_degree(n);
+      std::iota(by_degree.begin(), by_degree.end(), 0);
+      std::stable_sort(by_degree.begin(), by_degree.end(), [&](Vertex a, Vertex b) {
+        return g.out_degree(a) > g.out_degree(b);
+      });
+      return sequence_to_permutation(n, std::move(by_degree));
+    }
+
+    case VertexOrder::kBfs: {
+      std::vector<Vertex> sequence;
+      std::vector<bool> seen(n, false);
+      std::vector<Vertex> queue;
+      for (Vertex attempt = 0; attempt < 2; ++attempt) {
+        const Vertex root = attempt == 0 ? highest_degree_vertex(g) : 0;
+        for (Vertex start = root; start < n; ++start) {
+          if (seen[start]) continue;
+          seen[start] = true;
+          queue.assign(1, start);
+          for (std::size_t head = 0; head < queue.size(); ++head) {
+            const Vertex v = queue[head];
+            sequence.push_back(v);
+            for (Vertex w : g.out_neighbors(v)) {
+              if (!seen[w]) {
+                seen[w] = true;
+                queue.push_back(w);
+              }
+            }
+          }
+        }
+      }
+      return sequence_to_permutation(n, std::move(sequence));
+    }
+
+    case VertexOrder::kDfs: {
+      std::vector<Vertex> sequence;
+      std::vector<bool> seen(n, false);
+      std::vector<std::pair<Vertex, std::uint32_t>> stack;
+      for (Vertex attempt = 0; attempt < 2; ++attempt) {
+        const Vertex root = attempt == 0 ? highest_degree_vertex(g) : 0;
+        for (Vertex start = root; start < n; ++start) {
+          if (seen[start]) continue;
+          seen[start] = true;
+          sequence.push_back(start);
+          stack.assign(1, {start, 0});
+          while (!stack.empty()) {
+            auto& [v, next] = stack.back();
+            const auto neighbors = g.out_neighbors(v);
+            if (next < neighbors.size()) {
+              const Vertex w = neighbors[next++];
+              if (!seen[w]) {
+                seen[w] = true;
+                sequence.push_back(w);
+                stack.push_back({w, 0});
+              }
+            } else {
+              stack.pop_back();
+            }
+          }
+        }
+      }
+      return sequence_to_permutation(n, std::move(sequence));
+    }
+
+    case VertexOrder::kRandom: {
+      Xoshiro256 rng(seed);
+      for (Vertex i = n; i-- > 1;) {
+        const auto j = static_cast<Vertex>(rng.bounded(i + 1));
+        std::swap(permutation[i], permutation[j]);
+      }
+      return permutation;
+    }
+  }
+  return permutation;
+}
+
+OrderedGraph apply_order(const CsrGraph& g, VertexOrder order, std::uint64_t seed) {
+  const auto permutation = vertex_order(g, order, seed);
+  OrderedGraph out;
+  out.graph = relabel(g, permutation);
+  out.to_original.assign(g.num_vertices(), 0);
+  for (Vertex old_id = 0; old_id < g.num_vertices(); ++old_id) {
+    out.to_original[permutation[old_id]] = old_id;
+  }
+  return out;
+}
+
+}  // namespace apgre

@@ -1,0 +1,38 @@
+// Vertex-ordering (graph re-layout) strategies — Cong & Makarychev,
+// IPDPS 2011 ("Optimizing large-scale graph analysis on a multi-threaded,
+// multi-core platform"), cited in the paper's related work (§6): BC kernels
+// are bandwidth-bound, so relabelling vertices to improve the locality of
+// neighbour accesses speeds up every algorithm in the family. The ordering
+// ablation bench measures the effect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+enum class VertexOrder {
+  kNatural,          ///< keep input ids
+  kDegreeDescending, ///< hubs first (dense rows pack together)
+  kBfs,              ///< BFS discovery order from a high-degree root
+  kDfs,              ///< DFS preorder from a high-degree root
+  kRandom,           ///< random shuffle (locality worst case, for contrast)
+};
+
+/// Permutation p with p[old_id] = new_id for the requested strategy.
+/// Unreached vertices (other components) are appended in natural order.
+std::vector<Vertex> vertex_order(const CsrGraph& g, VertexOrder order,
+                                 std::uint64_t seed = 1);
+
+/// Relabelled graph plus the inverse mapping needed to report results in
+/// the original ids.
+struct OrderedGraph {
+  CsrGraph graph;
+  std::vector<Vertex> to_original;  // new id -> original id
+};
+OrderedGraph apply_order(const CsrGraph& g, VertexOrder order,
+                         std::uint64_t seed = 1);
+
+}  // namespace apgre

@@ -1,0 +1,94 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+namespace {
+
+constexpr Vertex kUndefined = kInvalidVertex;
+
+struct Frame {
+  Vertex v;
+  std::uint32_t next;
+};
+
+}  // namespace
+
+SccLabels strongly_connected_components(const CsrGraph& g) {
+  const Vertex n = g.num_vertices();
+  SccLabels out;
+  out.component.assign(n, kUndefined);
+
+  std::vector<Vertex> index(n, kUndefined);
+  std::vector<Vertex> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<Vertex> scc_stack;
+  std::vector<Frame> call_stack;
+  Vertex next_index = 0;
+
+  for (Vertex root = 0; root < n; ++root) {
+    if (index[root] != kUndefined) continue;
+    call_stack.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const Vertex v = frame.v;
+      const auto neighbors = g.out_neighbors(v);
+      if (frame.next < neighbors.size()) {
+        const Vertex w = neighbors[frame.next++];
+        if (index[w] == kUndefined) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back(Frame{w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          Vertex& parent_low = lowlink[call_stack.back().v];
+          parent_low = std::min(parent_low, lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v roots an SCC: pop it off the component stack.
+          const Vertex id = out.num_components++;
+          Vertex member = kUndefined;
+          do {
+            member = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[member] = false;
+            out.component[member] = id;
+          } while (member != v);
+        }
+      }
+    }
+  }
+  APGRE_ASSERT(scc_stack.empty());
+  return out;
+}
+
+CsrGraph condensation(const CsrGraph& g, const SccLabels& labels) {
+  APGRE_ASSERT(labels.component.size() == g.num_vertices());
+  EdgeList arcs;
+  for (const Edge& e : g.arcs()) {
+    const Vertex cu = labels.component[e.src];
+    const Vertex cv = labels.component[e.dst];
+    if (cu != cv) arcs.push_back(Edge{cu, cv});
+  }
+  return CsrGraph::from_edges(labels.num_components, std::move(arcs),
+                              /*directed=*/true);
+}
+
+bool is_strongly_connected(const CsrGraph& g) {
+  if (g.num_vertices() == 0) return true;
+  return strongly_connected_components(g).num_components == 1;
+}
+
+}  // namespace apgre

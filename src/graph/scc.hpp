@@ -1,0 +1,33 @@
+// Strongly connected components (iterative Tarjan) and the condensation
+// DAG. Directed-graph substrate: the reproduction's directed workloads
+// (web crawls, email networks) are analysed per-SCC in the examples, and
+// reachability reasoning (alpha/beta ground truths in tests) uses the
+// condensation.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+struct SccLabels {
+  /// component[v] in [0, num_components); components are numbered in
+  /// reverse topological order of the condensation (Tarjan's output
+  /// order): if the condensation has an arc C1 -> C2 then id(C1) > id(C2).
+  std::vector<Vertex> component;
+  Vertex num_components = 0;
+};
+
+/// Iterative Tarjan SCC over the directed graph (for undirected graphs
+/// every connected component is one SCC).
+SccLabels strongly_connected_components(const CsrGraph& g);
+
+/// Condensation: one vertex per SCC, an arc C(u) -> C(v) for every graph
+/// arc u -> v crossing components (deduplicated). Always a DAG.
+CsrGraph condensation(const CsrGraph& g, const SccLabels& labels);
+
+/// True iff the whole graph is one strongly connected component.
+bool is_strongly_connected(const CsrGraph& g);
+
+}  // namespace apgre

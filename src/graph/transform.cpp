@@ -1,0 +1,131 @@
+#include "graph/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/components.hpp"
+#include "support/prng.hpp"
+
+namespace apgre {
+
+CsrGraph undirected_projection(const CsrGraph& g) {
+  if (!g.directed()) return g;
+  EdgeList edges = g.arcs();
+  symmetrize(edges);
+  return CsrGraph::from_edges(g.num_vertices(), std::move(edges), /*directed=*/false);
+}
+
+CsrGraph relabel(const CsrGraph& g, const std::vector<Vertex>& permutation) {
+  APGRE_ASSERT(permutation.size() == g.num_vertices());
+  std::vector<bool> seen(g.num_vertices(), false);
+  for (Vertex p : permutation) {
+    APGRE_ASSERT_MSG(p < g.num_vertices() && !seen[p], "not a permutation");
+    seen[p] = true;
+  }
+  EdgeList edges = g.arcs();
+  for (Edge& e : edges) {
+    e.src = permutation[e.src];
+    e.dst = permutation[e.dst];
+  }
+  return CsrGraph::from_edges(g.num_vertices(), std::move(edges), g.directed());
+}
+
+InducedSubgraph induced_subgraph(const CsrGraph& g, const std::vector<Vertex>& vertices) {
+  std::vector<Vertex> to_local(g.num_vertices(), kInvalidVertex);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    APGRE_ASSERT(vertices[i] < g.num_vertices());
+    APGRE_ASSERT_MSG(to_local[vertices[i]] == kInvalidVertex, "duplicate vertex");
+    to_local[vertices[i]] = static_cast<Vertex>(i);
+  }
+
+  EdgeList edges;
+  for (Vertex global : vertices) {
+    for (Vertex w : g.out_neighbors(global)) {
+      if (to_local[w] != kInvalidVertex) {
+        edges.push_back(Edge{to_local[global], to_local[w]});
+      }
+    }
+  }
+  InducedSubgraph out;
+  out.graph = CsrGraph::from_edges(static_cast<Vertex>(vertices.size()),
+                                   std::move(edges), g.directed());
+  out.to_global = vertices;
+  return out;
+}
+
+InducedSubgraph largest_component(const CsrGraph& g) {
+  const ComponentLabels labels = connected_components(g);
+  std::vector<EdgeId> sizes(labels.num_components, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) ++sizes[labels.component[v]];
+  const auto best = static_cast<Vertex>(std::distance(
+      sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+
+  std::vector<Vertex> vertices;
+  vertices.reserve(sizes[best]);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (labels.component[v] == best) vertices.push_back(v);
+  }
+  return induced_subgraph(g, vertices);
+}
+
+CsrGraph attach_communities(const CsrGraph& g, Vertex count, Vertex size,
+                            std::uint64_t seed) {
+  APGRE_ASSERT(g.num_vertices() > 0 && size >= 2);
+  Xoshiro256 rng(seed);
+  EdgeList edges = g.arcs();
+  const Vertex n = g.num_vertices();
+  auto add_undirected = [&](Vertex u, Vertex v) {
+    edges.push_back(Edge{u, v});
+    edges.push_back(Edge{v, u});
+  };
+  Vertex next = n;
+  for (Vertex c = 0; c < count; ++c) {
+    const auto host = static_cast<Vertex>(rng.bounded(n));
+    const Vertex base = next;
+    next += size;
+    for (Vertex u = 0; u < size; ++u) {
+      for (Vertex v = u + 1; v < size; ++v) {
+        add_undirected(base + u, base + v);
+      }
+    }
+    add_undirected(host, base + static_cast<Vertex>(rng.bounded(size)));
+  }
+  return CsrGraph::from_edges(next, std::move(edges), g.directed());
+}
+
+CsrGraph attach_chains(const CsrGraph& g, Vertex count, Vertex length,
+                       std::uint64_t seed) {
+  APGRE_ASSERT(g.num_vertices() > 0 && length >= 1);
+  Xoshiro256 rng(seed);
+  EdgeList edges = g.arcs();
+  const Vertex n = g.num_vertices();
+  auto add_undirected = [&](Vertex u, Vertex v) {
+    edges.push_back(Edge{u, v});
+    edges.push_back(Edge{v, u});
+  };
+  Vertex next = n;
+  for (Vertex c = 0; c < count; ++c) {
+    Vertex prev = static_cast<Vertex>(rng.bounded(n));
+    for (Vertex i = 0; i < length; ++i) {
+      add_undirected(prev, next);
+      prev = next++;
+    }
+  }
+  return CsrGraph::from_edges(next, std::move(edges), g.directed());
+}
+
+CsrGraph attach_pendants(const CsrGraph& g, Vertex count, std::uint64_t seed) {
+  APGRE_ASSERT(g.num_vertices() > 0);
+  Xoshiro256 rng(seed);
+  EdgeList edges = g.arcs();
+  const Vertex n = g.num_vertices();
+  for (Vertex i = 0; i < count; ++i) {
+    const auto host = static_cast<Vertex>(rng.bounded(n));
+    const Vertex pendant = n + i;
+    edges.push_back(Edge{pendant, host});
+    if (!g.directed()) edges.push_back(Edge{host, pendant});
+  }
+  return CsrGraph::from_edges(n + count, std::move(edges), g.directed());
+}
+
+}  // namespace apgre

@@ -1,0 +1,54 @@
+// Whole-graph transformations: symmetrisation (the paper's GETUNDG),
+// relabeling, induced sub-graphs and largest-component extraction.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// Undirected projection: every arc becomes a symmetric edge
+/// (paper Algorithm 1 line 1, GETUNDG). Identity for undirected inputs.
+CsrGraph undirected_projection(const CsrGraph& g);
+
+/// Relabel vertices: new id of v is `permutation[v]`. `permutation` must be
+/// a bijection on [0, n).
+CsrGraph relabel(const CsrGraph& g, const std::vector<Vertex>& permutation);
+
+/// Result of an induced-sub-graph extraction: the sub-graph plus the
+/// local -> global id mapping.
+struct InducedSubgraph {
+  CsrGraph graph;
+  std::vector<Vertex> to_global;  // local id -> original id
+};
+
+/// Sub-graph induced by `vertices` (arcs with both endpoints selected).
+/// `vertices` must be duplicate-free.
+InducedSubgraph induced_subgraph(const CsrGraph& g, const std::vector<Vertex>& vertices);
+
+/// Restrict to the largest connected component of the undirected projection.
+InducedSubgraph largest_component(const CsrGraph& g);
+
+/// Append `count` pendant vertices, each attached to a random existing
+/// vertex by a single undirected edge (or, for directed graphs, a single
+/// out-arc pendant -> host, making them total-redundancy sources exactly as
+/// in paper §2.2). Returns the decorated graph; new ids are n..n+count-1.
+CsrGraph attach_pendants(const CsrGraph& g, Vertex count, std::uint64_t seed);
+
+/// Append `count` satellite communities: each is a clique of `size`
+/// vertices joined to one random existing vertex by a single bridge edge.
+/// The bridge host becomes an articulation point and the community a
+/// biconnected block — the source of *partial* redundancy (common sub-DAG
+/// reuse) in the paper's social/web graphs. For directed graphs the clique
+/// and bridge arcs are added in both directions.
+CsrGraph attach_communities(const CsrGraph& g, Vertex count, Vertex size,
+                            std::uint64_t seed);
+
+/// Append `count` chains ("tendrils") of `length` vertices hanging off
+/// random existing vertices, the tree fringes of web crawls. Every chain
+/// vertex is an articulation point; the tip is a removable pendant.
+CsrGraph attach_chains(const CsrGraph& g, Vertex count, Vertex length,
+                       std::uint64_t seed);
+
+}  // namespace apgre

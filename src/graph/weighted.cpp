@@ -1,0 +1,153 @@
+#include "graph/weighted.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace apgre {
+
+WeightedCsrGraph WeightedCsrGraph::from_edges(Vertex num_vertices,
+                                              std::vector<WeightedEdge> edges,
+                                              bool directed) {
+  for (const WeightedEdge& e : edges) {
+    APGRE_ASSERT_MSG(e.src < num_vertices && e.dst < num_vertices,
+                     "edge endpoint out of range");
+    APGRE_REQUIRE(e.weight >= 0.0, "arc weights must be non-negative");
+  }
+  // Drop self-loops; for duplicates keep the lightest arc.
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const WeightedEdge& e) { return e.src == e.dst; }),
+              edges.end());
+  std::sort(edges.begin(), edges.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const WeightedEdge& a, const WeightedEdge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+
+  WeightedCsrGraph g;
+  EdgeList arcs;
+  arcs.reserve(edges.size());
+  for (const WeightedEdge& e : edges) arcs.push_back(Edge{e.src, e.dst});
+  g.structure_ = CsrGraph::from_edges(num_vertices, std::move(arcs), directed);
+  APGRE_ASSERT(g.structure_.num_arcs() == edges.size());
+
+  // The CSR builder sorts arcs by (src, dst) — the same order as `edges`
+  // after dedup, so weights can be copied positionally.
+  g.weights_.reserve(edges.size());
+  for (const WeightedEdge& e : edges) g.weights_.push_back(e.weight);
+  return g;
+}
+
+WeightedCsrGraph WeightedCsrGraph::undirected_from_edges(
+    Vertex num_vertices, std::vector<WeightedEdge> edges) {
+  const std::size_t original = edges.size();
+  edges.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i) {
+    edges.push_back(WeightedEdge{edges[i].dst, edges[i].src, edges[i].weight});
+  }
+  return from_edges(num_vertices, std::move(edges), /*directed=*/false);
+}
+
+double WeightedCsrGraph::arc_weight(Vertex v, Vertex w) const {
+  const auto neighbors = out_neighbors(v);
+  const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), w);
+  APGRE_ASSERT_MSG(it != neighbors.end() && *it == w, "arc does not exist");
+  const auto index = static_cast<std::size_t>(it - neighbors.begin());
+  return weights_[structure_.out_offset(v) + index];
+}
+
+std::vector<WeightedEdge> WeightedCsrGraph::arcs() const {
+  std::vector<WeightedEdge> out;
+  out.reserve(num_arcs());
+  for (Vertex v = 0; v < num_vertices(); ++v) {
+    const auto neighbors = out_neighbors(v);
+    const auto weights = out_weights(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      out.push_back(WeightedEdge{v, neighbors[i], weights[i]});
+    }
+  }
+  return out;
+}
+
+WeightedCsrGraph with_unit_weights(const CsrGraph& g) {
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_arcs());
+  for (const Edge& e : g.arcs()) edges.push_back(WeightedEdge{e.src, e.dst, 1.0});
+  return WeightedCsrGraph::from_edges(g.num_vertices(), std::move(edges),
+                                      g.directed());
+}
+
+WeightedCsrGraph with_random_weights(const CsrGraph& g, std::uint32_t lo,
+                                     std::uint32_t hi, std::uint64_t seed) {
+  APGRE_ASSERT(lo <= hi);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(g.num_arcs());
+  for (const Edge& e : g.arcs()) {
+    // Symmetric deterministic weight per undirected pair: derive it from
+    // the unordered endpoints so (u,v) and (v,u) agree.
+    const std::uint64_t lo_id = std::min(e.src, e.dst);
+    const std::uint64_t hi_id = std::max(e.src, e.dst);
+    const std::uint64_t h = hash_combine64(seed, (lo_id << 32) | hi_id);
+    const double weight = static_cast<double>(lo + h % (hi - lo + 1));
+    edges.push_back(WeightedEdge{e.src, e.dst, weight});
+  }
+  return WeightedCsrGraph::from_edges(g.num_vertices(), std::move(edges),
+                                      g.directed());
+}
+
+WeightedCsrGraph read_dimacs_weighted(std::istream& in, bool directed,
+                                      const std::string& name) {
+  std::vector<WeightedEdge> edges;
+  Vertex n = 0;
+  bool saw_header = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      std::uint64_t nn = 0;
+      std::uint64_t mm = 0;
+      if (!(ls >> kind >> nn >> mm)) {
+        throw ParseError(name, line_no, "malformed problem line: " + line);
+      }
+      n = static_cast<Vertex>(nn);
+      edges.reserve(mm);
+      saw_header = true;
+    } else if (tag == 'a') {
+      if (!saw_header) throw ParseError(name, line_no, "arc before problem line");
+      std::uint64_t u = 0;
+      std::uint64_t v = 0;
+      double w = 1.0;
+      if (!(ls >> u >> v)) {
+        throw ParseError(name, line_no, "malformed arc line: " + line);
+      }
+      ls >> w;  // weight column optional, defaults to 1
+      if (u == 0 || v == 0 || u > n || v > n) {
+        throw ParseError(name, line_no, "vertex id out of range: " + line);
+      }
+      edges.push_back(WeightedEdge{static_cast<Vertex>(u - 1),
+                                   static_cast<Vertex>(v - 1), w});
+    } else {
+      throw ParseError(name, line_no, std::string("unknown record tag `") + tag + "`");
+    }
+  }
+  APGRE_REQUIRE(saw_header, name + ": missing `p sp n m` header");
+  if (directed) return WeightedCsrGraph::from_edges(n, std::move(edges), true);
+  return WeightedCsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+}  // namespace apgre

@@ -1,0 +1,89 @@
+// Weighted CSR graph for the weighted-BC extension.
+//
+// The paper's algorithms target unweighted graphs (§2.1); weighted BC is
+// cited as related work (Edmonds et al., HiPC 2010). This module provides
+// the substrate for the weighted extension: positive arc weights stored
+// CSR-parallel to the adjacency, plus weight-assignment decorators.
+//
+// Weight semantics: non-negative doubles. The shortest-path algorithms
+// compare path lengths with exact ==, which is reliable when weights are
+// integer-valued (exactly representable doubles) — the generators below
+// only produce integer weights, and the DIMACS reader keeps the integer
+// weights of the format.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+struct WeightedEdge {
+  Vertex src;
+  Vertex dst;
+  double weight;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+class WeightedCsrGraph {
+ public:
+  WeightedCsrGraph() = default;
+
+  /// Build from weighted arcs. Self-loops are dropped; duplicate arcs keep
+  /// the smallest weight (the only one shortest paths can use). Weights
+  /// must be non-negative.
+  static WeightedCsrGraph from_edges(Vertex num_vertices,
+                                     std::vector<WeightedEdge> edges,
+                                     bool directed);
+
+  /// Convenience: adds the reverse of every arc with the same weight.
+  static WeightedCsrGraph undirected_from_edges(Vertex num_vertices,
+                                                std::vector<WeightedEdge> edges);
+
+  Vertex num_vertices() const { return structure_.num_vertices(); }
+  EdgeId num_arcs() const { return structure_.num_arcs(); }
+  bool directed() const { return structure_.directed(); }
+
+  /// The unweighted structure view (shared by the articulation-point
+  /// decomposition, which is weight-agnostic).
+  const CsrGraph& structure() const { return structure_; }
+
+  std::span<const Vertex> out_neighbors(Vertex v) const {
+    return structure_.out_neighbors(v);
+  }
+
+  /// Weights parallel to out_neighbors(v).
+  std::span<const double> out_weights(Vertex v) const {
+    const auto offset = structure_.out_offset(v);
+    return {weights_.data() + offset,
+            weights_.data() + offset + structure_.out_degree(v)};
+  }
+
+  /// Weight of arc (v, w); asserts the arc exists.
+  double arc_weight(Vertex v, Vertex w) const;
+
+  std::vector<WeightedEdge> arcs() const;
+
+  friend bool operator==(const WeightedCsrGraph&, const WeightedCsrGraph&) = default;
+
+ private:
+  CsrGraph structure_;
+  std::vector<double> weights_;  // parallel to the out-arc array
+};
+
+/// Assign every arc of `g` unit weight.
+WeightedCsrGraph with_unit_weights(const CsrGraph& g);
+
+/// Assign every arc a uniform integer weight in [lo, hi]. Undirected
+/// graphs get symmetric weights (w(u,v) == w(v,u)).
+WeightedCsrGraph with_random_weights(const CsrGraph& g, std::uint32_t lo,
+                                     std::uint32_t hi, std::uint64_t seed);
+
+/// DIMACS .gr reader that keeps the arc weights (io_dimacs.hpp drops them).
+WeightedCsrGraph read_dimacs_weighted(std::istream& in, bool directed,
+                                      const std::string& name = "<stream>");
+
+}  // namespace apgre

@@ -1,0 +1,98 @@
+// Dynamic bitsets for BFS visited-tracking.
+//
+// Bitset: single-threaded, cache-compact.
+// AtomicBitset: concurrent test-and-set used by the fine-grained parallel
+// BFS frontiers (level-synchronous BC algorithms and the hybrid
+// direction-optimising BFS).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+/// Plain dynamic bitset sized at construction.
+class Bitset {
+ public:
+  explicit Bitset(std::size_t bits = 0) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  std::size_t size() const { return bits_; }
+
+  bool test(std::size_t i) const {
+    APGRE_ASSERT(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    APGRE_ASSERT(i < bits_);
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  void clear(std::size_t i) {
+    APGRE_ASSERT(i < bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void reset() { std::memset(words_.data(), 0, words_.size() * sizeof(std::uint64_t)); }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Concurrent bitset: set() is an atomic fetch_or and reports whether this
+/// call transitioned the bit 0 -> 1, which is exactly the "did I win the
+/// claim on this vertex" primitive parallel BFS needs.
+class AtomicBitset {
+ public:
+  explicit AtomicBitset(std::size_t bits = 0) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_ = std::vector<std::atomic<std::uint64_t>>((bits + 63) / 64);
+    reset();
+  }
+
+  std::size_t size() const { return bits_; }
+
+  bool test(std::size_t i) const {
+    APGRE_ASSERT(i < bits_);
+    return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1u;
+  }
+
+  /// Atomically set bit i; returns true iff the bit was previously clear
+  /// (i.e. the caller claimed it).
+  bool set(std::size_t i) {
+    APGRE_ASSERT(i < bits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const std::uint64_t old =
+        words_[i >> 6].fetch_or(mask, std::memory_order_relaxed);
+    return (old & mask) == 0;
+  }
+
+  void reset() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace apgre

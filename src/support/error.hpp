@@ -1,0 +1,64 @@
+// Error handling primitives for the APGRE library.
+//
+// We follow the C++ Core Guidelines split between preconditions (programmer
+// errors, checked with APGRE_ASSERT in all build types because graph code is
+// index-heavy and silent OOB corrupts results) and runtime failures
+// (malformed input files, impossible requests) which throw apgre::Error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apgre {
+
+/// Base exception for all recoverable library failures (bad input files,
+/// invalid user-supplied options, ...). Carries a human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input file cannot be parsed.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& file, std::size_t line, const std::string& what)
+      : Error(file + ":" + std::to_string(line) + ": " + what) {}
+};
+
+/// Thrown when user-supplied options are inconsistent.
+class OptionError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": assertion `" << expr << "` failed";
+  if (!msg.empty()) os << ": " << msg;
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace apgre
+
+/// Precondition / invariant check, active in every build type. Graph kernels
+/// are bounds-sensitive; a violated invariant must stop the run, not corrupt
+/// BC scores.
+#define APGRE_ASSERT(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) ::apgre::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define APGRE_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) ::apgre::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Runtime requirement on user input; throws apgre::Error.
+#define APGRE_REQUIRE(expr, msg)                       \
+  do {                                                 \
+    if (!(expr)) throw ::apgre::Error(msg);            \
+  } while (0)

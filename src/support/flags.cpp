@@ -1,0 +1,163 @@
+#include "support/flags.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+namespace {
+
+const char* type_name(int type) {
+  switch (type) {
+    case 0: return "string";
+    case 1: return "int";
+    case 2: return "double";
+    case 3: return "bool";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+FlagParser& FlagParser::add_string(const std::string& name, std::string default_value,
+                                   const std::string& help) {
+  flags_[name] = Flag{Type::kString, default_value, default_value, help};
+  return *this;
+}
+
+FlagParser& FlagParser::add_int(const std::string& name, std::int64_t default_value,
+                                const std::string& help) {
+  const std::string text = std::to_string(default_value);
+  flags_[name] = Flag{Type::kInt, text, text, help};
+  return *this;
+}
+
+FlagParser& FlagParser::add_double(const std::string& name, double default_value,
+                                   const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Type::kDouble, os.str(), os.str(), help};
+  return *this;
+}
+
+FlagParser& FlagParser::add_bool(const std::string& name, bool default_value,
+                                 const std::string& help) {
+  const std::string text = default_value ? "true" : "false";
+  flags_[name] = Flag{Type::kBool, text, text, help};
+  return *this;
+}
+
+std::vector<std::string> FlagParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    const auto it = flags_.find(name);
+    APGRE_REQUIRE(it != flags_.end(), "unknown flag --" + name);
+    Flag& flag = it->second;
+
+    if (!have_value) {
+      if (flag.type == Type::kBool) {
+        value = "true";  // bare boolean flag
+      } else {
+        APGRE_REQUIRE(i + 1 < argc, "flag --" + name + " needs a value");
+        value = argv[++i];
+      }
+    }
+
+    // Validate by type.
+    switch (flag.type) {
+      case Type::kString:
+        break;
+      case Type::kInt: {
+        std::size_t used = 0;
+        try {
+          (void)std::stoll(value, &used);
+        } catch (const std::exception&) {
+          used = 0;
+        }
+        APGRE_REQUIRE(used == value.size() && !value.empty(),
+                      "flag --" + name + " expects an integer, got `" + value + "`");
+        break;
+      }
+      case Type::kDouble: {
+        std::size_t used = 0;
+        try {
+          (void)std::stod(value, &used);
+        } catch (const std::exception&) {
+          used = 0;
+        }
+        APGRE_REQUIRE(used == value.size() && !value.empty(),
+                      "flag --" + name + " expects a number, got `" + value + "`");
+        break;
+      }
+      case Type::kBool:
+        APGRE_REQUIRE(value == "true" || value == "false" || value == "1" ||
+                          value == "0",
+                      "flag --" + name + " expects true/false, got `" + value + "`");
+        if (value == "1") value = "true";
+        if (value == "0") value = "false";
+        break;
+    }
+    flag.value = value;
+  }
+  return positional;
+}
+
+const FlagParser::Flag& FlagParser::flag(const std::string& name, Type expected) const {
+  const auto it = flags_.find(name);
+  APGRE_REQUIRE(it != flags_.end(), "flag --" + name + " was never registered");
+  APGRE_REQUIRE(it->second.type == expected,
+                "flag --" + name + " is not of type " +
+                    type_name(static_cast<int>(expected)));
+  return it->second;
+}
+
+std::string FlagParser::get_string(const std::string& name) const {
+  return flag(name, Type::kString).value;
+}
+
+std::int64_t FlagParser::get_int(const std::string& name) const {
+  return std::stoll(flag(name, Type::kInt).value);
+}
+
+double FlagParser::get_double(const std::string& name) const {
+  return std::stod(flag(name, Type::kDouble).value);
+}
+
+bool FlagParser::get_bool(const std::string& name) const {
+  return flag(name, Type::kBool).value == "true";
+}
+
+std::string FlagParser::help() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (" << type_name(static_cast<int>(flag.type))
+       << ", default " << (flag.default_value.empty() ? "\"\"" : flag.default_value)
+       << ")\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace apgre

@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr. Benchmarks and examples use it for
+// progress lines; the library itself only logs at debug level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace apgre {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Initialised from the
+/// APGRE_LOG environment variable (debug/info/warn/error/off), default warn.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style one-shot logger: LOG(kInfo) << "built " << n << " subgraphs";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_threshold()) detail::log_emit(level_, os_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace apgre
+
+#define APGRE_LOG(level) ::apgre::LogLine(::apgre::LogLevel::level)

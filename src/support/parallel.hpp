@@ -1,0 +1,77 @@
+// Thin OpenMP wrappers.
+//
+// The paper implemented APGRE in CilkPlus (cilk_for + reducer bags); gcc 12
+// no longer ships CilkPlus, so this reproduction uses OpenMP. Everything the
+// algorithms need from the runtime goes through this header so the choice is
+// swappable and testable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace apgre {
+
+/// Number of threads an upcoming parallel region will use.
+inline int num_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Caller's thread id inside a parallel region (0 outside one).
+inline int thread_id() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+/// Set the global thread budget (used by the scaling benchmarks).
+inline void set_num_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// RAII guard that overrides the thread budget and restores it on exit.
+class ThreadBudget {
+ public:
+  explicit ThreadBudget(int n) : saved_(num_threads()) { set_num_threads(n); }
+  ~ThreadBudget() { set_num_threads(saved_); }
+  ThreadBudget(const ThreadBudget&) = delete;
+  ThreadBudget& operator=(const ThreadBudget&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// One value of T per thread, padded to a cache line to avoid false sharing.
+/// Used for per-thread BC score buffers in the coarse-grained algorithms.
+template <typename T>
+class PerThread {
+ public:
+  PerThread() : slots_(static_cast<std::size_t>(num_threads())) {}
+  explicit PerThread(const T& init)
+      : slots_(static_cast<std::size_t>(num_threads()), Padded{init}) {}
+
+  T& local() { return slots_[static_cast<std::size_t>(thread_id())].value; }
+  T& operator[](std::size_t i) { return slots_[i].value; }
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  struct alignas(64) Padded {
+    T value;
+  };
+  std::vector<Padded> slots_;
+};
+
+}  // namespace apgre

@@ -1,0 +1,94 @@
+#include "support/table.hpp"
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  APGRE_ASSERT(!header_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  APGRE_ASSERT_MSG(!rows_.empty(), "call row() before cell()");
+  APGRE_ASSERT_MSG(rows_.back().size() < header_.size(), "row has too many cells");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+Table& Table::dash() { return cell("-"); }
+
+namespace {
+
+std::vector<std::size_t> column_widths(const std::vector<std::string>& header,
+                                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void append_row(std::ostringstream& os, const std::vector<std::string>& cells,
+                const std::vector<std::size_t>& widths, const char* sep) {
+  os << sep;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& value = c < cells.size() ? cells[c] : std::string();
+    os << " " << value << std::string(widths[c] - value.size(), ' ') << " " << sep;
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string Table::to_string() const {
+  const auto widths = column_widths(header_, rows_);
+  std::ostringstream os;
+  std::ostringstream rule;
+  rule << "+";
+  for (std::size_t w : widths) rule << std::string(w + 2, '-') << "+";
+  rule << "\n";
+
+  os << rule.str();
+  append_row(os, header_, widths, "|");
+  os << rule.str();
+  for (const auto& row : rows_) append_row(os, row, widths, "|");
+  os << rule.str();
+  return os.str();
+}
+
+std::string Table::to_markdown() const {
+  const auto widths = column_widths(header_, rows_);
+  std::ostringstream os;
+  append_row(os, header_, widths, "|");
+  os << "|";
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) append_row(os, row, widths, "|");
+  return os.str();
+}
+
+}  // namespace apgre

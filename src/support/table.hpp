@@ -1,0 +1,37 @@
+// ASCII / markdown table renderer used by every benchmark binary to print
+// rows in the same layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace apgre {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendering pads each column to its widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+  /// "-" placeholder, mirroring the paper's missing entries.
+  Table& dash();
+
+  /// Render with box-drawing separators for terminals.
+  std::string to_string() const;
+  /// Render as GitHub-flavoured markdown (used by EXPERIMENTS.md capture).
+  std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apgre

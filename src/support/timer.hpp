@@ -1,0 +1,43 @@
+// Wall-clock timing helpers used by benchmarks and APGRE's per-phase
+// execution breakdown (paper Figure 8).
+#pragma once
+
+#include <chrono>
+
+namespace apgre {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed wall time into a double on scope exit. Used to build
+/// phase breakdowns without sprinkling explicit stop() calls.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink) : sink_(sink) {}
+  ~ScopedTimer() { sink_ += timer_.seconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace apgre

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "bc/algebraic.hpp"
+#include "bc/brandes.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(AlgebraicBc, Shapes) {
+  for (const CsrGraph& g : {path(9), star(12), cycle(10), complete(7),
+                            barbell(5, 2), binary_tree(31)}) {
+    testing::expect_scores_near(brandes_bc(g), algebraic_bc(g));
+  }
+}
+
+TEST(AlgebraicBc, EmptyAndTrivial) {
+  EXPECT_TRUE(algebraic_bc(CsrGraph::from_edges(0, {}, false)).empty());
+  const auto one = algebraic_bc(CsrGraph::from_edges(1, {}, false));
+  EXPECT_DOUBLE_EQ(one[0], 0.0);
+}
+
+TEST(AlgebraicBc, ExactlyBatchSizedGraph) {
+  // n == 64: one full batch, no remainder lane handling.
+  const CsrGraph g = barabasi_albert(64, 2, 7);
+  testing::expect_scores_near(brandes_bc(g), algebraic_bc(g));
+}
+
+TEST(AlgebraicBc, BatchBoundaryGraphSizes) {
+  // 63 / 65 / 128 / 130 vertices exercise partial batches on both sides.
+  for (Vertex n : {63u, 65u, 128u, 130u}) {
+    const CsrGraph g = barabasi_albert(n, 2, n);
+    SCOPED_TRACE(n);
+    testing::expect_scores_near(brandes_bc(g), algebraic_bc(g));
+  }
+}
+
+TEST(AlgebraicBc, DirectedPaperFigure3) {
+  const CsrGraph g = paper_figure3();
+  testing::expect_scores_near(brandes_bc(g), algebraic_bc(g));
+}
+
+TEST(AlgebraicBc, DisconnectedGraph) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      70, {{0, 1}, {1, 2}, {2, 0}, {40, 41}, {68, 69}});
+  testing::expect_scores_near(brandes_bc(g), algebraic_bc(g));
+}
+
+class AlgebraicSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlgebraicSweep, MatchesBrandesOnRandomGraphs) {
+  for (const auto& gc : testing::graph_family(GetParam(), /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    testing::expect_scores_near(brandes_bc(gc.graph), algebraic_bc(gc.graph));
+  }
+}
+
+TEST_P(AlgebraicSweep, MatchesBrandesOnMediumGraphs) {
+  // Medium graphs span several batches.
+  const auto cases = testing::graph_family(GetParam(), /*tiny=*/false);
+  const auto& gc = cases[GetParam() % cases.size()];
+  SCOPED_TRACE(gc.name);
+  testing::expect_scores_near(brandes_bc(gc.graph), algebraic_bc(gc.graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraicSweep, ::testing::Values(171, 181, 191));
+
+}  // namespace
+}  // namespace apgre

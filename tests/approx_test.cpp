@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "bc/approx.hpp"
+#include "bc/brandes.hpp"
+#include "bc/naive.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(SelectPivots, UniformIsSampleWithoutReplacement) {
+  const CsrGraph g = barabasi_albert(100, 2, 1);
+  const auto pivots = select_pivots(g, 30, PivotStrategy::kUniform, 5);
+  EXPECT_EQ(pivots.size(), 30u);
+  const std::set<Vertex> unique(pivots.begin(), pivots.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (Vertex p : pivots) EXPECT_LT(p, 100u);
+}
+
+TEST(SelectPivots, ClampsToVertexCount) {
+  const CsrGraph g = path(5);
+  EXPECT_EQ(select_pivots(g, 100, PivotStrategy::kUniform, 1).size(), 5u);
+  EXPECT_EQ(select_pivots(g, 100, PivotStrategy::kMaxMin, 1).size(), 5u);
+}
+
+TEST(SelectPivots, DegreeProportionalPrefersHubs) {
+  // Star: the centre has degree n-1 and should appear in nearly every
+  // small sample.
+  const CsrGraph g = star(50);
+  int centre_hits = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const auto pivots = select_pivots(g, 3, PivotStrategy::kDegreeProportional, seed);
+    centre_hits += std::count(pivots.begin(), pivots.end(), 0u);
+  }
+  EXPECT_GT(centre_hits, 20);  // ~ 50 * (1 - (1 - 1/3)^3) >> 20
+}
+
+TEST(SelectPivots, MaxMinSpreadsOverThePath) {
+  // Farthest-first on a path must hit both ends within the first three
+  // pivots regardless of the random start.
+  const CsrGraph g = path(30);
+  const auto pivots = select_pivots(g, 3, PivotStrategy::kMaxMin, 9);
+  const std::set<Vertex> chosen(pivots.begin(), pivots.end());
+  EXPECT_TRUE(chosen.contains(0u) || chosen.contains(29u));
+  // Pairwise min distance should be large (>= ~1/3 of the path).
+  for (std::size_t i = 0; i < pivots.size(); ++i) {
+    for (std::size_t j = i + 1; j < pivots.size(); ++j) {
+      const auto d = pivots[i] > pivots[j] ? pivots[i] - pivots[j]
+                                           : pivots[j] - pivots[i];
+      EXPECT_GE(d, 7u);
+    }
+  }
+}
+
+TEST(EstimateBc, AllPivotsIsExact) {
+  const CsrGraph g = barabasi_albert(80, 2, 3);
+  std::vector<Vertex> all(80);
+  std::iota(all.begin(), all.end(), 0);
+  testing::expect_scores_near(brandes_bc(g), estimate_bc(g, all));
+}
+
+TEST(EstimateBc, ScalesByInverseSampleFraction) {
+  const CsrGraph g = path(9);
+  const auto half = estimate_bc(g, {0, 2, 4});  // weight 3
+  const auto single = brandes_bc_from_sources(g, {0, 2, 4}, 1.0);
+  for (Vertex v = 0; v < 9; ++v) EXPECT_DOUBLE_EQ(half[v], 3.0 * single[v]);
+}
+
+TEST(LinearScaled, AllPivotsMatchesClosedForm) {
+  // With every vertex as pivot the estimator computes exactly
+  //   sum_{s,t} sigma_st(v)/sigma_st * d(s,v)/d(s,t),
+  // which the naive dist/sigma matrices reproduce directly.
+  for (const auto& gc : testing::graph_family(93, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const CsrGraph& g = gc.graph;
+    const Vertex n = g.num_vertices();
+    std::vector<Vertex> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    const auto scaled = estimate_bc_linear_scaled(g, all);
+
+    // Oracle via per-source BFS matrices.
+    std::vector<double> expected(n, 0.0);
+    std::vector<std::vector<std::uint32_t>> dist;
+    std::vector<std::vector<double>> sigma;
+    for (Vertex s = 0; s < n; ++s) {
+      dist.push_back(bfs_distances(g, s));
+      sigma.emplace_back(n, 0.0);
+    }
+    // Recompute sigma with BFS per source.
+    for (Vertex s = 0; s < n; ++s) {
+      std::vector<Vertex> queue{s};
+      sigma[s][s] = 1.0;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const Vertex v = queue[head];
+        for (Vertex w : g.out_neighbors(v)) {
+          if (dist[s][w] == dist[s][v] + 1) {
+            if (sigma[s][w] == 0.0) queue.push_back(w);
+            sigma[s][w] += sigma[s][v];
+          }
+        }
+      }
+    }
+    for (Vertex s = 0; s < n; ++s) {
+      for (Vertex t = 0; t < n; ++t) {
+        if (s == t || dist[s][t] == kUnreachable || dist[s][t] == 0) continue;
+        for (Vertex v = 0; v < n; ++v) {
+          if (v == s || v == t) continue;
+          if (dist[s][v] == kUnreachable || dist[v][t] == kUnreachable) continue;
+          if (dist[s][v] + dist[v][t] != dist[s][t]) continue;
+          expected[v] += sigma[s][v] * sigma[v][t] / sigma[s][t] *
+                         static_cast<double>(dist[s][v]) /
+                         static_cast<double>(dist[s][t]);
+        }
+      }
+    }
+    testing::expect_scores_near(expected, scaled);
+  }
+}
+
+TEST(LinearScaled, RanksStarCentreFirst) {
+  const CsrGraph g = star(60);
+  const auto pivots = select_pivots(g, 8, PivotStrategy::kUniform, 3);
+  const auto scores = estimate_bc_linear_scaled(g, pivots);
+  for (Vertex v = 1; v < 60; ++v) EXPECT_LE(scores[v], scores[0]);
+}
+
+TEST(AdaptiveEstimate, HighCentralityConvergesFast) {
+  // Star centre: every sampled leaf contributes delta = n-2, so the c*n
+  // threshold is crossed after ~c samples.
+  const CsrGraph g = star(200);
+  const AdaptiveEstimate est = adaptive_estimate_bc(g, 0, 2.0, 7);
+  EXPECT_LT(est.samples_used, 10u);
+  const double exact = brandes_bc(g)[0];
+  EXPECT_NEAR(est.score, exact, exact * 0.25);
+}
+
+TEST(AdaptiveEstimate, LowCentralityUsesAllSamplesAndIsExact) {
+  // A leaf of the star has BC 0: the threshold is never crossed, every
+  // source is sampled, and the estimate becomes exact.
+  const CsrGraph g = star(40);
+  const AdaptiveEstimate est = adaptive_estimate_bc(g, 5, 2.0, 7);
+  EXPECT_EQ(est.samples_used, 40u);
+  EXPECT_DOUBLE_EQ(est.score, 0.0);
+}
+
+TEST(AdaptiveEstimate, MatchesExactWhenAllSampled) {
+  const CsrGraph g = path(12);
+  const auto exact = brandes_bc(g);
+  // Middle vertex: huge c forces exhaustive sampling -> exact dependency.
+  const AdaptiveEstimate est = adaptive_estimate_bc(g, 6, 1e9, 3);
+  EXPECT_EQ(est.samples_used, 12u);
+  EXPECT_NEAR(est.score, exact[6], 1e-9);
+}
+
+TEST(AdaptiveEstimate, RejectsBadThreshold) {
+  EXPECT_THROW(adaptive_estimate_bc(path(4), 1, 0.0, 1), Error);
+}
+
+class ApproxRankingSweep : public ::testing::TestWithParam<PivotStrategy> {};
+
+TEST_P(ApproxRankingSweep, TopVertexSurvivesSampling) {
+  // All strategies must keep the clearly-dominant broker on top.
+  const CsrGraph g = barbell(12, 2);
+  const auto exact = brandes_bc(g);
+  const auto exact_top = static_cast<Vertex>(
+      std::max_element(exact.begin(), exact.end()) - exact.begin());
+  const auto pivots = select_pivots(g, 8, GetParam(), 11);
+  const auto est = estimate_bc(g, pivots);
+  const auto est_top = static_cast<Vertex>(
+      std::max_element(est.begin(), est.end()) - est.begin());
+  // The bridge path vertices 12/13 dominate; both metrics should agree on
+  // a bridge vertex.
+  EXPECT_GE(est_top, 11u);
+  EXPECT_LE(est_top, 14u);
+  EXPECT_GE(exact_top, 12u);
+  EXPECT_LE(exact_top, 13u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ApproxRankingSweep,
+                         ::testing::Values(PivotStrategy::kUniform,
+                                           PivotStrategy::kDegreeProportional,
+                                           PivotStrategy::kMaxMin));
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "apps/girvan_newman.hpp"
+#include "apps/vulnerability.hpp"
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace apgre {
+namespace {
+
+using apps::AttackStrategy;
+using apps::CommunityResult;
+using apps::GirvanNewmanOptions;
+
+TEST(GirvanNewman, RecoversCavemanCommunities) {
+  const CsrGraph g = caveman(5, 6, 11);
+  GirvanNewmanOptions opts;
+  opts.target_communities = 5;
+  const CommunityResult result = apps::girvan_newman(g, opts);
+  EXPECT_EQ(result.num_communities, 5u);
+  EXPECT_EQ(result.removed_edges.size(), 4u);  // exactly the 4 bridges
+  // Every community is one clique: members with equal v / 6 share labels.
+  for (Vertex v = 0; v < 30; ++v) {
+    EXPECT_EQ(result.community[v], result.community[(v / 6) * 6]);
+  }
+  EXPECT_GT(result.modularity, 0.5);  // strong community structure
+}
+
+TEST(GirvanNewman, SplitsBarbellAtTheBridge) {
+  const CsrGraph g = barbell(5, 0);
+  GirvanNewmanOptions opts;
+  opts.target_communities = 2;
+  const CommunityResult result = apps::girvan_newman(g, opts);
+  EXPECT_EQ(result.num_communities, 2u);
+  ASSERT_EQ(result.removed_edges.size(), 1u);
+  EXPECT_EQ(result.removed_edges[0], (Edge{4, 5}));
+}
+
+TEST(GirvanNewman, MaxCutsGuardsTermination) {
+  const CsrGraph g = complete(6);
+  GirvanNewmanOptions opts;
+  opts.target_communities = 6;
+  opts.max_cuts = 3;
+  const CommunityResult result = apps::girvan_newman(g, opts);
+  EXPECT_EQ(result.removed_edges.size(), 3u);
+}
+
+TEST(GirvanNewman, RejectsDirectedGraphs) {
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {1, 2}}, true);
+  EXPECT_THROW(apps::girvan_newman(g, {}), Error);
+}
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const CsrGraph g = complete(5);
+  const std::vector<Vertex> one(5, 0);
+  EXPECT_NEAR(apps::modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(Modularity, PlantedPartitionBeatsRandomLabels) {
+  const CsrGraph g = caveman(4, 6, 3);
+  std::vector<Vertex> planted(24);
+  for (Vertex v = 0; v < 24; ++v) planted[v] = v / 6;
+  std::vector<Vertex> scrambled(24);
+  for (Vertex v = 0; v < 24; ++v) scrambled[v] = v % 4;
+  EXPECT_GT(apps::modularity(g, planted), apps::modularity(g, scrambled));
+}
+
+TEST(Dismantle, BetweennessAttackShattersBarbell) {
+  const CsrGraph g = barbell(6, 1);  // bridge vertex 6
+  const auto curve = apps::dismantle(g, 1, AttackStrategy::kBetweenness);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].removed, 6u);  // the broker goes first
+  EXPECT_EQ(curve[0].largest_component, 6u);
+  EXPECT_EQ(curve[0].num_components, 2u);
+  EXPECT_GT(curve[0].betweenness, 0.0);
+}
+
+TEST(Dismantle, DegreeAttackPicksHub) {
+  const CsrGraph g = star(10);
+  const auto curve = apps::dismantle(g, 1, AttackStrategy::kDegree);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].removed, 0u);
+  EXPECT_EQ(curve[0].largest_component, 1u);
+  EXPECT_EQ(curve[0].num_components, 9u);
+}
+
+TEST(Dismantle, RandomAttackIsSeededAndValid) {
+  const CsrGraph g = cycle(12);
+  const auto a = apps::dismantle(g, 4, AttackStrategy::kRandom, 5);
+  const auto b = apps::dismantle(g, 4, AttackStrategy::kRandom, 5);
+  ASSERT_EQ(a.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(a[i].removed, b[i].removed);
+  // No duplicates.
+  EXPECT_NE(a[0].removed, a[1].removed);
+}
+
+TEST(Dismantle, BetweennessAttackBeatsRandomOnBrokeredNetworks) {
+  const CsrGraph g = caveman(6, 6, 7);
+  const auto targeted = apps::dismantle(g, 5, AttackStrategy::kBetweenness);
+  const auto random = apps::dismantle(g, 5, AttackStrategy::kRandom, 3);
+  EXPECT_LT(apps::robustness_index(g, targeted),
+            apps::robustness_index(g, random) + 1e-9);
+}
+
+TEST(Dismantle, RejectsTooManySteps) {
+  EXPECT_THROW(apps::dismantle(path(3), 4, AttackStrategy::kDegree), Error);
+}
+
+TEST(RobustnessIndex, EmptyCurveIsOne) {
+  EXPECT_DOUBLE_EQ(apps::robustness_index(cycle(5), {}), 1.0);
+}
+
+}  // namespace
+}  // namespace apgre

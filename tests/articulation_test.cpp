@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "bcc/articulation.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+std::vector<Vertex> ap_list(const CsrGraph& g) {
+  std::vector<Vertex> out;
+  const auto flags = articulation_points(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (flags[v]) out.push_back(v);
+  }
+  return out;
+}
+
+TEST(ArticulationPoints, PathInteriorVerticesOnly) {
+  EXPECT_EQ(ap_list(path(5)), (std::vector<Vertex>{1, 2, 3}));
+}
+
+TEST(ArticulationPoints, CycleHasNone) {
+  EXPECT_TRUE(ap_list(cycle(8)).empty());
+}
+
+TEST(ArticulationPoints, CompleteGraphHasNone) {
+  EXPECT_TRUE(ap_list(complete(6)).empty());
+}
+
+TEST(ArticulationPoints, StarCentre) {
+  EXPECT_EQ(ap_list(star(6)), (std::vector<Vertex>{0}));
+}
+
+TEST(ArticulationPoints, TreeInternalVertices) {
+  // Binary tree on 7 vertices: internal vertices 0, 1, 2 cut their subtrees.
+  EXPECT_EQ(ap_list(binary_tree(7)), (std::vector<Vertex>{0, 1, 2}));
+}
+
+TEST(ArticulationPoints, BarbellBridgeEndsAndPath) {
+  // barbell(4, 1): cliques {0..3}, {5..8}, bridge vertex 4 between 3 and 5.
+  EXPECT_EQ(ap_list(barbell(4, 1)), (std::vector<Vertex>{3, 4, 5}));
+}
+
+TEST(ArticulationPoints, PaperFigure3HasVertices2_3_6) {
+  // Paper §2.2: "vertex 2, vertex 3 and vertex 6 are articulation points".
+  EXPECT_EQ(ap_list(paper_figure3()), (std::vector<Vertex>{2, 3, 6}));
+}
+
+TEST(ArticulationPoints, DisconnectedComponentsAnalysedSeparately) {
+  // Two paths: 0-1-2 and 3-4-5.
+  const CsrGraph g =
+      CsrGraph::undirected_from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  EXPECT_EQ(ap_list(g), (std::vector<Vertex>{1, 4}));
+}
+
+TEST(ArticulationPoints, K2HasNone) {
+  EXPECT_TRUE(ap_list(path(2)).empty());
+}
+
+TEST(ArticulationPoints, DirectedGraphUsesUndirectedProjection) {
+  // 0 -> 1 -> 2: undirected projection is a path with AP 1.
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {1, 2}}, true);
+  EXPECT_EQ(ap_list(g), (std::vector<Vertex>{1}));
+}
+
+// --- Property sweep: iterative Tarjan vs brute-force vertex removal ------
+
+class ArticulationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArticulationSweep, MatchesBruteForceOnRandomGraphs) {
+  for (const auto& gc : testing::graph_family(GetParam(), /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    EXPECT_EQ(articulation_points(gc.graph),
+              articulation_points_bruteforce(gc.graph));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArticulationSweep,
+                         ::testing::Values(1, 11, 21, 31, 41, 51, 61, 71));
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(BfsDistances, PathDistancesAreLinear) {
+  const auto dist = bfs_distances(path(6), 0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsDistances, UnreachableVerticesAreMarked) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {2, 3}}, true);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(BfsDistances, DirectedFollowsOutArcsOnly) {
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {2, 1}}, true);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(BfsDistances, MultiSourceTakesNearest) {
+  const auto dist = bfs_distances(path(7), {0, 6});
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[5], 1u);
+  EXPECT_EQ(dist[6], 0u);
+}
+
+TEST(ReachableCount, ExcludesSource) {
+  EXPECT_EQ(reachable_count(cycle(8), 0), 7u);
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {1, 2}}, true);
+  EXPECT_EQ(reachable_count(g, 0), 2u);
+  EXPECT_EQ(reachable_count(g, 2), 0u);
+}
+
+TEST(Eccentricity, KnownShapes) {
+  EXPECT_EQ(eccentricity(path(7), 0), 6u);
+  EXPECT_EQ(eccentricity(path(7), 3), 3u);
+  EXPECT_EQ(eccentricity(star(9), 0), 1u);
+  EXPECT_EQ(eccentricity(star(9), 1), 2u);
+}
+
+TEST(PseudoDiameter, ExactOnTreesAndPaths) {
+  EXPECT_EQ(pseudo_diameter(path(10), 4), 9u);
+  EXPECT_EQ(pseudo_diameter(binary_tree(15), 0), 6u);  // leaf-to-leaf
+  EXPECT_EQ(pseudo_diameter(star(20), 5), 2u);
+}
+
+TEST(PseudoDiameter, LowerBoundsCycle) {
+  // True diameter of C10 is 5; double sweep must reach it.
+  EXPECT_EQ(pseudo_diameter(cycle(10), 0), 5u);
+}
+
+TEST(PseudoDiameter, EmptyAndTrivial) {
+  EXPECT_EQ(pseudo_diameter(CsrGraph::from_edges(0, {}, false)), 0u);
+  EXPECT_EQ(pseudo_diameter(CsrGraph::from_edges(1, {}, false), 0), 0u);
+}
+
+}  // namespace
+}  // namespace apgre

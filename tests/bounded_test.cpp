@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "bc/bounded.hpp"
+#include "bc/brandes.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+/// Oracle: naive BC restricted to pairs within `radius`.
+std::vector<double> bounded_oracle(const CsrGraph& g, std::uint32_t radius) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::vector<std::uint32_t>> dist;
+  std::vector<std::vector<double>> sigma(n, std::vector<double>(n, 0.0));
+  for (Vertex s = 0; s < n; ++s) {
+    dist.push_back(bfs_distances(g, s));
+    std::vector<Vertex> queue{s};
+    sigma[s][s] = 1.0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex v = queue[head];
+      for (Vertex w : g.out_neighbors(v)) {
+        if (dist[s][w] == dist[s][v] + 1) {
+          if (sigma[s][w] == 0.0) queue.push_back(w);
+          sigma[s][w] += sigma[s][v];
+        }
+      }
+    }
+  }
+  std::vector<double> bc(n, 0.0);
+  for (Vertex s = 0; s < n; ++s) {
+    for (Vertex t = 0; t < n; ++t) {
+      if (s == t || dist[s][t] == kUnreachable || dist[s][t] > radius) continue;
+      for (Vertex v = 0; v < n; ++v) {
+        if (v == s || v == t) continue;
+        if (dist[s][v] == kUnreachable || dist[v][t] == kUnreachable) continue;
+        if (dist[s][v] + dist[v][t] != dist[s][t]) continue;
+        bc[v] += sigma[s][v] * sigma[v][t] / sigma[s][t];
+      }
+    }
+  }
+  return bc;
+}
+
+TEST(BoundedBc, RadiusZeroAndOneAreZero) {
+  const CsrGraph g = path(6);
+  for (double v : bounded_bc(g, 0)) EXPECT_DOUBLE_EQ(v, 0.0);
+  // Radius 1: no pair has an interior vertex.
+  for (double v : bounded_bc(g, 1)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(BoundedBc, RadiusTwoCountsWedges) {
+  // Path: pairs at distance exactly 2 contribute 1 to their middle.
+  const auto bc = bounded_bc(path(6), 2);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 2.0);  // (0,2) and (2,0)
+  EXPECT_DOUBLE_EQ(bc[2], 2.0);
+}
+
+TEST(BoundedBc, LargeRadiusEqualsExact) {
+  for (const auto& gc : testing::graph_family(201, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    testing::expect_scores_near(brandes_bc(gc.graph),
+                                bounded_bc(gc.graph, 1u << 20));
+  }
+}
+
+TEST(BoundedBc, MonotonicInRadius) {
+  const CsrGraph g = barabasi_albert(120, 2, 5);
+  const auto r2 = bounded_bc(g, 2);
+  const auto r4 = bounded_bc(g, 4);
+  const auto r8 = bounded_bc(g, 8);
+  for (Vertex v = 0; v < 120; ++v) {
+    EXPECT_LE(r2[v], r4[v] + 1e-9);
+    EXPECT_LE(r4[v], r8[v] + 1e-9);
+  }
+}
+
+class BoundedSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint32_t>> {};
+
+TEST_P(BoundedSweep, MatchesTruncatedOracle) {
+  const auto [seed, radius] = GetParam();
+  for (const auto& gc : testing::graph_family(seed, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    testing::expect_scores_near(bounded_oracle(gc.graph, radius),
+                                bounded_bc(gc.graph, radius));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoundedSweep,
+                         ::testing::Combine(::testing::Values<std::uint64_t>(211, 221),
+                                            ::testing::Values<std::uint32_t>(2, 3, 5)));
+
+}  // namespace
+}  // namespace apgre

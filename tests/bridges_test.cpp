@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "bcc/bridges.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(Bridges, PathEveryEdgeIsABridge) {
+  const BridgeDecomposition d = bridge_decomposition(path(5));
+  EXPECT_EQ(d.bridges.size(), 4u);
+  // All 2ecc components are singletons.
+  EXPECT_EQ(d.num_components, 5u);
+}
+
+TEST(Bridges, CycleHasNone) {
+  const BridgeDecomposition d = bridge_decomposition(cycle(8));
+  EXPECT_TRUE(d.bridges.empty());
+  EXPECT_EQ(d.num_components, 1u);
+}
+
+TEST(Bridges, BarbellBridgePath) {
+  // barbell(4, 1): bridge chain 3-4-5 contributes bridges {3,4} and {4,5}.
+  const BridgeDecomposition d = bridge_decomposition(barbell(4, 1));
+  EXPECT_EQ(d.bridges, (EdgeList{{3, 4}, {4, 5}}));
+  EXPECT_EQ(d.num_components, 3u);  // two cliques + lone bridge vertex
+  EXPECT_EQ(d.component[0], d.component[3]);
+  EXPECT_NE(d.component[3], d.component[4]);
+  EXPECT_NE(d.component[4], d.component[5]);
+}
+
+TEST(Bridges, CaveManBridgesEqualCliqueLinks) {
+  const BridgeDecomposition d = bridge_decomposition(caveman(5, 4, 7));
+  EXPECT_EQ(d.bridges.size(), 4u);  // one link between consecutive cliques
+  EXPECT_EQ(d.num_components, 5u);
+}
+
+TEST(Bridges, PendantEdgesAreBridges) {
+  const CsrGraph g = attach_pendants(cycle(6), 3, 5);
+  const BridgeDecomposition d = bridge_decomposition(g);
+  EXPECT_EQ(d.bridges.size(), 3u);
+}
+
+TEST(Bridges, DirectedUsesProjection) {
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {1, 2}}, true);
+  const BridgeDecomposition d = bridge_decomposition(g);
+  EXPECT_EQ(d.bridges.size(), 2u);
+}
+
+TEST(Bridges, IsolatedVerticesGetOwnComponents) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(4, {{0, 1}});
+  const BridgeDecomposition d = bridge_decomposition(g);
+  EXPECT_EQ(d.num_components, 4u);
+}
+
+class BridgeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BridgeSweep, MatchesBruteForce) {
+  for (const auto& gc : testing::graph_family(GetParam(), /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const BridgeDecomposition d = bridge_decomposition(gc.graph);
+    EXPECT_EQ(d.bridges, bridges_bruteforce(gc.graph));
+    // 2ecc endpoints of a bridge are in different components; non-bridge
+    // edges join equal components.
+    const CsrGraph u = gc.graph.directed()
+                           ? undirected_projection(gc.graph)
+                           : gc.graph;
+    for (const Edge& e : u.arcs()) {
+      const Edge canonical{std::min(e.src, e.dst), std::max(e.src, e.dst)};
+      const bool is_bridge =
+          std::binary_search(d.bridges.begin(), d.bridges.end(), canonical);
+      EXPECT_EQ(d.component[e.src] != d.component[e.dst], is_bridge);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BridgeSweep, ::testing::Values(101, 111, 121, 131));
+
+}  // namespace
+}  // namespace apgre

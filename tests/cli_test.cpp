@@ -1,0 +1,148 @@
+// End-to-end tests of the apgre_cli binary: spawn the real executable
+// (path injected by CMake) against generated graph files and check output
+// and exit codes — the full user journey, not just library calls.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/io_dimacs.hpp"
+#include "graph/io_snap.hpp"
+#include "graph/transform.hpp"
+
+#ifndef APGRE_CLI_PATH
+#error "APGRE_CLI_PATH must be defined by the build"
+#endif
+
+namespace apgre {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_cli(const std::string& args) {
+  const std::string command = std::string(APGRE_CLI_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buffer{};
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    snap_path_ = ::testing::TempDir() + "/cli_graph.snap";
+    dimacs_path_ = ::testing::TempDir() + "/cli_graph.gr";
+    const CsrGraph g = attach_pendants(caveman(6, 6, 77), 20, 78);
+    write_snap_file(snap_path_, g);
+    write_dimacs_file(dimacs_path_, g);
+  }
+
+  void TearDown() override {
+    std::remove(snap_path_.c_str());
+    std::remove(dimacs_path_.c_str());
+  }
+
+  std::string snap_path_;
+  std::string dimacs_path_;
+};
+
+TEST_F(CliTest, HelpExitsZero) {
+  const CommandResult r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--algorithm"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFileArgumentFails) {
+  const CommandResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST_F(CliTest, UnknownFlagFails) {
+  const CommandResult r = run_cli("--frobnicate " + snap_path_);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown flag"), std::string::npos);
+}
+
+TEST_F(CliTest, DefaultApgreRunPrintsRanking) {
+  const CommandResult r = run_cli("--top 5 " + snap_path_);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("apgre finished"), std::string::npos);
+  EXPECT_NE(r.output.find("decomposition:"), std::string::npos);
+  EXPECT_NE(r.output.find("rank\tvertex\tscore"), std::string::npos);
+}
+
+TEST_F(CliTest, SerialAndApgreAgreeOnTopVertex) {
+  const CommandResult apgre = run_cli("--algorithm apgre --top 1 " + snap_path_);
+  const CommandResult serial = run_cli("--algorithm serial --top 1 " + snap_path_);
+  ASSERT_EQ(apgre.exit_code, 0);
+  ASSERT_EQ(serial.exit_code, 0);
+  const auto last_line = [](const std::string& s) {
+    const auto end = s.find_last_not_of('\n');
+    const auto start = s.rfind('\n', end);
+    return s.substr(start + 1, end - start);
+  };
+  EXPECT_EQ(last_line(apgre.output), last_line(serial.output));
+}
+
+TEST_F(CliTest, EdgeBetweennessMode) {
+  const CommandResult r = run_cli("--algorithm edges --top 3 " + snap_path_);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("rank\tedge\tscore"), std::string::npos);
+}
+
+TEST_F(CliTest, WeightedDimacsMode) {
+  const CommandResult r =
+      run_cli("--format dimacs --weighted --top 3 " + dimacs_path_);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("weighted arcs"), std::string::npos);
+}
+
+TEST_F(CliTest, WeightedRequiresDimacs) {
+  const CommandResult r = run_cli("--weighted " + snap_path_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("requires --format dimacs"), std::string::npos);
+}
+
+TEST_F(CliTest, CsvExport) {
+  const std::string csv = ::testing::TempDir() + "/cli_scores.csv";
+  const CommandResult r =
+      run_cli("--algorithm serial --output " + csv + " " + snap_path_);
+  EXPECT_EQ(r.exit_code, 0);
+  std::ifstream in(csv);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "vertex,betweenness");
+  std::size_t rows = 0;
+  for (std::string line; std::getline(in, line);) ++rows;
+  EXPECT_EQ(rows, 56u);  // 6*6 + 20 vertices
+  std::remove(csv.c_str());
+}
+
+TEST_F(CliTest, MissingInputFileFails) {
+  const CommandResult r = run_cli("/nonexistent/graph.txt");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, SamplingMode) {
+  const CommandResult r =
+      run_cli("--algorithm sampling --samples 10 --seed 3 --top 3 " + snap_path_);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("sampling finished"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apgre

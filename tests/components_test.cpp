@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(ConnectedComponents, SingleComponent) {
+  const ComponentLabels labels = connected_components(cycle(6));
+  EXPECT_EQ(labels.num_components, 1u);
+  for (Vertex id : labels.component) EXPECT_EQ(id, 0u);
+}
+
+TEST(ConnectedComponents, CountsIsolatedVertices) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(4, {{0, 1}});
+  const ComponentLabels labels = connected_components(g);
+  EXPECT_EQ(labels.num_components, 3u);  // {0,1}, {2}, {3}
+  EXPECT_EQ(labels.component[0], labels.component[1]);
+  EXPECT_NE(labels.component[2], labels.component[3]);
+}
+
+TEST(ConnectedComponents, DirectedUsesWeakConnectivity) {
+  // 0 -> 1 <- 2 : weakly one component even though 0 cannot reach 2.
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {2, 1}}, true);
+  const ComponentLabels labels = connected_components(g);
+  EXPECT_EQ(labels.num_components, 1u);
+}
+
+TEST(ConnectedComponents, NumbersComponentsBySmallestVertex) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(5, {{3, 4}, {0, 1}});
+  const ComponentLabels labels = connected_components(g);
+  EXPECT_EQ(labels.component[0], 0u);
+  EXPECT_EQ(labels.component[2], 1u);
+  EXPECT_EQ(labels.component[3], 2u);
+}
+
+TEST(IsConnected, Basics) {
+  EXPECT_TRUE(is_connected(complete(4)));
+  EXPECT_TRUE(is_connected(CsrGraph::from_edges(0, {}, false)));
+  EXPECT_FALSE(is_connected(CsrGraph::undirected_from_edges(3, {{0, 1}})));
+}
+
+TEST(ComponentMembers, GroupsVertices) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(5, {{0, 1}, {2, 3}});
+  const auto members = component_members(connected_components(g));
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], (std::vector<Vertex>{0, 1}));
+  EXPECT_EQ(members[1], (std::vector<Vertex>{2, 3}));
+  EXPECT_EQ(members[2], (std::vector<Vertex>{4}));
+}
+
+TEST(ConnectedComponents, RandomGraphPartitionIsConsistent) {
+  const CsrGraph g = erdos_renyi(300, 200, false, 5);  // sparse: several CCs
+  const ComponentLabels labels = connected_components(g);
+  // Every edge joins same-component endpoints.
+  for (const Edge& e : g.arcs()) {
+    EXPECT_EQ(labels.component[e.src], labels.component[e.dst]);
+  }
+  // Labels are dense in [0, num_components).
+  for (Vertex id : labels.component) EXPECT_LT(id, labels.num_components);
+}
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(0, {}, false);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(CsrGraph, VerticesWithoutEdges) {
+  const CsrGraph g = CsrGraph::from_edges(5, {{0, 1}}, true);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_EQ(g.out_degree(4), 0u);
+  EXPECT_EQ(g.in_degree(4), 0u);
+  EXPECT_TRUE(g.out_neighbors(4).empty());
+}
+
+TEST(CsrGraph, DirectedAdjacency) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {0, 2}, {2, 1}, {3, 0}}, true);
+  ASSERT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_neighbors(0)[0], 1u);
+  EXPECT_EQ(g.out_neighbors(0)[1], 2u);
+  EXPECT_EQ(g.in_degree(1), 2u);
+  EXPECT_EQ(g.in_neighbors(1)[0], 0u);
+  EXPECT_EQ(g.in_neighbors(1)[1], 2u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(3), 1u);
+  EXPECT_TRUE(g.directed());
+  EXPECT_FALSE(g.is_symmetric());
+}
+
+TEST(CsrGraph, UndirectedSharesAdjacency) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(g.directed());
+  EXPECT_EQ(g.num_arcs(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.is_symmetric());
+  ASSERT_EQ(g.in_degree(1), 2u);
+  EXPECT_EQ(g.in_neighbors(1)[0], g.out_neighbors(1)[0]);
+}
+
+TEST(CsrGraph, RemovesSelfLoopsAndDuplicates) {
+  const CsrGraph g =
+      CsrGraph::from_edges(3, {{0, 0}, {0, 1}, {0, 1}, {1, 2}, {2, 2}}, true);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(2), 0u);
+}
+
+TEST(CsrGraph, ArcsRoundTrip) {
+  const EdgeList edges{{0, 1}, {1, 2}, {2, 0}, {2, 1}};
+  const CsrGraph g = CsrGraph::from_edges(3, edges, true);
+  EdgeList sorted = edges;
+  sort_unique(sorted);
+  EXPECT_EQ(g.arcs(), sorted);
+}
+
+TEST(CsrGraph, EqualityComparesStructure) {
+  const CsrGraph a = CsrGraph::from_edges(3, {{0, 1}, {1, 2}}, true);
+  const CsrGraph b = CsrGraph::from_edges(3, {{1, 2}, {0, 1}}, true);
+  const CsrGraph c = CsrGraph::from_edges(3, {{0, 1}}, true);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(CsrGraph, UndirectedDegreeOnDirectedGraph) {
+  // 0 -> 1, 1 -> 0 (one mutual pair), 0 -> 2.
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {1, 0}, {0, 2}}, true);
+  EXPECT_EQ(g.undirected_degree(0), 2u);  // neighbours {1, 2}
+  EXPECT_EQ(g.undirected_degree(1), 1u);
+  EXPECT_EQ(g.undirected_degree(2), 1u);
+}
+
+TEST(CsrGraph, OffsetsAreConsistentWithDegrees) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, true);
+  EXPECT_EQ(g.out_offset(0), 0u);
+  EXPECT_EQ(g.out_offset(1), 2u);
+  EXPECT_EQ(g.out_offset(2), 3u);
+  EXPECT_EQ(g.in_offset(3) + g.in_degree(3), g.num_arcs());
+}
+
+TEST(CsrGraph, OutOfRangeEdgeIsRejected) {
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 5}}, true), std::logic_error);
+}
+
+TEST(CsrGraph, NeighborListsAreSorted) {
+  const CsrGraph g = CsrGraph::from_edges(5, {{0, 4}, {0, 1}, {0, 3}, {0, 2}}, true);
+  const auto ns = g.out_neighbors(0);
+  ASSERT_EQ(ns.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(ns.begin(), ns.end()));
+}
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(DegreeStats, StarShape) {
+  const DegreeStats stats = degree_stats(star(10));
+  EXPECT_EQ(stats.num_vertices, 10u);
+  EXPECT_EQ(stats.max_out_degree, 9u);
+  EXPECT_EQ(stats.pendant_count, 9u);  // all leaves
+  EXPECT_EQ(stats.isolated_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.out_degree.mean(), 18.0 / 10.0);
+}
+
+TEST(DegreeStats, CountsIsolatedVertices) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(4, {{0, 1}});
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_EQ(stats.isolated_count, 2u);
+  EXPECT_EQ(stats.pendant_count, 2u);
+}
+
+TEST(DegreeStats, DirectedPendantsUseUndirectedDegree) {
+  // 2 -> 0, 0 <-> 1: vertex 2 has undirected degree 1.
+  const CsrGraph g = CsrGraph::from_edges(3, {{2, 0}, {0, 1}, {1, 0}}, true);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_EQ(stats.pendant_count, 2u);  // vertices 1 and 2
+}
+
+TEST(PendantFraction, MatchesDecoration) {
+  const CsrGraph base = complete(20);
+  EXPECT_DOUBLE_EQ(pendant_fraction(base), 0.0);
+  const CsrGraph decorated = attach_pendants(base, 20, 3);
+  EXPECT_NEAR(pendant_fraction(decorated), 0.5, 0.01);
+}
+
+TEST(DegreeStats, HistogramTotalsMatch) {
+  const CsrGraph g = barabasi_albert(500, 2, 11);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_EQ(stats.out_degree_histogram.total(), 500u);
+  EXPECT_EQ(stats.out_degree.count(), 500u);
+}
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bc/brandes.hpp"
+#include "bc/edge_bc.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(EdgeBc, PathArcCarriesCrossingPairs) {
+  // Arc (i -> i+1) of an n-path carries every ordered pair (s <= i, t > i).
+  const CsrGraph g = path(6);
+  const auto scores = edge_betweenness_bc(g);
+  for (Vertex i = 0; i + 1 < 6; ++i) {
+    const double expected = static_cast<double>((i + 1) * (5 - i));
+    EXPECT_DOUBLE_EQ(arc_score(g, scores, i, i + 1), expected);
+    EXPECT_DOUBLE_EQ(arc_score(g, scores, i + 1, i), expected);
+  }
+}
+
+TEST(EdgeBc, StarArcs) {
+  // Arc (0 -> leaf v) carries pairs (s, v) for every s != v: n-1 of them.
+  const CsrGraph g = star(7);
+  const auto scores = edge_betweenness_bc(g);
+  for (Vertex v = 1; v < 7; ++v) {
+    EXPECT_DOUBLE_EQ(arc_score(g, scores, 0, v), 6.0);
+    EXPECT_DOUBLE_EQ(arc_score(g, scores, v, 0), 6.0);
+  }
+}
+
+TEST(EdgeBc, DiamondSplitsAcrossParallelRoutes) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, true);
+  const auto scores = edge_betweenness_bc(g);
+  // Pair (0,3) splits: each route carries 1/2; arcs also carry their own
+  // endpoints' pairs (0,1), (1,3), ...
+  EXPECT_DOUBLE_EQ(arc_score(g, scores, 0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(arc_score(g, scores, 1, 3), 1.5);
+}
+
+TEST(EdgeBc, TotalMassEqualsSumOfDistances) {
+  // Each ordered pair (s, t) spreads exactly dist(s, t) units over arcs.
+  for (const auto& gc : testing::graph_family(91, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const auto scores = edge_betweenness_bc(gc.graph);
+    const double total = std::accumulate(scores.begin(), scores.end(), 0.0);
+    double distance_sum = 0.0;
+    for (Vertex s = 0; s < gc.graph.num_vertices(); ++s) {
+      for (std::uint32_t d : bfs_distances(gc.graph, s)) {
+        if (d != kUnreachable) distance_sum += d;
+      }
+    }
+    EXPECT_NEAR(total, distance_sum, 1e-6 + 1e-9 * distance_sum);
+  }
+}
+
+TEST(EdgeBc, OutgoingArcsSumToVertexBcPlusReach) {
+  // sum of EBC over v's out-arcs counts every pair whose path leaves v:
+  // interior pairs (= BC(v)) plus pairs with s == v (= #reachable targets).
+  for (const auto& gc : testing::graph_family(92, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const auto scores = edge_betweenness_bc(gc.graph);
+    const auto bc = brandes_bc(gc.graph);
+    for (Vertex v = 0; v < gc.graph.num_vertices(); ++v) {
+      double out_sum = 0.0;
+      const EdgeId base = gc.graph.out_offset(v);
+      for (std::size_t j = 0; j < gc.graph.out_degree(v); ++j) {
+        out_sum += scores[base + j];
+      }
+      const double expected = bc[v] + static_cast<double>(reachable_count(gc.graph, v));
+      EXPECT_NEAR(out_sum, expected, 1e-6 + 1e-9 * expected) << "vertex " << v;
+    }
+  }
+}
+
+TEST(EdgeBc, TopEdgesFindBridges) {
+  // In a barbell, the bridge path arcs dominate every clique arc.
+  const CsrGraph g = barbell(6, 2);
+  const auto scores = edge_betweenness_bc(g);
+  const auto top = top_edges(g, scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  // Bridge chain: 5-6, 6-7, 7-8 (clique ends 5 and 8).
+  for (const auto& [edge, score] : top) {
+    EXPECT_GE(edge.src, 5u);
+    EXPECT_LE(edge.dst, 8u);
+    EXPECT_GT(score, 0.0);
+  }
+}
+
+TEST(EdgeBc, TopEdgesReportsUndirectedEdgesOnce) {
+  const CsrGraph g = cycle(5);
+  const auto scores = edge_betweenness_bc(g);
+  const auto top = top_edges(g, scores, 100);
+  EXPECT_EQ(top.size(), 5u);  // 5 undirected edges, not 10 arcs
+  for (const auto& [edge, score] : top) EXPECT_LT(edge.src, edge.dst);
+}
+
+TEST(EdgeBc, DirectedTopEdgesKeepArcs) {
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {1, 2}}, true);
+  const auto top = top_edges(g, edge_betweenness_bc(g), 100);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+TEST(EdgeBc, EmptyGraph) {
+  EXPECT_TRUE(edge_betweenness_bc(CsrGraph::from_edges(0, {}, false)).empty());
+}
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "graph/edge_list.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(EdgeList, SortUniqueRemovesDuplicates) {
+  EdgeList edges{{2, 1}, {0, 1}, {2, 1}, {0, 1}, {1, 0}};
+  sort_unique(edges);
+  const EdgeList expected{{0, 1}, {1, 0}, {2, 1}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(EdgeList, RemoveSelfLoops) {
+  EdgeList edges{{0, 0}, {0, 1}, {1, 1}, {2, 1}};
+  remove_self_loops(edges);
+  const EdgeList expected{{0, 1}, {2, 1}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(EdgeList, SymmetrizeAddsReverseArcs) {
+  EdgeList edges{{0, 1}, {1, 2}};
+  symmetrize(edges);
+  const EdgeList expected{{0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(EdgeList, SymmetrizeIsIdempotent) {
+  EdgeList edges{{0, 1}, {1, 0}};
+  symmetrize(edges);
+  const EdgeList expected{{0, 1}, {1, 0}};
+  EXPECT_EQ(edges, expected);
+}
+
+TEST(EdgeList, MinVertexCount) {
+  EXPECT_EQ(min_vertex_count({}), 0u);
+  EXPECT_EQ(min_vertex_count({{0, 0}}), 1u);
+  EXPECT_EQ(min_vertex_count({{3, 7}, {1, 2}}), 8u);
+}
+
+TEST(EdgeList, ComparisonOperators) {
+  EXPECT_EQ((Edge{1, 2}), (Edge{1, 2}));
+  EXPECT_LT((Edge{1, 2}), (Edge{1, 3}));
+  EXPECT_LT((Edge{1, 9}), (Edge{2, 0}));
+}
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/degree.hpp"
+#include "graph/generators.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(Shapes, PathHasChainStructure) {
+  const CsrGraph g = path(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(2), 2u);
+  EXPECT_EQ(g.out_degree(4), 1u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Shapes, CycleIsTwoRegular) {
+  const CsrGraph g = cycle(7);
+  EXPECT_EQ(g.num_edges(), 7u);
+  for (Vertex v = 0; v < 7; ++v) EXPECT_EQ(g.out_degree(v), 2u);
+}
+
+TEST(Shapes, StarCentreTouchesAll) {
+  const CsrGraph g = star(10);
+  EXPECT_EQ(g.out_degree(0), 9u);
+  for (Vertex v = 1; v < 10; ++v) EXPECT_EQ(g.out_degree(v), 1u);
+}
+
+TEST(Shapes, CompleteGraph) {
+  const CsrGraph g = complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(g.out_degree(v), 5u);
+}
+
+TEST(Shapes, BinaryTreeIsATree) {
+  const CsrGraph g = binary_tree(15);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(14), 1u);  // leaf
+}
+
+TEST(Shapes, BarbellStructure) {
+  const CsrGraph g = barbell(5, 3);
+  EXPECT_EQ(g.num_vertices(), 13u);
+  EXPECT_TRUE(is_connected(g));
+  // Bridge path vertices have degree 2.
+  EXPECT_EQ(g.out_degree(5), 2u);
+  EXPECT_EQ(g.out_degree(6), 2u);
+  EXPECT_EQ(g.out_degree(7), 2u);
+}
+
+TEST(Shapes, PaperFigure3Layout) {
+  const CsrGraph g = paper_figure3();
+  EXPECT_EQ(g.num_vertices(), 13u);
+  EXPECT_TRUE(g.directed());
+  // Pendants 0 and 1: single out-arc to vertex 2, no in-arcs.
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.out_neighbors(0)[0], 2u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(1), 0u);
+  EXPECT_TRUE(is_connected(g));  // weakly connected
+}
+
+TEST(ErdosRenyi, RespectsSizeAndDeterminism) {
+  const CsrGraph a = erdos_renyi(100, 300, true, 42);
+  const CsrGraph b = erdos_renyi(100, 300, true, 42);
+  const CsrGraph c = erdos_renyi(100, 300, true, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.num_vertices(), 100u);
+  EXPECT_LE(a.num_arcs(), 300u);   // deduplication may remove a few
+  EXPECT_GE(a.num_arcs(), 250u);   // but not many
+  EXPECT_TRUE(a.directed());
+}
+
+TEST(ErdosRenyi, UndirectedVariantIsSymmetric) {
+  const CsrGraph g = erdos_renyi(50, 100, false, 7);
+  EXPECT_FALSE(g.directed());
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(BarabasiAlbert, PowerLawTail) {
+  const CsrGraph g = barabasi_albert(2000, 2, 123);
+  EXPECT_EQ(g.num_vertices(), 2000u);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_TRUE(is_connected(g));
+  // Preferential attachment must create hubs far above the mean degree.
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GT(stats.max_out_degree, 50u);
+  EXPECT_LT(stats.out_degree.mean(), 8.0);
+}
+
+TEST(Rmat, SizesAndDirectedness) {
+  const CsrGraph g = rmat(8, 8, 0.45, 0.2, 0.2, false, 99);
+  EXPECT_EQ(g.num_vertices(), 256u);
+  EXPECT_TRUE(g.directed());
+  EXPECT_GT(g.num_arcs(), 1000u);
+  const CsrGraph s = rmat(8, 8, 0.45, 0.2, 0.2, true, 99);
+  EXPECT_TRUE(s.is_symmetric());
+}
+
+TEST(Rmat, SkewProducesHubs) {
+  const CsrGraph g = rmat(10, 8, 0.55, 0.15, 0.15, false, 5);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_GT(stats.max_out_degree, 40u);
+}
+
+TEST(WattsStrogatz, RingWithRewiring) {
+  const CsrGraph zero = watts_strogatz(100, 2, 0.0, 1);
+  // p = 0: pure ring lattice, every vertex has degree 4.
+  for (Vertex v = 0; v < 100; ++v) EXPECT_EQ(zero.out_degree(v), 4u);
+  const CsrGraph rewired = watts_strogatz(100, 2, 0.5, 1);
+  EXPECT_NE(zero, rewired);
+  EXPECT_TRUE(rewired.is_symmetric());
+}
+
+TEST(RoadGrid, GridStructure) {
+  const CsrGraph g = road_grid(10, 12, 0.0, 0.0, 1);
+  EXPECT_EQ(g.num_vertices(), 120u);
+  // Pure grid: 10*11 + 9*12 edges.
+  EXPECT_EQ(g.num_edges(), 110u + 108u);
+  EXPECT_TRUE(is_connected(g));
+  const CsrGraph with_diag = road_grid(10, 12, 0.5, 0.0, 1);
+  EXPECT_GT(with_diag.num_edges(), g.num_edges());
+}
+
+TEST(Caveman, CliquesJoinedByBridges) {
+  const CsrGraph g = caveman(5, 6, 3);
+  EXPECT_EQ(g.num_vertices(), 30u);
+  EXPECT_TRUE(is_connected(g));
+  // 5 cliques of C(6,2)=15 edges + 4 bridges.
+  EXPECT_EQ(g.num_edges(), 5u * 15u + 4u);
+}
+
+TEST(RandomTree, HasTreeEdgeCount) {
+  const CsrGraph g = random_tree(500, 77);
+  EXPECT_EQ(g.num_edges(), 499u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, AllAreSeedDeterministic) {
+  EXPECT_EQ(barabasi_albert(200, 3, 5), barabasi_albert(200, 3, 5));
+  EXPECT_EQ(rmat(7, 4, 0.45, 0.2, 0.2, false, 5), rmat(7, 4, 0.45, 0.2, 0.2, false, 5));
+  EXPECT_EQ(watts_strogatz(80, 3, 0.2, 5), watts_strogatz(80, 3, 0.2, 5));
+  EXPECT_EQ(road_grid(8, 8, 0.3, 0.1, 5), road_grid(8, 8, 0.3, 0.1, 5));
+  EXPECT_EQ(caveman(4, 5, 5), caveman(4, 5, 5));
+  EXPECT_EQ(random_tree(100, 5), random_tree(100, 5));
+}
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/transform.hpp"
+#include "graph/weighted.hpp"
+#include "support/error.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(BinaryIo, RoundTripsUndirected) {
+  const CsrGraph g = attach_pendants(barabasi_albert(200, 3, 1), 50, 2);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, g);
+  EXPECT_EQ(read_binary(buffer), g);
+}
+
+TEST(BinaryIo, RoundTripsDirected) {
+  const CsrGraph g = rmat(8, 6, 0.45, 0.2, 0.2, false, 3);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, g);
+  const CsrGraph back = read_binary(buffer);
+  EXPECT_TRUE(back.directed());
+  EXPECT_EQ(back, g);
+}
+
+TEST(BinaryIo, RoundTripsEmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(0, {}, false);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, g);
+  EXPECT_EQ(read_binary(buffer), g);
+}
+
+TEST(BinaryIo, RoundTripsWeighted) {
+  const WeightedCsrGraph g = with_random_weights(caveman(4, 5, 4), 1, 9, 5);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary_weighted(buffer, g);
+  EXPECT_EQ(read_binary_weighted(buffer), g);
+}
+
+TEST(BinaryIo, RejectsWrongMagic) {
+  std::stringstream buffer("not a graph at all, definitely");
+  EXPECT_THROW(read_binary(buffer), Error);
+}
+
+TEST(BinaryIo, RejectsTruncatedPayload) {
+  const CsrGraph g = cycle(10);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, g);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream half(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_binary(half), Error);
+}
+
+TEST(BinaryIo, RejectsWeightednessMismatch) {
+  const CsrGraph g = cycle(6);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, g);
+  EXPECT_THROW(read_binary_weighted(buffer), Error);
+
+  const WeightedCsrGraph wg = with_unit_weights(cycle(6));
+  std::stringstream wbuffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary_weighted(wbuffer, wg);
+  EXPECT_THROW(read_binary(wbuffer), Error);
+}
+
+TEST(BinaryIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/apgre_binary_test.apgr";
+  const CsrGraph g = road_grid(8, 8, 0.3, 0.1, 9);
+  write_binary_file(path, g);
+  EXPECT_EQ(read_binary_file(path), g);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "bc/brandes.hpp"
+#include "graph/ordering.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+void expect_is_permutation(const std::vector<Vertex>& p) {
+  std::vector<Vertex> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (Vertex i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(VertexOrder, AllStrategiesYieldPermutations) {
+  const CsrGraph g = testing::graph_family(231, /*tiny=*/true)[4].graph;  // BA
+  for (VertexOrder order :
+       {VertexOrder::kNatural, VertexOrder::kDegreeDescending, VertexOrder::kBfs,
+        VertexOrder::kDfs, VertexOrder::kRandom}) {
+    const auto p = vertex_order(g, order, 3);
+    ASSERT_EQ(p.size(), g.num_vertices());
+    expect_is_permutation(p);
+  }
+}
+
+TEST(VertexOrder, NaturalIsIdentity) {
+  const CsrGraph g = path(8);
+  const auto p = vertex_order(g, VertexOrder::kNatural);
+  for (Vertex v = 0; v < 8; ++v) EXPECT_EQ(p[v], v);
+}
+
+TEST(VertexOrder, DegreeDescendingPutsHubFirst) {
+  const CsrGraph g = star(10);
+  const auto p = vertex_order(g, VertexOrder::kDegreeDescending);
+  EXPECT_EQ(p[0], 0u);  // the centre keeps position 0
+}
+
+TEST(VertexOrder, BfsStartsAtHighestDegree) {
+  // Star with an offset centre: BFS must root at the hub, giving it new
+  // id 0 and its leaves the following ids.
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      5, {{3, 0}, {3, 1}, {3, 2}, {3, 4}});
+  const auto p = vertex_order(g, VertexOrder::kBfs);
+  EXPECT_EQ(p[3], 0u);
+}
+
+TEST(VertexOrder, RandomIsSeedDeterministic) {
+  const CsrGraph g = cycle(30);
+  EXPECT_EQ(vertex_order(g, VertexOrder::kRandom, 5),
+            vertex_order(g, VertexOrder::kRandom, 5));
+  EXPECT_NE(vertex_order(g, VertexOrder::kRandom, 5),
+            vertex_order(g, VertexOrder::kRandom, 6));
+}
+
+TEST(ApplyOrder, InverseMappingRoundTrips) {
+  const CsrGraph g = testing::graph_family(241, /*tiny=*/true)[0].graph;
+  const OrderedGraph ordered = apply_order(g, VertexOrder::kBfs);
+  ASSERT_EQ(ordered.graph.num_vertices(), g.num_vertices());
+  ASSERT_EQ(ordered.graph.num_arcs(), g.num_arcs());
+  // to_original composed with the forward permutation is the identity.
+  const auto p = vertex_order(g, VertexOrder::kBfs);
+  for (Vertex old_id = 0; old_id < g.num_vertices(); ++old_id) {
+    EXPECT_EQ(ordered.to_original[p[old_id]], old_id);
+  }
+}
+
+TEST(ApplyOrder, BcScoresAreOrderInvariant) {
+  // Relabelling must not change BC, only the id under which it is reported.
+  for (VertexOrder order : {VertexOrder::kDegreeDescending, VertexOrder::kBfs,
+                            VertexOrder::kDfs, VertexOrder::kRandom}) {
+    const CsrGraph g = testing::graph_family(251, /*tiny=*/true)[5].graph;
+    const auto original = brandes_bc(g);
+    const OrderedGraph ordered = apply_order(g, order, 7);
+    const auto relabelled = brandes_bc(ordered.graph);
+    for (Vertex new_id = 0; new_id < g.num_vertices(); ++new_id) {
+      EXPECT_NEAR(relabelled[new_id], original[ordered.to_original[new_id]], 1e-9);
+    }
+  }
+}
+
+TEST(ApplyOrder, DirectedGraphsSupported) {
+  const CsrGraph g = testing::graph_family(261, /*tiny=*/true)[1].graph;
+  const OrderedGraph ordered = apply_order(g, VertexOrder::kDfs);
+  EXPECT_TRUE(ordered.graph.directed());
+  EXPECT_EQ(ordered.graph.num_arcs(), g.num_arcs());
+}
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "bcc/partition.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+/// Invariants of a valid decomposition (paper §3.1 properties 3-4 plus the
+/// BUILDSUBGRAPH bookkeeping).
+void check_invariants(const CsrGraph& g, const PartitionOptions& opts) {
+  const Decomposition dec = decompose(g, opts);
+  const CsrGraph u = undirected_projection(g);
+
+  // 1. Every original arc is assigned to exactly one sub-graph.
+  std::map<Edge, int> arc_count;
+  for (const Edge& e : g.arcs()) arc_count[e] = 0;
+  for (const Subgraph& sg : dec.subgraphs) {
+    for (const Edge& local : sg.graph.arcs()) {
+      const Edge global{sg.to_global[local.src], sg.to_global[local.dst]};
+      ASSERT_TRUE(arc_count.contains(global));
+      ++arc_count[global];
+    }
+  }
+  for (const auto& [e, count] : arc_count) {
+    EXPECT_EQ(count, 1) << "arc " << e.src << "->" << e.dst;
+  }
+
+  // 2. Every non-isolated vertex appears in >= 1 sub-graph; non-boundary
+  //    vertices in exactly one.
+  std::vector<int> membership(g.num_vertices(), 0);
+  std::vector<int> boundary_membership(g.num_vertices(), 0);
+  for (const Subgraph& sg : dec.subgraphs) {
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      ++membership[sg.to_global[local]];
+      if (sg.is_boundary_ap[local]) ++boundary_membership[sg.to_global[local]];
+    }
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (u.out_degree(v) == 0) {
+      EXPECT_EQ(membership[v], 0);
+    } else if (membership[v] > 1) {
+      // Shared vertices must be boundary APs everywhere they appear.
+      EXPECT_EQ(boundary_membership[v], membership[v]) << "vertex " << v;
+    }
+  }
+
+  // 3. Roots + removed = all sub-graph vertices; gamma sums to removed.
+  for (const Subgraph& sg : dec.subgraphs) {
+    Vertex gamma_sum = 0;
+    Vertex removed_count = 0;
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      gamma_sum += sg.gamma[local];
+      removed_count += sg.removed[local];
+      if (sg.removed[local]) EXPECT_EQ(sg.gamma[local], 0u);
+    }
+    EXPECT_EQ(gamma_sum, removed_count);
+    EXPECT_EQ(sg.roots.size() + removed_count, sg.num_vertices());
+    for (Vertex root : sg.roots) EXPECT_FALSE(sg.removed[root]);
+  }
+
+  // 4. alpha sums: for each sub-graph, the alphas of its boundary APs add
+  //    up to the vertices of its component outside the sub-graph.
+  const ComponentLabels comp = connected_components(u);
+  std::vector<std::uint64_t> comp_size(comp.num_components, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (u.out_degree(v) > 0) ++comp_size[comp.component[v]];
+  }
+  if (!g.directed()) {
+    for (const Subgraph& sg : dec.subgraphs) {
+      if (sg.num_vertices() == 0) continue;
+      std::uint64_t alpha_sum = 0;
+      for (Vertex a : sg.boundary_aps) {
+        alpha_sum += sg.alpha[a];
+        EXPECT_EQ(sg.alpha[a], sg.beta[a]);  // undirected symmetry
+        EXPECT_GE(sg.alpha[a], 1u);          // something hangs off a boundary AP
+      }
+      const Vertex c = comp.component[sg.to_global[0]];
+      EXPECT_EQ(alpha_sum + sg.num_vertices(), comp_size[c]);
+    }
+  }
+
+  // 5. Pendant accounting matches graph degrees when enabled.
+  if (opts.total_redundancy) {
+    Vertex expected_pendants = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      if (g.directed()) {
+        if (g.in_degree(v) == 0 && g.out_degree(v) == 1) ++expected_pendants;
+      } else if (g.out_degree(v) == 1) {
+        const Vertex host = g.out_neighbors(v)[0];
+        if (g.out_degree(host) != 1 || host < v) ++expected_pendants;
+      }
+    }
+    EXPECT_EQ(dec.num_pendants_removed, expected_pendants);
+  } else {
+    EXPECT_EQ(dec.num_pendants_removed, 0u);
+  }
+}
+
+TEST(Partition, CycleIsSingleSubgraph) {
+  const Decomposition dec = decompose(cycle(10));
+  ASSERT_EQ(dec.subgraphs.size(), 1u);
+  EXPECT_TRUE(dec.subgraphs[0].boundary_aps.empty());
+  EXPECT_EQ(dec.subgraphs[0].roots.size(), 10u);
+}
+
+TEST(Partition, StarMergesIntoOneSubgraph) {
+  // Every block is a single edge attached to the top block -> all merged.
+  const Decomposition dec = decompose(star(20));
+  ASSERT_EQ(dec.subgraphs.size(), 1u);
+  const Subgraph& sg = dec.subgraphs[0];
+  EXPECT_TRUE(sg.boundary_aps.empty());
+  // All 19 leaves are pendants; only the centre remains a root.
+  EXPECT_EQ(dec.num_pendants_removed, 19u);
+  EXPECT_EQ(sg.roots.size(), 1u);
+  EXPECT_EQ(sg.gamma[sg.roots[0]], 19u);
+}
+
+TEST(Partition, BarbellSplitsAtThreshold) {
+  // Large cliques stay separate when the threshold is small.
+  PartitionOptions opts;
+  opts.merge_threshold = 3;
+  const Decomposition dec = decompose(barbell(8, 0), opts);
+  EXPECT_GE(dec.subgraphs.size(), 2u);
+  EXPECT_EQ(dec.num_articulation_points, 2u);
+}
+
+TEST(Partition, LargeThresholdMergesChainsButNotTopChildren) {
+  // Paper Algorithm 1: below-threshold groups merge into their parent, but
+  // a group hanging directly off the top block only merges when its size
+  // is <= 2. barbell(8, 4) therefore collapses to exactly two sub-graphs:
+  // the top clique, and the bridge chain + far clique merged together.
+  PartitionOptions opts;
+  opts.merge_threshold = 1000;
+  const Decomposition dec = decompose(barbell(8, 4), opts);
+  ASSERT_EQ(dec.subgraphs.size(), 2u);
+  std::vector<Vertex> sizes{dec.subgraphs[0].num_vertices(),
+                            dec.subgraphs[1].num_vertices()};
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<Vertex>{8, 13}));  // share one AP
+}
+
+TEST(Partition, PaperFigure3Decomposition) {
+  PartitionOptions opts;
+  opts.merge_threshold = 3;  // keep the three blocks apart (paper Fig. 3e)
+  const Decomposition dec = decompose(paper_figure3(), opts);
+  // Blocks {2..6}, {6,7,8,9}, {3,10,12}; pendant bridges {0,2}, {1,2} merge
+  // into the top block. Pendants 0 and 1 are removed with gamma(2) = 2.
+  EXPECT_EQ(dec.num_pendants_removed, 2u);
+  bool found_gamma2 = false;
+  for (const Subgraph& sg : dec.subgraphs) {
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      if (sg.to_global[local] == 2 && sg.gamma[local] == 2) found_gamma2 = true;
+    }
+  }
+  EXPECT_TRUE(found_gamma2);
+}
+
+TEST(Partition, TopSubgraphIsLargest) {
+  const CsrGraph g = testing::graph_family(5, false)[5].graph;  // BA + pendants
+  const Decomposition dec = decompose(g);
+  for (const Subgraph& sg : dec.subgraphs) {
+    EXPECT_LE(sg.num_arcs(), dec.subgraphs[dec.top_subgraph].num_arcs());
+  }
+}
+
+TEST(Partition, WorkModelBoundsAreSane) {
+  const CsrGraph g =
+      attach_pendants(barabasi_albert(300, 2, 3), 100, 4);
+  const Decomposition dec = decompose(g);
+  const auto model = dec.work_model(g.num_arcs());
+  EXPECT_GT(model.brandes, 0.0);
+  EXPECT_GT(model.apgre, 0.0);
+  EXPECT_LE(model.apgre, model.brandes);
+  EXPECT_GE(model.partial_redundancy, 0.0);
+  EXPECT_GE(model.total_redundancy, 0.0);
+  EXPECT_LE(model.partial_redundancy + model.total_redundancy, 1.0);
+  // Heavy pendant decoration must show substantial total redundancy.
+  EXPECT_GT(model.total_redundancy, 0.05);
+}
+
+TEST(Partition, GammaDisabledKeepsAllRoots) {
+  PartitionOptions opts;
+  opts.total_redundancy = false;
+  const Decomposition dec = decompose(star(10), opts);
+  ASSERT_EQ(dec.subgraphs.size(), 1u);
+  EXPECT_EQ(dec.subgraphs[0].roots.size(), 10u);
+}
+
+TEST(Partition, K2KeepsLowerIdAsRoot) {
+  const CsrGraph g = path(2);
+  const Decomposition dec = decompose(g);
+  ASSERT_EQ(dec.subgraphs.size(), 1u);
+  const Subgraph& sg = dec.subgraphs[0];
+  ASSERT_EQ(sg.roots.size(), 1u);
+  EXPECT_EQ(sg.to_global[sg.roots[0]], 0u);
+}
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Vertex, bool>> {};
+
+TEST_P(PartitionSweep, InvariantsHoldOnRandomGraphs) {
+  const auto [seed, threshold, total_redundancy] = GetParam();
+  PartitionOptions opts;
+  opts.merge_threshold = threshold;
+  opts.total_redundancy = total_redundancy;
+  for (const auto& gc : testing::graph_family(seed, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    check_invariants(gc.graph, opts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionSweep,
+    ::testing::Combine(::testing::Values<std::uint64_t>(3, 13, 23),
+                       ::testing::Values<Vertex>(2, 8, 64),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace apgre

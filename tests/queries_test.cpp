@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "bcc/queries.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "support/prng.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+/// Oracle: does removing `a` disconnect u from v in the projection?
+bool separates_bruteforce(const CsrGraph& g, Vertex a, Vertex u, Vertex v) {
+  if (a == u || a == v || u == v) return false;
+  const CsrGraph und = g.directed() ? undirected_projection(g) : g;
+  // Connected before?
+  const ComponentLabels before = connected_components(und);
+  if (before.component[u] != before.component[v]) return false;
+  EdgeList arcs = und.arcs();
+  std::erase_if(arcs, [a](const Edge& e) { return e.src == a || e.dst == a; });
+  const CsrGraph without = CsrGraph::from_edges(und.num_vertices(), std::move(arcs), false);
+  const ComponentLabels after = connected_components(without);
+  return after.component[u] != after.component[v];
+}
+
+TEST(BlockCutQueries, PathSeparation) {
+  const BlockCutQueries q(path(5));
+  EXPECT_TRUE(q.separates(2, 0, 4));
+  EXPECT_TRUE(q.separates(1, 0, 2));
+  EXPECT_FALSE(q.separates(0, 1, 4));  // endpoint is not between
+  EXPECT_FALSE(q.separates(3, 0, 2));  // not on the path section
+  EXPECT_FALSE(q.separates(2, 2, 4));  // a == u
+}
+
+TEST(BlockCutQueries, CycleNeverSeparates) {
+  const BlockCutQueries q(cycle(8));
+  for (Vertex a = 0; a < 8; ++a) {
+    EXPECT_FALSE(q.separates(a, (a + 1) % 8, (a + 7) % 8));
+  }
+}
+
+TEST(BlockCutQueries, SameBlockOnBarbell) {
+  const BlockCutQueries q(barbell(4, 1));
+  EXPECT_TRUE(q.same_block(0, 3));    // same clique
+  EXPECT_FALSE(q.same_block(0, 5));   // opposite cliques
+  EXPECT_TRUE(q.same_block(3, 4));    // bridge block {3,4}; both APs
+  EXPECT_TRUE(q.same_block(4, 5));
+  EXPECT_FALSE(q.same_block(3, 5));   // different bridge blocks
+  EXPECT_TRUE(q.same_block(2, 2));
+}
+
+TEST(BlockCutQueries, ConnectedAcrossComponents) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  const BlockCutQueries q(g);
+  EXPECT_TRUE(q.connected(0, 2));
+  EXPECT_FALSE(q.connected(0, 3));
+  EXPECT_FALSE(q.connected(0, 5));  // isolated vertex
+  EXPECT_TRUE(q.connected(5, 5));
+  EXPECT_FALSE(q.separates(1, 0, 3));  // already disconnected
+}
+
+TEST(BlockCutQueries, NonArticulationNeverSeparates) {
+  const BlockCutQueries q(complete(5));
+  for (Vertex a = 0; a < 5; ++a) {
+    EXPECT_FALSE(q.separates(a, (a + 1) % 5, (a + 2) % 5));
+  }
+}
+
+class QueriesSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueriesSweep, SeparationMatchesBruteForceOnSampledTriples) {
+  for (const auto& gc : testing::graph_family(GetParam(), /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const BlockCutQueries q(gc.graph);
+    const Vertex n = gc.graph.num_vertices();
+    Xoshiro256 rng(GetParam());
+    for (int trial = 0; trial < 60; ++trial) {
+      const auto a = static_cast<Vertex>(rng.bounded(n));
+      const auto u = static_cast<Vertex>(rng.bounded(n));
+      const auto v = static_cast<Vertex>(rng.bounded(n));
+      EXPECT_EQ(q.separates(a, u, v), separates_bruteforce(gc.graph, a, u, v))
+          << "a=" << a << " u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST_P(QueriesSweep, SameBlockMatchesMembership) {
+  for (const auto& gc : testing::graph_family(GetParam(), /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const BlockCutQueries q(gc.graph);
+    const auto& bcc = q.bcc();
+    const Vertex n = gc.graph.num_vertices();
+    Xoshiro256 rng(GetParam() + 1);
+    for (int trial = 0; trial < 60; ++trial) {
+      const auto u = static_cast<Vertex>(rng.bounded(n));
+      const auto v = static_cast<Vertex>(rng.bounded(n));
+      bool expected = u == v;
+      for (Vertex c = 0; c < bcc.num_components && !expected; ++c) {
+        const auto& members = bcc.component_vertices[c];
+        expected = std::binary_search(members.begin(), members.end(), u) &&
+                   std::binary_search(members.begin(), members.end(), v);
+      }
+      EXPECT_EQ(q.same_block(u, v), expected) << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueriesSweep, ::testing::Values(141, 151, 161));
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "bc/brandes.hpp"
+#include "bc/sampling.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(SampledBc, FullSampleEqualsExact) {
+  const CsrGraph g = barabasi_albert(100, 2, 1);
+  testing::expect_scores_near(brandes_bc(g), sampled_bc(g, 100, 7));
+}
+
+TEST(SampledBc, Deterministic) {
+  const CsrGraph g = barabasi_albert(100, 2, 2);
+  EXPECT_EQ(sampled_bc(g, 20, 5), sampled_bc(g, 20, 5));
+}
+
+TEST(SampledBc, DifferentSeedsDiffer) {
+  const CsrGraph g = barabasi_albert(100, 2, 3);
+  EXPECT_NE(sampled_bc(g, 20, 5), sampled_bc(g, 20, 6));
+}
+
+TEST(SampledBc, DefaultSampleCountIsSqrtN) {
+  // Can't observe k directly; check the scores are a plausible estimate:
+  // non-negative, and total mass within a factor of the exact total.
+  const CsrGraph g = barabasi_albert(400, 2, 4);
+  const auto est = sampled_bc(g, 0, 9);
+  const auto exact = brandes_bc(g);
+  const double est_total = std::accumulate(est.begin(), est.end(), 0.0);
+  const double exact_total = std::accumulate(exact.begin(), exact.end(), 0.0);
+  EXPECT_GT(est_total, exact_total * 0.4);
+  EXPECT_LT(est_total, exact_total * 2.5);
+  for (double v : est) EXPECT_GE(v, 0.0);
+}
+
+TEST(SampledBc, EstimatorIsUnbiasedOverSeeds) {
+  // Averaging many independent estimates converges to the exact scores.
+  const CsrGraph g = caveman(4, 6, 5);
+  const auto exact = brandes_bc(g);
+  std::vector<double> mean(g.num_vertices(), 0.0);
+  constexpr int kRuns = 300;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto est = sampled_bc(g, 6, static_cast<std::uint64_t>(run) + 1);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) mean[v] += est[v] / kRuns;
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(mean[v], exact[v], std::max(2.0, exact[v] * 0.35)) << "vertex " << v;
+  }
+}
+
+TEST(SampledBc, RanksHubsHighly) {
+  // A good approximation keeps the top vertex of a star-like graph on top.
+  const CsrGraph g = star(200);
+  const auto est = sampled_bc(g, 20, 11);
+  for (Vertex v = 1; v < 200; ++v) EXPECT_LE(est[v], est[0]);
+  EXPECT_GT(est[0], 0.0);
+}
+
+TEST(SampledBc, EmptyGraph) {
+  EXPECT_TRUE(sampled_bc(CsrGraph::from_edges(0, {}, false), 5, 1).empty());
+}
+
+TEST(SampledBc, SampleCountClampedToN) {
+  const CsrGraph g = path(10);
+  testing::expect_scores_near(brandes_bc(g), sampled_bc(g, 1000, 3));
+}
+
+}  // namespace
+}  // namespace apgre

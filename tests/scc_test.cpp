@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/scc.hpp"
+#include "support/prng.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+/// Oracle: u, v strongly connected iff mutually reachable.
+bool mutually_reachable(const CsrGraph& g, Vertex u, Vertex v) {
+  if (u == v) return true;
+  const auto from_u = bfs_distances(g, u);
+  const auto from_v = bfs_distances(g, v);
+  return from_u[v] != kUnreachable && from_v[u] != kUnreachable;
+}
+
+TEST(Scc, DirectedCycleIsOneComponent) {
+  EdgeList arcs{{0, 1}, {1, 2}, {2, 0}};
+  const CsrGraph g = CsrGraph::from_edges(3, arcs, true);
+  const SccLabels labels = strongly_connected_components(g);
+  EXPECT_EQ(labels.num_components, 1u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Scc, DirectedChainIsAllSingletons) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}, true);
+  const SccLabels labels = strongly_connected_components(g);
+  EXPECT_EQ(labels.num_components, 4u);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, ReverseTopologicalNumbering) {
+  // 0 -> 1: any condensation arc C(0) -> C(1) must satisfy id(C0) > id(C1).
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}, true);
+  const SccLabels labels = strongly_connected_components(g);
+  for (const Edge& e : g.arcs()) {
+    EXPECT_GT(labels.component[e.src], labels.component[e.dst]);
+  }
+}
+
+TEST(Scc, TwoCyclesJoinedByOneArc) {
+  EdgeList arcs{{0, 1}, {1, 0}, {2, 3}, {3, 2}, {1, 2}};
+  const CsrGraph g = CsrGraph::from_edges(4, arcs, true);
+  const SccLabels labels = strongly_connected_components(g);
+  EXPECT_EQ(labels.num_components, 2u);
+  EXPECT_EQ(labels.component[0], labels.component[1]);
+  EXPECT_EQ(labels.component[2], labels.component[3]);
+  EXPECT_NE(labels.component[0], labels.component[2]);
+}
+
+TEST(Scc, UndirectedComponentsAreSccs) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  const SccLabels labels = strongly_connected_components(g);
+  EXPECT_EQ(labels.num_components, 2u);
+}
+
+TEST(Scc, EmptyGraph) {
+  const CsrGraph g = CsrGraph::from_edges(0, {}, true);
+  EXPECT_EQ(strongly_connected_components(g).num_components, 0u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Condensation, IsADagWithDedupedArcs) {
+  EdgeList arcs{{0, 1}, {1, 0}, {0, 2}, {1, 2}, {2, 3}, {3, 2}};
+  const CsrGraph g = CsrGraph::from_edges(4, arcs, true);
+  const SccLabels labels = strongly_connected_components(g);
+  const CsrGraph dag = condensation(g, labels);
+  EXPECT_EQ(dag.num_vertices(), 2u);
+  EXPECT_EQ(dag.num_arcs(), 1u);  // {0,1} -> {2,3}, deduped
+  // Acyclic: every arc must decrease the Tarjan id.
+  for (const Edge& e : dag.arcs()) EXPECT_GT(e.src, e.dst);
+}
+
+class SccSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SccSweep, MatchesMutualReachabilityOracle) {
+  for (const auto& gc : testing::graph_family(GetParam(), /*tiny=*/true)) {
+    if (!gc.graph.directed()) continue;
+    SCOPED_TRACE(gc.name);
+    const SccLabels labels = strongly_connected_components(gc.graph);
+    Xoshiro256 rng(GetParam());
+    const Vertex n = gc.graph.num_vertices();
+    for (int trial = 0; trial < 40; ++trial) {
+      const auto u = static_cast<Vertex>(rng.bounded(n));
+      const auto v = static_cast<Vertex>(rng.bounded(n));
+      EXPECT_EQ(labels.component[u] == labels.component[v],
+                mutually_reachable(gc.graph, u, v))
+          << "u=" << u << " v=" << v;
+    }
+    // Condensation arcs only go from higher to lower ids (acyclic).
+    const CsrGraph dag = condensation(gc.graph, labels);
+    for (const Edge& e : dag.arcs()) EXPECT_GT(e.src, e.dst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccSweep, ::testing::Values(401, 411, 421, 431));
+
+}  // namespace
+}  // namespace apgre

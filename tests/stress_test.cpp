@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "bc/brandes.hpp"
+#include "bc/stress.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(StressCentrality, PathEqualsBetweenness) {
+  // On a path every pair has exactly one shortest path, so stress == BC.
+  const CsrGraph g = path(7);
+  testing::expect_scores_near(brandes_bc(g), stress_centrality(g));
+}
+
+TEST(StressCentrality, StarCentreCountsAllPairs) {
+  const auto stress = stress_centrality(star(8));
+  EXPECT_DOUBLE_EQ(stress[0], 7.0 * 6.0);
+  for (Vertex v = 1; v < 8; ++v) EXPECT_DOUBLE_EQ(stress[v], 0.0);
+}
+
+TEST(StressCentrality, CountsWholePathsNotFractions) {
+  // Diamond 0 -> {1,2} -> 3: each middle vertex lies on ONE whole path of
+  // the pair (0,3): stress 1 each, where BC gives 0.5.
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, true);
+  const auto stress = stress_centrality(g);
+  EXPECT_DOUBLE_EQ(stress[1], 1.0);
+  EXPECT_DOUBLE_EQ(stress[2], 1.0);
+  const auto bc = brandes_bc(g);
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+}
+
+TEST(StressCentrality, DominatesBetweenness) {
+  // sigma_st(v) >= sigma_st(v)/sigma_st, so stress >= BC everywhere.
+  for (const auto& gc : testing::graph_family(441, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const auto stress = stress_centrality(gc.graph);
+    const auto bc = brandes_bc(gc.graph);
+    for (Vertex v = 0; v < gc.graph.num_vertices(); ++v) {
+      EXPECT_GE(stress[v] + 1e-9, bc[v]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(StressCentrality, EmptyGraph) {
+  EXPECT_TRUE(stress_centrality(CsrGraph::from_edges(0, {}, false)).empty());
+}
+
+class StressSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressSweep, MatchesNaiveOracle) {
+  for (const auto& gc : testing::graph_family(GetParam(), /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    testing::expect_scores_near(stress_centrality_naive(gc.graph),
+                                stress_centrality(gc.graph));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSweep, ::testing::Values(451, 461, 471));
+
+}  // namespace
+}  // namespace apgre

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "support/bitset.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/prng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+}
+
+TEST(HashCombine, MixesBothArguments) {
+  EXPECT_NE(hash_combine64(1, 2), hash_combine64(2, 1));
+  EXPECT_NE(hash_combine64(1, 2), hash_combine64(1, 3));
+  EXPECT_EQ(hash_combine64(5, 9), hash_combine64(5, 9));
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+}
+
+TEST(Log2Histogram, BucketsPowersOfTwo) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1000);
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], (std::pair<std::uint64_t, std::uint64_t>{1, 2}));  // 0 and 1
+  EXPECT_EQ(buckets[1], (std::pair<std::uint64_t, std::uint64_t>{2, 2}));  // 2, 3
+  EXPECT_EQ(buckets[2], (std::pair<std::uint64_t, std::uint64_t>{4, 1}));
+  EXPECT_EQ(buckets[3], (std::pair<std::uint64_t, std::uint64_t>{512, 1}));
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(GeometricMean, MatchesClosedForm) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Bitset, SetTestClear) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.test(0));
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_EQ(b.count(), 3u);
+  b.clear(64);
+  EXPECT_FALSE(b.test(64));
+  b.reset();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(AtomicBitset, SetReportsFirstClaim) {
+  AtomicBitset b(100);
+  EXPECT_TRUE(b.set(42));
+  EXPECT_FALSE(b.set(42));
+  EXPECT_TRUE(b.test(42));
+  EXPECT_FALSE(b.test(41));
+  b.reset();
+  EXPECT_FALSE(b.test(42));
+  EXPECT_TRUE(b.set(42));
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.millis(), 5.0);
+  t.reset();
+  EXPECT_LT(t.millis(), 5.0);
+}
+
+TEST(ScopedTimer, AccumulatesIntoSink) {
+  double sink = 0.0;
+  {
+    ScopedTimer t(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double first = sink;
+  EXPECT_GT(first, 0.0);
+  {
+    ScopedTimer t(sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(sink, first);
+}
+
+TEST(ErrorMacros, AssertThrowsLogicError) {
+  EXPECT_NO_THROW(APGRE_ASSERT(1 + 1 == 2));
+  EXPECT_THROW(APGRE_ASSERT(1 + 1 == 3), std::logic_error);
+  EXPECT_THROW(APGRE_ASSERT_MSG(false, "boom"), std::logic_error);
+}
+
+TEST(ErrorMacros, RequireThrowsApgreError) {
+  EXPECT_NO_THROW(APGRE_REQUIRE(true, "fine"));
+  EXPECT_THROW(APGRE_REQUIRE(false, "bad input"), Error);
+}
+
+TEST(ParseError, FormatsLocation) {
+  try {
+    throw ParseError("graph.txt", 12, "bad edge");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "graph.txt:12: bad edge");
+  }
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"Graph", "Time", "MTEPS"});
+  t.row().cell("enron").cell(1.5).cell(std::uint64_t{291});
+  t.row().cell("wiki").dash().cell(std::uint64_t{2437});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Graph"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("-"), std::string::npos);
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| Graph"), std::string::npos);
+}
+
+TEST(Table, CellBeforeRowIsAnError) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(Parallel, ThreadBudgetRestores) {
+  const int original = num_threads();
+  {
+    ThreadBudget budget(2);
+    EXPECT_EQ(num_threads(), 2);
+  }
+  EXPECT_EQ(num_threads(), original);
+}
+
+TEST(Parallel, PerThreadHasOneSlotPerThread) {
+  PerThread<int> counters(0);
+  EXPECT_EQ(counters.size(), static_cast<std::size_t>(num_threads()));
+  counters.local() = 5;
+  EXPECT_EQ(counters[static_cast<std::size_t>(thread_id())], 5);
+}
+
+}  // namespace
+}  // namespace apgre

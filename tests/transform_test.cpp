@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(UndirectedProjection, SymmetrisesDirectedArcs) {
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {1, 2}}, true);
+  const CsrGraph u = undirected_projection(g);
+  EXPECT_FALSE(u.directed());
+  EXPECT_TRUE(u.is_symmetric());
+  EXPECT_EQ(u.num_arcs(), 4u);
+}
+
+TEST(UndirectedProjection, IdentityOnUndirected) {
+  const CsrGraph g = cycle(5);
+  EXPECT_EQ(undirected_projection(g), g);
+}
+
+TEST(Relabel, PermutesAdjacency) {
+  const CsrGraph g = CsrGraph::from_edges(3, {{0, 1}, {1, 2}}, true);
+  const CsrGraph r = relabel(g, {2, 0, 1});  // 0->2, 1->0, 2->1
+  EXPECT_EQ(r.out_degree(2), 1u);
+  EXPECT_EQ(r.out_neighbors(2)[0], 0u);
+  EXPECT_EQ(r.out_neighbors(0)[0], 1u);
+}
+
+TEST(Relabel, RejectsNonPermutation) {
+  const CsrGraph g = path(3);
+  EXPECT_THROW(relabel(g, {0, 0, 1}), std::logic_error);
+  EXPECT_THROW(relabel(g, {0, 1}), std::logic_error);
+}
+
+TEST(Relabel, IdentityIsNoop) {
+  const CsrGraph g = erdos_renyi(40, 100, true, 3);
+  std::vector<Vertex> id(40);
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_EQ(relabel(g, id), g);
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  //  0-1-2-3 path; induce {1, 2, 3}.
+  const CsrGraph g = path(4);
+  const InducedSubgraph sub = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);  // 1-2 and 2-3
+  EXPECT_EQ(sub.to_global, (std::vector<Vertex>{1, 2, 3}));
+}
+
+TEST(InducedSubgraph, PreservesDirection) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 0}, {3, 0}}, true);
+  const InducedSubgraph sub = induced_subgraph(g, {0, 1, 2});
+  EXPECT_TRUE(sub.graph.directed());
+  EXPECT_EQ(sub.graph.num_arcs(), 3u);
+}
+
+TEST(InducedSubgraph, RejectsDuplicates) {
+  const CsrGraph g = path(4);
+  EXPECT_THROW(induced_subgraph(g, {1, 1}), std::logic_error);
+}
+
+TEST(LargestComponent, PicksBiggest) {
+  // Two components: triangle {0,1,2} and edge {3,4}.
+  const CsrGraph g =
+      CsrGraph::undirected_from_edges(5, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  const InducedSubgraph lc = largest_component(g);
+  EXPECT_EQ(lc.graph.num_vertices(), 3u);
+  EXPECT_EQ(lc.to_global, (std::vector<Vertex>{0, 1, 2}));
+  EXPECT_TRUE(is_connected(lc.graph));
+}
+
+TEST(AttachPendants, UndirectedAddsDegreeOneVertices) {
+  const CsrGraph g = cycle(10);
+  const CsrGraph decorated = attach_pendants(g, 5, 42);
+  EXPECT_EQ(decorated.num_vertices(), 15u);
+  EXPECT_EQ(decorated.num_edges(), 15u);
+  for (Vertex v = 10; v < 15; ++v) {
+    EXPECT_EQ(decorated.out_degree(v), 1u);
+  }
+  EXPECT_TRUE(decorated.is_symmetric());
+}
+
+TEST(AttachPendants, DirectedPendantsHaveNoInArcs) {
+  const CsrGraph g = erdos_renyi(10, 30, true, 1);
+  const CsrGraph decorated = attach_pendants(g, 4, 42);
+  for (Vertex v = 10; v < 14; ++v) {
+    EXPECT_EQ(decorated.out_degree(v), 1u);
+    EXPECT_EQ(decorated.in_degree(v), 0u);
+  }
+}
+
+TEST(AttachPendants, Deterministic) {
+  const CsrGraph g = cycle(8);
+  EXPECT_EQ(attach_pendants(g, 3, 9), attach_pendants(g, 3, 9));
+}
+
+TEST(AttachCommunities, AddsCliquesBridgedByOneEdge) {
+  const CsrGraph g = attach_communities(cycle(10), 3, 5, 7);
+  EXPECT_EQ(g.num_vertices(), 25u);
+  // 10 cycle edges + 3 * (C(5,2) clique + 1 bridge) edges.
+  EXPECT_EQ(g.num_edges(), 10u + 3u * (10u + 1u));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(AttachCommunities, DirectedHostStaysDirected) {
+  const CsrGraph g = attach_communities(erdos_renyi(20, 60, true, 1), 2, 4, 3);
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.num_vertices(), 28u);
+  // Community vertices are symmetric even in a directed host.
+  EXPECT_EQ(g.out_degree(20), g.in_degree(20));
+}
+
+TEST(AttachChains, AddsTendrils) {
+  const CsrGraph g = attach_chains(cycle(6), 2, 4, 5);
+  EXPECT_EQ(g.num_vertices(), 14u);
+  EXPECT_EQ(g.num_edges(), 6u + 8u);
+  EXPECT_TRUE(is_connected(g));
+  // Chain tips have degree 1, interiors degree 2.
+  EXPECT_EQ(g.out_degree(9), 1u);
+  EXPECT_EQ(g.out_degree(13), 1u);
+  EXPECT_EQ(g.out_degree(8), 2u);
+}
+
+TEST(AttachDecorators, Deterministic) {
+  const CsrGraph g = cycle(9);
+  EXPECT_EQ(attach_communities(g, 2, 4, 11), attach_communities(g, 2, 4, 11));
+  EXPECT_EQ(attach_chains(g, 2, 3, 11), attach_chains(g, 2, 3, 11));
+}
+
+}  // namespace
+}  // namespace apgre

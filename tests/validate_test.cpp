@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "bcc/validate.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(ValidateDecomposition, AcceptsFreshDecompositions) {
+  for (const auto& gc : testing::graph_family(95, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const Decomposition dec = decompose(gc.graph);
+    EXPECT_TRUE(validate_decomposition(gc.graph, dec).empty());
+    EXPECT_NO_THROW(require_valid_decomposition(gc.graph, dec));
+  }
+}
+
+TEST(ValidateDecomposition, DetectsCorruptedAlpha) {
+  const CsrGraph g = barbell(5, 2);
+  PartitionOptions opts;
+  opts.merge_threshold = 3;
+  Decomposition dec = decompose(g, opts);
+  ASSERT_FALSE(dec.subgraphs.empty());
+  bool corrupted = false;
+  for (Subgraph& sg : dec.subgraphs) {
+    if (!sg.boundary_aps.empty()) {
+      sg.alpha[sg.boundary_aps[0]] += 7;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const auto violations = validate_decomposition(g, dec);
+  EXPECT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("alpha"), std::string::npos);
+  EXPECT_THROW(require_valid_decomposition(g, dec), Error);
+}
+
+TEST(ValidateDecomposition, DetectsDroppedArc) {
+  const CsrGraph g = cycle(8);
+  Decomposition dec = decompose(g);
+  ASSERT_EQ(dec.subgraphs.size(), 1u);
+  // Rebuild the sub-graph with one arc missing.
+  Subgraph& sg = dec.subgraphs[0];
+  EdgeList arcs = sg.graph.arcs();
+  arcs.pop_back();
+  sg.graph = CsrGraph::from_edges(sg.num_vertices(), std::move(arcs), false);
+  const auto violations = validate_decomposition(g, dec);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(ValidateDecomposition, DetectsBrokenGammaAccounting) {
+  const CsrGraph g = star(8);
+  Decomposition dec = decompose(g);
+  ASSERT_EQ(dec.subgraphs.size(), 1u);
+  dec.subgraphs[0].gamma[dec.subgraphs[0].roots[0]] += 1;
+  const auto violations = validate_decomposition(g, dec);
+  EXPECT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("gamma"), std::string::npos);
+}
+
+TEST(ValidateDecomposition, DetectsForeignArc) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  Decomposition dec = decompose(g);
+  // Splice an arc that does not exist in g into the first sub-graph.
+  Subgraph& sg = dec.subgraphs[0];
+  EdgeList arcs = sg.graph.arcs();
+  arcs.push_back(Edge{0, 2});
+  arcs.push_back(Edge{2, 0});
+  sg.graph = CsrGraph::from_edges(sg.num_vertices(), std::move(arcs), false);
+  EXPECT_FALSE(validate_decomposition(g, dec).empty());
+}
+
+}  // namespace
+}  // namespace apgre

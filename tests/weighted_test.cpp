@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bc/brandes.hpp"
+#include "bc/weighted.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "graph/weighted.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+TEST(WeightedCsr, BuildAndLookup) {
+  const WeightedCsrGraph g = WeightedCsrGraph::from_edges(
+      3, {{0, 1, 2.0}, {1, 2, 3.0}, {0, 2, 10.0}}, /*directed=*/true);
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_DOUBLE_EQ(g.arc_weight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.arc_weight(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(g.arc_weight(0, 2), 10.0);
+  const auto weights = g.out_weights(0);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[0], 2.0);
+  EXPECT_DOUBLE_EQ(weights[1], 10.0);
+}
+
+TEST(WeightedCsr, DuplicateArcsKeepLightest) {
+  const WeightedCsrGraph g = WeightedCsrGraph::from_edges(
+      2, {{0, 1, 5.0}, {0, 1, 2.0}, {0, 1, 9.0}}, true);
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_DOUBLE_EQ(g.arc_weight(0, 1), 2.0);
+}
+
+TEST(WeightedCsr, SelfLoopsDropped) {
+  const WeightedCsrGraph g =
+      WeightedCsrGraph::from_edges(2, {{0, 0, 1.0}, {0, 1, 1.0}}, true);
+  EXPECT_EQ(g.num_arcs(), 1u);
+}
+
+TEST(WeightedCsr, NegativeWeightRejected) {
+  EXPECT_THROW(WeightedCsrGraph::from_edges(2, {{0, 1, -1.0}}, true), Error);
+}
+
+TEST(WeightedCsr, UndirectedSymmetrises) {
+  const WeightedCsrGraph g =
+      WeightedCsrGraph::undirected_from_edges(3, {{0, 1, 4.0}, {1, 2, 6.0}});
+  EXPECT_DOUBLE_EQ(g.arc_weight(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(g.arc_weight(2, 1), 6.0);
+}
+
+TEST(WeightDecorators, UnitWeightsPreserveStructure) {
+  const CsrGraph base = cycle(6);
+  const WeightedCsrGraph g = with_unit_weights(base);
+  EXPECT_EQ(g.structure(), base);
+  for (const WeightedEdge& e : g.arcs()) EXPECT_DOUBLE_EQ(e.weight, 1.0);
+}
+
+TEST(WeightDecorators, RandomWeightsAreSymmetricAndBounded) {
+  const WeightedCsrGraph g = with_random_weights(cycle(12), 2, 9, 7);
+  for (const WeightedEdge& e : g.arcs()) {
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LE(e.weight, 9.0);
+    EXPECT_DOUBLE_EQ(e.weight, g.arc_weight(e.dst, e.src));
+  }
+  EXPECT_EQ(with_random_weights(cycle(12), 2, 9, 7),
+            with_random_weights(cycle(12), 2, 9, 7));
+}
+
+TEST(WeightedDimacs, ReadsWeights) {
+  std::istringstream in("p sp 3 2\na 1 2 7\na 2 3 4\n");
+  const WeightedCsrGraph g = read_dimacs_weighted(in, /*directed=*/true);
+  EXPECT_DOUBLE_EQ(g.arc_weight(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(g.arc_weight(1, 2), 4.0);
+}
+
+// ---- Algorithm correctness ------------------------------------------------
+
+TEST(WeightedNaive, WeightedPathChangesRouting) {
+  // Triangle where the two-hop route (total 2) beats the direct edge (5):
+  // vertex 1 is on the single shortest 0->2 path.
+  const WeightedCsrGraph g = WeightedCsrGraph::undirected_from_edges(
+      3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}});
+  const auto bc = weighted_naive_bc(g);
+  EXPECT_DOUBLE_EQ(bc[1], 2.0);  // both directions
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[2], 0.0);
+}
+
+TEST(WeightedNaive, TiedWeightedPathsSplit) {
+  // 0 -> {1, 2} -> 3 with equal total weights: each middle carries 0.5.
+  const WeightedCsrGraph g = WeightedCsrGraph::from_edges(
+      4, {{0, 1, 2.0}, {0, 2, 1.0}, {1, 3, 1.0}, {2, 3, 2.0}}, true);
+  const auto bc = weighted_naive_bc(g);
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+}
+
+TEST(WeightedBrandes, UnitWeightsMatchUnweightedBrandes) {
+  for (const auto& gc : testing::graph_family(42, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    testing::expect_scores_near(brandes_bc(gc.graph),
+                                weighted_brandes_bc(with_unit_weights(gc.graph)));
+  }
+}
+
+TEST(WeightedBrandes, RejectsZeroWeights) {
+  const WeightedCsrGraph g =
+      WeightedCsrGraph::from_edges(2, {{0, 1, 0.0}}, true);
+  EXPECT_THROW(weighted_brandes_bc(g), Error);
+}
+
+TEST(WeightedApgre, PendantAndApShapes) {
+  // Weighted variants of the unweighted regression shapes.
+  const CsrGraph shape = CsrGraph::undirected_from_edges(
+      8, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}, {2, 7}});
+  const WeightedCsrGraph g = with_random_weights(shape, 1, 5, 3);
+  ApgreOptions opts;
+  opts.partition.merge_threshold = 2;
+  testing::expect_scores_near(weighted_naive_bc(g), weighted_apgre_bc(g, opts));
+}
+
+class WeightedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedSweep, BrandesMatchesNaiveOracle) {
+  for (const auto& gc : testing::graph_family(GetParam(), /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const WeightedCsrGraph g = with_random_weights(gc.graph, 1, 7, GetParam());
+    testing::expect_scores_near(weighted_naive_bc(g), weighted_brandes_bc(g));
+  }
+}
+
+TEST_P(WeightedSweep, ApgreMatchesBrandes) {
+  for (const auto& gc : testing::graph_family(GetParam(), /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const WeightedCsrGraph g = with_random_weights(gc.graph, 1, 7, GetParam() + 1);
+    testing::expect_scores_near(weighted_brandes_bc(g), weighted_apgre_bc(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedSweep, ::testing::Values(51, 61, 71, 81));
+
+TEST(WeightedApgre, StatsFilled) {
+  const WeightedCsrGraph g = with_random_weights(
+      attach_pendants(caveman(6, 8, 3), 20, 4), 1, 9, 5);
+  ApgreStats stats;
+  weighted_apgre_bc(g, {}, &stats);
+  EXPECT_GT(stats.num_subgraphs, 0u);
+  EXPECT_EQ(stats.num_pendants_removed, 20u);
+}
+
+}  // namespace
+}  // namespace apgre
