@@ -1,0 +1,124 @@
+#include "check/oracle.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "bc/weighted.hpp"
+#include "support/error.hpp"
+
+namespace apgre {
+
+ScoreComparison compare_scores(const std::vector<double>& expected,
+                               const std::vector<double>& actual,
+                               double rel, double abs) {
+  APGRE_ASSERT_MSG(expected.size() == actual.size(),
+                   "score vectors must cover the same vertex set");
+  ScoreComparison cmp;
+  double expected_sq = 0.0;
+  double actual_sq = 0.0;
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    expected_sq += expected[v] * expected[v];
+    actual_sq += actual[v] * actual[v];
+    const double divergence = std::fabs(expected[v] - actual[v]);
+    const double tolerance =
+        abs + rel * std::max(std::fabs(expected[v]), std::fabs(actual[v]));
+    const double excess = divergence - tolerance;
+    if (divergence > cmp.max_divergence) cmp.max_divergence = divergence;
+    if (excess > 0.0) ++cmp.num_violations;
+    if (cmp.worst_vertex == kInvalidVertex || excess > cmp.worst_excess) {
+      cmp.worst_excess = excess;
+      cmp.worst_vertex = static_cast<Vertex>(v);
+      cmp.expected_score = expected[v];
+      cmp.actual_score = actual[v];
+    }
+  }
+  cmp.expected_norm = std::sqrt(expected_sq);
+  cmp.actual_norm = std::sqrt(actual_sq);
+  cmp.ok = cmp.num_violations == 0;
+  return cmp;
+}
+
+std::vector<Algorithm> exact_algorithm_set(const CsrGraph& g,
+                                           Vertex max_naive_vertices) {
+  std::vector<Algorithm> set;
+  if (g.num_vertices() <= max_naive_vertices) set.push_back(Algorithm::kNaive);
+  set.insert(set.end(),
+             {Algorithm::kBrandesSerial, Algorithm::kParallelPreds,
+              Algorithm::kParallelSuccs, Algorithm::kLockFree, Algorithm::kCoarse,
+              Algorithm::kHybrid, Algorithm::kApgre, Algorithm::kAlgebraic});
+  return set;
+}
+
+namespace {
+
+OracleReport build_report(Algorithm reference,
+                          const std::vector<double>& reference_scores,
+                          const std::vector<std::pair<Algorithm,
+                                                      std::vector<double>>>& runs,
+                          double rel, double abs) {
+  OracleReport report;
+  report.reference = reference;
+  for (const auto& [algorithm, scores] : runs) {
+    AlgorithmDivergence d{algorithm,
+                          compare_scores(reference_scores, scores, rel, abs)};
+    report.ok = report.ok && d.comparison.ok;
+    report.max_divergence =
+        std::max(report.max_divergence, d.comparison.max_divergence);
+    report.algorithms.push_back(std::move(d));
+  }
+  return report;
+}
+
+}  // namespace
+
+std::string OracleReport::summary() const {
+  std::ostringstream os;
+  for (const AlgorithmDivergence& d : algorithms) {
+    const ScoreComparison& c = d.comparison;
+    os << algorithm_name(d.algorithm) << " vs " << algorithm_name(reference)
+       << ": max divergence " << c.max_divergence;
+    if (!c.ok) {
+      os << " [FAIL: " << c.num_violations << " vertices over tolerance"
+         << "; worst v" << c.worst_vertex << " expected " << c.expected_score
+         << " actual " << c.actual_score << "; |expected|=" << c.expected_norm
+         << " |actual|=" << c.actual_norm << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+OracleReport differential_check(const CsrGraph& g, const OracleOptions& opts) {
+  std::vector<Algorithm> algorithms = opts.algorithms;
+  if (algorithms.empty()) {
+    algorithms = exact_algorithm_set(g, opts.max_naive_vertices);
+  }
+
+  BcOptions run;
+  run.threads = opts.threads;
+  run.algorithm = opts.reference;
+  const std::vector<double> reference_scores = betweenness(g, run).scores;
+
+  std::vector<std::pair<Algorithm, std::vector<double>>> runs;
+  for (Algorithm algorithm : algorithms) {
+    if (algorithm == opts.reference) continue;
+    run.algorithm = algorithm;
+    runs.emplace_back(algorithm, betweenness(g, run).scores);
+  }
+  return build_report(opts.reference, reference_scores, runs,
+                      opts.rel_tolerance, opts.abs_tolerance);
+}
+
+OracleReport weighted_differential_check(const WeightedCsrGraph& g,
+                                         const OracleOptions& opts) {
+  const std::vector<double> reference_scores = weighted_brandes_bc(g);
+  std::vector<std::pair<Algorithm, std::vector<double>>> runs;
+  runs.emplace_back(Algorithm::kApgre, weighted_apgre_bc(g));
+  if (g.num_vertices() <= opts.max_naive_vertices) {
+    runs.emplace_back(Algorithm::kNaive, weighted_naive_bc(g));
+  }
+  return build_report(Algorithm::kBrandesSerial, reference_scores, runs,
+                      opts.rel_tolerance, opts.abs_tolerance);
+}
+
+}  // namespace apgre

@@ -1,0 +1,83 @@
+// Cross-algorithm differential oracle.
+//
+// The library's core claim (bc/bc.hpp) is that every exact algorithm of the
+// family computes identical BC scores and differs only in strategy. The
+// oracle enforces that claim: it runs a set of algorithms on one graph,
+// compares every score vector elementwise against a reference under the
+// suite's mixed absolute/relative tolerance, and reports the maximum
+// divergence with per-vertex blame (worst vertex, both scores, both vector
+// norms) so a failing seed pinpoints the disagreement immediately.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bc/bc.hpp"
+#include "graph/csr.hpp"
+#include "graph/weighted.hpp"
+
+namespace apgre {
+
+/// Elementwise comparison verdict between two score vectors.
+struct ScoreComparison {
+  bool ok = true;
+  double max_divergence = 0.0;   ///< max_v |expected - actual|
+  double worst_excess = 0.0;     ///< max_v (divergence - tolerance), <= 0 if ok
+  Vertex worst_vertex = kInvalidVertex;
+  double expected_score = 0.0;   ///< at the worst vertex
+  double actual_score = 0.0;     ///< at the worst vertex
+  double expected_norm = 0.0;    ///< L2 norm of the expected vector
+  double actual_norm = 0.0;      ///< L2 norm of the actual vector
+  std::size_t num_violations = 0;
+};
+
+/// Compare with tolerance(v) = abs + rel * max(|expected[v]|, |actual[v]|).
+/// Asserts equal sizes (use for vectors over the same vertex set).
+ScoreComparison compare_scores(const std::vector<double>& expected,
+                               const std::vector<double>& actual,
+                               double rel = 1e-7, double abs = 1e-6);
+
+struct OracleOptions {
+  /// Algorithms under test; empty selects exact_algorithm_set(g).
+  std::vector<Algorithm> algorithms;
+  /// Every algorithm is diffed against this one.
+  Algorithm reference = Algorithm::kBrandesSerial;
+  double rel_tolerance = 1e-7;
+  double abs_tolerance = 1e-6;
+  /// kNaive is O(|V|^3); the default algorithm set only includes it below
+  /// this vertex count.
+  Vertex max_naive_vertices = 256;
+  int threads = 0;
+};
+
+struct AlgorithmDivergence {
+  Algorithm algorithm;
+  ScoreComparison comparison;
+};
+
+struct OracleReport {
+  Algorithm reference;
+  std::vector<AlgorithmDivergence> algorithms;
+  bool ok = true;
+  double max_divergence = 0.0;  ///< across all algorithms
+
+  /// One line per algorithm: name, max divergence, blame on failure.
+  std::string summary() const;
+};
+
+/// The exact (score-identical) members of the family for `g`, naive
+/// included only when |V| <= max_naive_vertices. kSampling is excluded:
+/// it is approximate by design.
+std::vector<Algorithm> exact_algorithm_set(const CsrGraph& g,
+                                           Vertex max_naive_vertices = 256);
+
+/// Run every selected algorithm on `g` and diff against the reference.
+OracleReport differential_check(const CsrGraph& g, const OracleOptions& opts = {});
+
+/// Weighted family: diff weighted_apgre_bc (and, below the naive cap,
+/// weighted_naive_bc) against weighted_brandes_bc. Reported under the
+/// kApgre / kNaive / kBrandesSerial labels.
+OracleReport weighted_differential_check(const WeightedCsrGraph& g,
+                                         const OracleOptions& opts = {});
+
+}  // namespace apgre

@@ -1,5 +1,6 @@
 #include "graph/io_binary.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -33,6 +34,12 @@ struct Header {
   Vertex num_vertices = 0;
   EdgeId num_arcs = 0;
 };
+
+/// A hostile header can claim any 64-bit arc count; reserving it up front
+/// would allocate before a single payload byte is validated. Cap the
+/// up-front reservation and let push_back grow for genuinely huge files —
+/// truncated payloads then fail on read, not on allocation.
+constexpr EdgeId kMaxArcReserve = EdgeId{1} << 20;
 
 void write_header(std::ostream& out, const Header& h) {
   out.write(kMagic, sizeof(kMagic));
@@ -76,7 +83,7 @@ void write_binary(std::ostream& out, const CsrGraph& g) {
 CsrGraph read_binary(std::istream& in, const std::string& name) {
   const Header h = read_header(in, name, /*expect_weighted=*/false);
   EdgeList edges;
-  edges.reserve(h.num_arcs);
+  edges.reserve(std::min(h.num_arcs, kMaxArcReserve));
   for (EdgeId i = 0; i < h.num_arcs; ++i) {
     const auto src = read_pod<Vertex>(in, name);
     const auto dst = read_pod<Vertex>(in, name);
@@ -100,7 +107,7 @@ void write_binary_weighted(std::ostream& out, const WeightedCsrGraph& g) {
 WeightedCsrGraph read_binary_weighted(std::istream& in, const std::string& name) {
   const Header h = read_header(in, name, /*expect_weighted=*/true);
   std::vector<WeightedEdge> edges;
-  edges.reserve(h.num_arcs);
+  edges.reserve(std::min(h.num_arcs, kMaxArcReserve));
   for (EdgeId i = 0; i < h.num_arcs; ++i) {
     const auto src = read_pod<Vertex>(in, name);
     const auto dst = read_pod<Vertex>(in, name);

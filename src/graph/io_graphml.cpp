@@ -1,7 +1,10 @@
 #include "graph/io_graphml.hpp"
 
 #include <fstream>
+#include <istream>
 #include <ostream>
+#include <sstream>
+#include <unordered_map>
 
 #include "support/error.hpp"
 
@@ -67,6 +70,173 @@ void write_graphml_file(const std::string& path, const CsrGraph& g,
   std::ofstream out(path);
   APGRE_REQUIRE(out.good(), "cannot open " + path + " for writing");
   write_graphml(out, g, attributes);
+}
+
+// ---- Reader --------------------------------------------------------------
+//
+// A deliberately small XML-subset scanner: it walks `<...>` tags, parses
+// their name="value" attributes, and interprets only the graphml / graph /
+// node / edge elements. Everything it cannot make sense of is a hard
+// apgre::Error — the fuzz suite feeds it arbitrary bytes, and the contract
+// is parse-or-throw, never crash or hang.
+
+namespace {
+
+struct XmlTag {
+  std::string name;
+  std::unordered_map<std::string, std::string> attributes;
+  bool closing = false;  // </name>
+};
+
+bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == ':' || c == '.';
+}
+
+/// Parse the tag starting at text[pos] == '<'; advances pos past the
+/// closing '>'. Comments, processing instructions and doctype-ish tags
+/// return a tag with an empty name (skipped by the caller).
+XmlTag parse_tag(const std::string& text, std::size_t& pos,
+                 const std::string& name) {
+  XmlTag tag;
+  ++pos;  // consume '<'
+  if (pos < text.size() && (text[pos] == '?' || text[pos] == '!')) {
+    // <?xml ...?>, <!-- ... -->, <!DOCTYPE ...>: skip to the closing '>'
+    // (comment terminators are not validated; the fuzz contract only needs
+    // bounded, crash-free scanning).
+    const std::size_t end = text.find('>', pos);
+    APGRE_REQUIRE(end != std::string::npos, name + ": unterminated markup");
+    pos = end + 1;
+    return tag;
+  }
+  if (pos < text.size() && text[pos] == '/') {
+    tag.closing = true;
+    ++pos;
+  }
+  while (pos < text.size() && is_name_char(text[pos])) tag.name += text[pos++];
+  APGRE_REQUIRE(!tag.name.empty(), name + ": malformed tag");
+
+  while (true) {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+    APGRE_REQUIRE(pos < text.size(), name + ": unterminated tag <" + tag.name);
+    if (text[pos] == '>') {
+      ++pos;
+      return tag;
+    }
+    if (text[pos] == '/') {
+      ++pos;
+      APGRE_REQUIRE(pos < text.size() && text[pos] == '>',
+                    name + ": malformed self-closing tag <" + tag.name);
+      ++pos;
+      return tag;
+    }
+    std::string attribute;
+    while (pos < text.size() && is_name_char(text[pos])) {
+      attribute += text[pos++];
+    }
+    APGRE_REQUIRE(!attribute.empty() && pos < text.size() && text[pos] == '=',
+                  name + ": malformed attribute in <" + tag.name);
+    ++pos;
+    APGRE_REQUIRE(pos < text.size() && (text[pos] == '"' || text[pos] == '\''),
+                  name + ": attribute value must be quoted in <" + tag.name);
+    const char quote = text[pos++];
+    const std::size_t end = text.find(quote, pos);
+    APGRE_REQUIRE(end != std::string::npos,
+                  name + ": unterminated attribute value in <" + tag.name);
+    tag.attributes.emplace(std::move(attribute), text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+}
+
+}  // namespace
+
+CsrGraph read_graphml(std::istream& in, const std::string& name) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::unordered_map<std::string, Vertex> node_index;
+  EdgeList edges;
+  bool directed = false;
+  bool saw_graphml = false;
+  bool closed_graphml = false;
+  bool in_graph = false;
+
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t open = text.find('<', pos);
+    if (open == std::string::npos) break;
+    pos = open;
+    const XmlTag tag = parse_tag(text, pos, name);
+    if (tag.name.empty()) continue;  // declaration / comment
+
+    if (tag.name == "graphml") {
+      if (tag.closing) {
+        APGRE_REQUIRE(saw_graphml, name + ": </graphml> before <graphml>");
+        closed_graphml = true;
+      } else {
+        saw_graphml = true;
+      }
+    } else if (tag.name == "graph") {
+      if (tag.closing) {
+        in_graph = false;
+        continue;
+      }
+      APGRE_REQUIRE(saw_graphml, name + ": <graph> outside <graphml>");
+      const auto mode = tag.attributes.find("edgedefault");
+      APGRE_REQUIRE(mode != tag.attributes.end(),
+                    name + ": <graph> missing edgedefault");
+      if (mode->second == "directed") {
+        directed = true;
+      } else {
+        APGRE_REQUIRE(mode->second == "undirected",
+                      name + ": unknown edgedefault `" + mode->second + "`");
+      }
+      in_graph = true;
+    } else if (tag.name == "node") {
+      if (tag.closing) continue;
+      APGRE_REQUIRE(in_graph, name + ": <node> outside <graph>");
+      const auto id = tag.attributes.find("id");
+      APGRE_REQUIRE(id != tag.attributes.end(), name + ": <node> missing id");
+      const auto next = static_cast<Vertex>(node_index.size());
+      const bool fresh = node_index.emplace(id->second, next).second;
+      APGRE_REQUIRE(fresh, name + ": duplicate node id `" + id->second + "`");
+    } else if (tag.name == "edge") {
+      if (tag.closing) continue;
+      APGRE_REQUIRE(in_graph, name + ": <edge> outside <graph>");
+      const auto source = tag.attributes.find("source");
+      const auto target = tag.attributes.find("target");
+      APGRE_REQUIRE(source != tag.attributes.end() &&
+                        target != tag.attributes.end(),
+                    name + ": <edge> missing source/target");
+      const auto src = node_index.find(source->second);
+      const auto dst = node_index.find(target->second);
+      APGRE_REQUIRE(src != node_index.end(),
+                    name + ": edge source `" + source->second +
+                        "` is not a declared node");
+      APGRE_REQUIRE(dst != node_index.end(),
+                    name + ": edge target `" + target->second +
+                        "` is not a declared node");
+      edges.push_back(Edge{src->second, dst->second});
+    }
+    // key / data / default / ...: structurally irrelevant, skipped.
+  }
+
+  APGRE_REQUIRE(saw_graphml, name + ": not a GraphML document");
+  APGRE_REQUIRE(closed_graphml, name + ": truncated GraphML (missing </graphml>)");
+
+  const auto n = static_cast<Vertex>(node_index.size());
+  if (directed) return CsrGraph::from_edges(n, std::move(edges), true);
+  return CsrGraph::undirected_from_edges(n, std::move(edges));
+}
+
+CsrGraph read_graphml_file(const std::string& path) {
+  std::ifstream in(path);
+  APGRE_REQUIRE(in.good(), "cannot open " + path);
+  return read_graphml(in, path);
 }
 
 }  // namespace apgre

@@ -1,0 +1,306 @@
+// Seeded property sweep over the check subsystem: the differential oracle
+// across every exact algorithm, the metamorphic rules, and the
+// decomposition / ApgreStats invariants, each over the random-graph corpus
+// (all generator classes, directed and undirected, plus the weighted
+// family). A failing case prints its (seed, case) pair; reproduce it with
+//   apgre_diff --seed <seed> --cases <case> --verbose
+// as described in docs/TESTING.md.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bc/bc.hpp"
+#include "bc/brandes.hpp"
+#include "check/corpus.hpp"
+#include "check/invariants.hpp"
+#include "check/metamorphic.hpp"
+#include "check/oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+constexpr std::uint64_t kDifferentialSeeds = 6;
+constexpr std::uint64_t kMetamorphicSeeds = 3;
+constexpr std::uint64_t kInvariantSeeds = 3;
+constexpr std::uint64_t kWeightedSeeds = 4;
+
+// ---- Differential oracle -------------------------------------------------
+
+TEST(CheckSweep, EveryExactAlgorithmMatchesBrandesOnEveryCorpusCase) {
+  for (std::uint64_t seed = 1; seed <= kDifferentialSeeds; ++seed) {
+    for (const CorpusCase& c : graph_corpus(seed, /*tiny=*/true)) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " + c.name);
+      const OracleReport report = differential_check(c.graph);
+      EXPECT_TRUE(report.ok) << report.summary();
+    }
+  }
+}
+
+TEST(CheckSweep, WeightedFamilyMatchesWeightedBrandes) {
+  for (std::uint64_t seed = 1; seed <= kWeightedSeeds; ++seed) {
+    for (const WeightedCorpusCase& c : weighted_corpus(seed, /*tiny=*/true)) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " + c.name);
+      const OracleReport report = weighted_differential_check(c.graph);
+      EXPECT_TRUE(report.ok) << report.summary();
+    }
+  }
+}
+
+TEST(CheckOracle, ExactAlgorithmSetIncludesNaiveOnlyWhenSmall) {
+  const CsrGraph small = path(10);
+  const auto with_naive = exact_algorithm_set(small);
+  EXPECT_EQ(with_naive.front(), Algorithm::kNaive);
+  const auto without = exact_algorithm_set(small, /*max_naive_vertices=*/5);
+  for (Algorithm a : without) EXPECT_NE(a, Algorithm::kNaive);
+  EXPECT_EQ(with_naive.size(), without.size() + 1);
+}
+
+TEST(CheckOracle, CompareScoresBlamesTheWorstVertex) {
+  const std::vector<double> expected{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> actual = expected;
+  actual[1] += 0.5;   // small offence
+  actual[3] += 10.0;  // worst offence
+  const ScoreComparison cmp = compare_scores(expected, actual, 1e-7, 1e-6);
+  EXPECT_FALSE(cmp.ok);
+  EXPECT_EQ(cmp.num_violations, 2u);
+  EXPECT_EQ(cmp.worst_vertex, 3u);
+  EXPECT_DOUBLE_EQ(cmp.expected_score, 4.0);
+  EXPECT_DOUBLE_EQ(cmp.actual_score, 14.0);
+  EXPECT_DOUBLE_EQ(cmp.max_divergence, 10.0);
+  EXPECT_GT(cmp.actual_norm, cmp.expected_norm);
+}
+
+TEST(CheckOracle, CompareScoresAcceptsAccumulationNoise) {
+  const std::vector<double> expected{100.0, 0.0, 1e6};
+  std::vector<double> actual = expected;
+  actual[2] += 1e-2;  // within 1e-7 relative of 1e6... no: 0.1 tolerance
+  EXPECT_TRUE(compare_scores(expected, actual, 1e-7, 1e-6).ok);
+}
+
+// ---- Metamorphic rules ---------------------------------------------------
+
+TEST(CheckSweep, MetamorphicRulesHoldForEveryExactAlgorithm) {
+  std::size_t applied = 0;
+  std::size_t graphs = 0;
+  for (std::uint64_t seed = 1; seed <= kMetamorphicSeeds; ++seed) {
+    for (const CorpusCase& c : graph_corpus(seed, /*tiny=*/true)) {
+      // Rotate the algorithm under test so the sweep covers the whole
+      // family without rerunning every rule 8 times per graph.
+      const auto pool = exact_algorithm_set(c.graph, /*max_naive_vertices=*/0);
+      BcOptions opts;
+      opts.algorithm = pool[graphs++ % pool.size()];
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " + c.name + " " +
+                   algorithm_name(opts.algorithm));
+      for (const MetamorphicResult& r :
+           run_metamorphic_rules(c.graph, opts, seed)) {
+        if (!r.applied) continue;
+        ++applied;
+        EXPECT_TRUE(r.ok) << r.rule << ": " << r.detail;
+      }
+    }
+  }
+  // 4 rules always apply (relabel, pendant, isolated, union); subdivision
+  // needs an undirected graph with a bridge.
+  EXPECT_GE(applied, graphs * 4);
+}
+
+TEST(CheckMetamorphic, SubdivisionAppliesOnBridgeHeavyGraphs) {
+  BcOptions opts;
+  opts.algorithm = Algorithm::kBrandesSerial;
+  const MetamorphicResult r =
+      check_bridge_subdivision(caveman(4, 5, 7), opts, /*seed=*/7);
+  EXPECT_TRUE(r.applied);
+  EXPECT_TRUE(r.ok) << r.detail;
+  const MetamorphicResult none =
+      check_bridge_subdivision(complete(6), opts, /*seed=*/7);
+  EXPECT_FALSE(none.applied);  // biconnected: no bridge to subdivide
+}
+
+TEST(CheckMetamorphic, PendantRuleCoversDirectedGraphs) {
+  BcOptions opts;
+  opts.algorithm = Algorithm::kApgre;
+  const CsrGraph g = rmat(5, 4, 0.45, 0.2, 0.2, false, 11);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const MetamorphicResult r = check_pendant_attachment(g, opts, seed);
+    EXPECT_TRUE(r.applied);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+}
+
+TEST(CheckMetamorphic, UnionRejectsMixedDirectedness) {
+  BcOptions opts;
+  const MetamorphicResult r = check_disjoint_union(
+      path(4), erdos_renyi(6, 10, true, 1), opts);
+  EXPECT_FALSE(r.applied);
+}
+
+TEST(CheckMetamorphic, RulesDetectABrokenAlgorithm) {
+  // The sampling estimator is intentionally not exact: the relabel rule
+  // must flag it (different permutations sample different sources), which
+  // proves the harness can fail at all.
+  BcOptions opts;
+  opts.algorithm = Algorithm::kSampling;
+  opts.num_samples = 5;
+  const CsrGraph g = barabasi_albert(80, 2, 3);
+  bool any_failure = false;
+  for (std::uint64_t seed = 1; seed <= 4 && !any_failure; ++seed) {
+    const MetamorphicResult r = check_relabel_invariance(g, opts, seed);
+    any_failure = r.applied && !r.ok;
+  }
+  EXPECT_TRUE(any_failure);
+}
+
+// ---- Decomposition / stats invariants -----------------------------------
+
+TEST(CheckSweep, DecompositionInvariantsHoldAcrossCorpusAndReachMethods) {
+  for (std::uint64_t seed = 1; seed <= kInvariantSeeds; ++seed) {
+    for (const CorpusCase& c : graph_corpus(seed, /*tiny=*/true)) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " + c.name);
+      PartitionOptions popts;
+      popts.reach = ReachMethod::kBfs;
+      const Decomposition by_bfs = decompose(c.graph, popts);
+      for (const std::string& v :
+           check_decomposition_invariants(c.graph, by_bfs)) {
+        ADD_FAILURE() << "kBfs: " << v;
+      }
+      if (!c.graph.directed()) {
+        popts.reach = ReachMethod::kTreeDp;
+        const Decomposition by_tree = decompose(c.graph, popts);
+        for (const std::string& v :
+             check_decomposition_invariants(c.graph, by_tree)) {
+          ADD_FAILURE() << "kTreeDp: " << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(CheckSweep, ApgreStatsInvariantsHoldAcrossCorpus) {
+  for (std::uint64_t seed = 1; seed <= kInvariantSeeds; ++seed) {
+    for (const CorpusCase& c : graph_corpus(seed, /*tiny=*/true)) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " + c.name);
+      BcOptions opts;
+      opts.algorithm = Algorithm::kApgre;
+      const BcResult result = betweenness(c.graph, opts);
+      for (const std::string& v :
+           check_stats_invariants(c.graph, result.apgre_stats)) {
+        ADD_FAILURE() << v;
+      }
+    }
+  }
+}
+
+TEST(CheckInvariants, CorruptedStatsAreFlagged) {
+  const CsrGraph g = attach_pendants(caveman(4, 6, 2), 10, 3);
+  BcOptions opts;
+  opts.algorithm = Algorithm::kApgre;
+  ApgreStats stats = betweenness(g, opts).apgre_stats;
+  ASSERT_TRUE(check_stats_invariants(g, stats).empty());
+
+  ApgreStats wrong_subgraphs = stats;
+  wrong_subgraphs.num_subgraphs += 1;
+  EXPECT_FALSE(check_stats_invariants(g, wrong_subgraphs).empty());
+
+  ApgreStats wrong_pendants = stats;
+  wrong_pendants.num_pendants_removed += 1;
+  EXPECT_FALSE(check_stats_invariants(g, wrong_pendants).empty());
+
+  ApgreStats wrong_redundancy = stats;
+  wrong_redundancy.total_redundancy = 1.5;
+  EXPECT_FALSE(check_stats_invariants(g, wrong_redundancy).empty());
+
+  ApgreStats wrong_timing = stats;
+  wrong_timing.partition_seconds = wrong_timing.total_seconds + 1.0;
+  EXPECT_FALSE(check_stats_invariants(g, wrong_timing).empty());
+}
+
+TEST(CheckInvariants, CorruptedDecompositionIsFlagged) {
+  const CsrGraph g = caveman(4, 6, 5);
+  Decomposition dec = decompose(g);
+  ASSERT_TRUE(check_decomposition_invariants(g, dec).empty());
+
+  Decomposition wrong_alpha = dec;
+  for (Subgraph& sg : wrong_alpha.subgraphs) {
+    if (!sg.boundary_aps.empty()) {
+      sg.alpha[sg.boundary_aps.front()] += 1;
+      break;
+    }
+  }
+  EXPECT_FALSE(check_decomposition_invariants(g, wrong_alpha).empty());
+
+  Decomposition wrong_counter = dec;
+  wrong_counter.num_articulation_points += 1;
+  EXPECT_FALSE(check_decomposition_invariants(g, wrong_counter).empty());
+}
+
+TEST(CheckInvariants, PendantCensusMatchesDegreeStructure) {
+  EXPECT_EQ(pendant_census(path(2)), 1u);   // K2 keeps the lower id as root
+  EXPECT_EQ(pendant_census(star(5)), 4u);   // every leaf is a pendant
+  EXPECT_EQ(pendant_census(cycle(6)), 0u);  // biconnected: none
+  const CsrGraph decorated = attach_pendants(cycle(8), 5, 1);
+  EXPECT_EQ(pendant_census(decorated), 5u);
+}
+
+// ---- Satellite: algorithm name round-trips -------------------------------
+
+TEST(CheckNames, EveryAlgorithmRoundTripsAndNamesAreUnique) {
+  const Algorithm all[] = {
+      Algorithm::kNaive,         Algorithm::kBrandesSerial,
+      Algorithm::kParallelPreds, Algorithm::kParallelSuccs,
+      Algorithm::kLockFree,      Algorithm::kCoarse,
+      Algorithm::kHybrid,        Algorithm::kApgre,
+      Algorithm::kAlgebraic,     Algorithm::kSampling,
+  };
+  std::set<std::string> names;
+  for (Algorithm a : all) {
+    const std::string name = algorithm_name(a);
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    EXPECT_EQ(algorithm_from_name(name), a);
+  }
+  EXPECT_EQ(names.size(), 10u);
+  // Documented aliases resolve; near-misses do not.
+  EXPECT_EQ(algorithm_from_name("async"), Algorithm::kCoarse);
+  EXPECT_EQ(algorithm_from_name("batched"), Algorithm::kAlgebraic);
+  for (const char* bad : {"", "bogus", "APGRE", " apgre", "apgre ", "brandes"}) {
+    EXPECT_THROW(algorithm_from_name(bad), OptionError) << "`" << bad << "`";
+  }
+}
+
+// ---- Satellite: undirected halving across the family ---------------------
+
+TEST(CheckHalving, HalvingIsConsistentAcrossEveryExactAlgorithm) {
+  const CsrGraph g = attach_pendants(caveman(4, 6, 9), 8, 4);
+  ASSERT_FALSE(g.directed());
+  const auto full = brandes_bc(g);
+  std::vector<double> halved_reference(full.size());
+  for (std::size_t v = 0; v < full.size(); ++v) {
+    halved_reference[v] = 0.5 * full[v];
+  }
+  for (Algorithm a : exact_algorithm_set(g)) {
+    SCOPED_TRACE(algorithm_name(a));
+    BcOptions opts;
+    opts.algorithm = a;
+    opts.undirected_halving = true;
+    testing::expect_scores_near(halved_reference, betweenness(g, opts).scores);
+  }
+}
+
+TEST(CheckHalving, HalvingIsIgnoredOnDirectedInputsForEveryAlgorithm) {
+  const CsrGraph g = paper_figure3();
+  ASSERT_TRUE(g.directed());
+  const auto full = brandes_bc(g);
+  for (Algorithm a : exact_algorithm_set(g)) {
+    SCOPED_TRACE(algorithm_name(a));
+    BcOptions opts;
+    opts.algorithm = a;
+    opts.undirected_halving = true;
+    testing::expect_scores_near(full, betweenness(g, opts).scores);
+  }
+}
+
+}  // namespace
+}  // namespace apgre

@@ -4,13 +4,16 @@
 // random bytes to all four parsers.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "graph/generators.hpp"
 #include "graph/io_binary.hpp"
 #include "graph/io_dimacs.hpp"
+#include "graph/io_graphml.hpp"
 #include "graph/io_metis.hpp"
 #include "graph/io_snap.hpp"
+#include "graph/weighted.hpp"
 #include "support/error.hpp"
 #include "support/prng.hpp"
 
@@ -44,6 +47,13 @@ void expect_parse_or_error(const std::string& bytes) {
     std::istringstream in(bytes, std::ios::in | std::ios::binary);
     try {
       (void)read_binary(in);
+    } catch (const Error&) {
+    }
+  }
+  {
+    std::istringstream in(bytes);
+    try {
+      (void)read_graphml(in);
     } catch (const Error&) {
     }
   }
@@ -81,14 +91,144 @@ TEST(IoFuzz, TruncatedValidFiles) {
   write_dimacs(dimacs, g);
   std::ostringstream binary(std::ios::out | std::ios::binary);
   write_binary(binary, g);
+  std::ostringstream graphml;
+  write_graphml(graphml, g);
 
   Xoshiro256 rng(4);
   for (const std::string& full :
-       {snap.str(), dimacs.str(), binary.str()}) {
+       {snap.str(), dimacs.str(), binary.str(), graphml.str()}) {
     for (int round = 0; round < 20; ++round) {
       expect_parse_or_error(full.substr(0, rng.bounded(full.size() + 1)));
     }
   }
+}
+
+// Hand-built malformed binary files: the header is the attack surface, so
+// each case corrupts one specific field and must be rejected with an Error.
+TEST(IoFuzz, MalformedBinaryCorpus) {
+  const CsrGraph g = erdos_renyi(20, 50, false, 7);
+  std::ostringstream out(std::ios::out | std::ios::binary);
+  write_binary(out, g);
+  const std::string valid = out.str();
+
+  auto expect_error = [](std::string bytes) {
+    std::istringstream in(bytes, std::ios::in | std::ios::binary);
+    EXPECT_THROW((void)read_binary(in), Error) << "bytes size " << bytes.size();
+  };
+
+  // Truncated header: every prefix of the 22-byte header (magic, version,
+  // two flag bytes, u32 vertex count, u64 arc count) must throw, not crash
+  // or return an empty graph.
+  constexpr std::size_t kHeaderBytes =
+      4 + 4 + 1 + 1 + sizeof(Vertex) + sizeof(EdgeId);
+  static_assert(kHeaderBytes == 22);
+  ASSERT_GT(valid.size(), kHeaderBytes);
+  for (std::size_t len = 0; len < kHeaderBytes; ++len) {
+    expect_error(valid.substr(0, len));
+  }
+
+  // Out-of-range vertex id in the first arc record: endpoint >= |V|.
+  {
+    std::string bytes = valid;
+    const Vertex bogus = 1'000'000;  // far beyond the 20 vertices
+    std::memcpy(bytes.data() + kHeaderBytes, &bogus, sizeof(bogus));
+    expect_error(bytes);
+  }
+
+  // Arc-count bomb: header claims 2^62 arcs with no payload behind it. The
+  // reader must fail on the truncated payload, not attempt the allocation.
+  {
+    std::string bytes = valid.substr(0, kHeaderBytes);
+    const EdgeId bomb = EdgeId{1} << 62;
+    std::memcpy(bytes.data() + kHeaderBytes - sizeof(EdgeId), &bomb,
+                sizeof(bomb));
+    expect_error(bytes);
+  }
+
+  // Wrong magic and unsupported version.
+  {
+    std::string bytes = valid;
+    bytes[0] = 'X';
+    expect_error(bytes);
+  }
+  {
+    std::string bytes = valid;
+    bytes[4] = static_cast<char>(0xee);  // version field
+    expect_error(bytes);
+  }
+
+  // Weighted/unweighted mismatch: read_binary on a weighted file and back.
+  {
+    const WeightedCsrGraph wg = with_random_weights(g, 1, 4, 11);
+    std::ostringstream wout(std::ios::out | std::ios::binary);
+    write_binary_weighted(wout, wg);
+    expect_error(wout.str());
+    std::istringstream in(valid, std::ios::in | std::ios::binary);
+    EXPECT_THROW((void)read_binary_weighted(in), Error);
+  }
+}
+
+// Hand-built malformed GraphML documents: each case violates one structural
+// rule and must be rejected with an Error, never a crash or silent accept.
+TEST(IoFuzz, MalformedGraphmlCorpus) {
+  auto expect_error = [](const std::string& doc) {
+    std::istringstream in(doc);
+    EXPECT_THROW((void)read_graphml(in), Error) << doc;
+  };
+
+  // Truncated header / missing envelope.
+  expect_error("");
+  expect_error("<?xml version=\"1.0\"?>");
+  expect_error("<graphml");
+  expect_error("<graphml><graph edgedefault=\"undirected\">");  // no </graphml>
+  expect_error("<graph edgedefault=\"undirected\"></graph>");   // no <graphml>
+
+  // Malformed tags and attributes.
+  expect_error("<graphml><graph edgedefault=undirected></graph></graphml>");
+  expect_error("<graphml><graph edgedefault=\"undirected></graph></graphml>");
+  expect_error("<graphml><graph edgedefault=\"sideways\"></graph></graphml>");
+  expect_error("<graphml><graph></graph></graphml>");  // missing edgedefault
+  expect_error("<graphml><></graphml>");               // empty tag name
+  expect_error("<graphml><!-- unterminated comment </graphml>");
+
+  // Node / edge structural violations.
+  expect_error(
+      "<graphml><graph edgedefault=\"undirected\">"
+      "<node id=\"a\"/><node id=\"a\"/>"  // duplicate id
+      "</graph></graphml>");
+  expect_error(
+      "<graphml><graph edgedefault=\"undirected\">"
+      "<node/>"  // missing id
+      "</graph></graphml>");
+  expect_error(
+      "<graphml><graph edgedefault=\"undirected\">"
+      "<node id=\"a\"/><edge source=\"a\" target=\"ghost\"/>"  // undeclared id
+      "</graph></graphml>");
+  expect_error(
+      "<graphml><graph edgedefault=\"directed\">"
+      "<node id=\"a\"/><edge source=\"a\"/>"  // missing target
+      "</graph></graphml>");
+  expect_error(
+      "<graphml><node id=\"a\"/></graphml>");  // node outside <graph>
+  expect_error(
+      "<graphml><graph edgedefault=\"undirected\"></graph>"
+      "<edge source=\"a\" target=\"a\"/></graphml>");  // edge outside <graph>
+
+  // And a well-formed document parses, proving the corpus failures are
+  // rejections rather than a reader that throws on everything.
+  std::istringstream ok(
+      "<?xml version=\"1.0\"?>\n"
+      "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n"
+      "  <graph id=\"G\" edgedefault=\"undirected\">\n"
+      "    <node id=\"a\"/><node id=\"b\"/><node id=\"c\"/>\n"
+      "    <edge source=\"a\" target=\"b\"/>\n"
+      "    <edge source=\"b\" target=\"c\"/>\n"
+      "  </graph>\n"
+      "</graphml>\n");
+  const CsrGraph parsed = read_graphml(ok, "inline");
+  EXPECT_EQ(parsed.num_vertices(), 3u);
+  EXPECT_EQ(parsed.num_arcs(), 4u);  // two undirected edges, both arcs
+  EXPECT_FALSE(parsed.directed());
 }
 
 TEST(IoFuzz, BitFlippedBinary) {

@@ -1,81 +1,47 @@
 // Shared helpers for the APGRE test suite: BC score comparison with mixed
-// absolute/relative tolerance and a seeded random-graph factory covering
-// the structural classes the property sweeps iterate over.
+// absolute/relative tolerance and the seeded random-graph corpus the
+// property sweeps iterate over (shared with the check subsystem and the
+// apgre_diff driver via check/corpus.hpp).
 #pragma once
 
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <string>
 #include <vector>
 
+#include "check/corpus.hpp"
+#include "check/oracle.hpp"
 #include "graph/csr.hpp"
-#include "graph/generators.hpp"
+#include "graph/generators.hpp"  // transitively expected by older tests
 #include "graph/transform.hpp"
 
 namespace apgre::testing {
 
 /// Element-wise comparison of BC score vectors. Accumulation order differs
-/// between algorithms, so exact equality is not expected.
+/// between algorithms, so exact equality is not expected. On failure the
+/// message leads with the worst-offending vertex and both vectors' norms,
+/// so a diverging algorithm is localisable from the log alone.
 inline void expect_scores_near(const std::vector<double>& expected,
                                const std::vector<double>& actual,
                                double rel = 1e-7, double abs = 1e-6) {
   ASSERT_EQ(expected.size(), actual.size());
-  for (std::size_t v = 0; v < expected.size(); ++v) {
-    const double tolerance =
-        abs + rel * std::max(std::fabs(expected[v]), std::fabs(actual[v]));
-    EXPECT_NEAR(expected[v], actual[v], tolerance) << "vertex " << v;
-  }
+  const ScoreComparison cmp = compare_scores(expected, actual, rel, abs);
+  EXPECT_TRUE(cmp.ok) << cmp.num_violations << " of " << expected.size()
+                      << " vertices over tolerance; worst vertex "
+                      << cmp.worst_vertex << ": expected "
+                      << cmp.expected_score << ", actual " << cmp.actual_score
+                      << " (divergence " << cmp.max_divergence
+                      << ", tolerance excess " << cmp.worst_excess
+                      << "); |expected|_2 = " << cmp.expected_norm
+                      << ", |actual|_2 = " << cmp.actual_norm;
 }
 
-/// The random-graph classes the property sweeps cover. Each case is a
-/// (shape, size bucket, directedness, pendant decoration) combination.
-struct GraphCase {
-  std::string name;
-  CsrGraph graph;
-};
+/// Backwards-compatible aliases: the corpus moved into the library so the
+/// check subsystem and apgre_diff share it (check/corpus.hpp).
+using GraphCase = CorpusCase;
 
-/// Deterministic family of mixed graphs keyed by seed. Sizes stay small
-/// enough for the O(V^3) oracle when `tiny` is true.
 inline std::vector<GraphCase> graph_family(std::uint64_t seed, bool tiny) {
-  const Vertex n = tiny ? 60 : 600;
-  const Vertex pendants = tiny ? 15 : 150;
-  std::vector<GraphCase> cases;
-  cases.push_back({"erdos_undirected",
-                   erdos_renyi(n, static_cast<EdgeId>(2) * n, false, seed)});
-  cases.push_back({"erdos_directed",
-                   erdos_renyi(n, static_cast<EdgeId>(2) * n, true, seed + 1)});
-  cases.push_back({"erdos_sparse_undirected",
-                   erdos_renyi(n, n, false, seed + 2)});
-  cases.push_back({"erdos_sparse_directed",
-                   erdos_renyi(n, n, true, seed + 3)});
-  cases.push_back({"barabasi", barabasi_albert(n, 2, seed + 4)});
-  cases.push_back(
-      {"barabasi_pendants",
-       attach_pendants(barabasi_albert(n, 2, seed + 5), pendants, seed + 6)});
-  cases.push_back({"tree", random_tree(n, seed + 7)});
-  cases.push_back({"caveman", caveman(tiny ? 4 : 20, tiny ? 8 : 12, seed + 8)});
-  cases.push_back({"grid", road_grid(tiny ? 6 : 20, tiny ? 8 : 25, 0.2, 0.1,
-                                     seed + 9)});
-  cases.push_back(
-      {"rmat_directed",
-       rmat(tiny ? 5 : 9, 4, 0.45, 0.2, 0.2, /*symmetric=*/false, seed + 10)});
-  cases.push_back(
-      {"rmat_pendants_directed",
-       attach_pendants(rmat(tiny ? 5 : 9, 4, 0.45, 0.2, 0.2, false, seed + 11),
-                       pendants, seed + 12)});
-  cases.push_back({"barbell", barbell(tiny ? 6 : 20, tiny ? 4 : 10)});
-  cases.push_back({"satellites",
-                   attach_communities(erdos_renyi(n / 2, n, false, seed + 13),
-                                      tiny ? 4 : 30, tiny ? 5 : 12, seed + 14)});
-  cases.push_back(
-      {"satellites_directed",
-       attach_communities(rmat(tiny ? 5 : 8, 4, 0.45, 0.2, 0.2, false, seed + 15),
-                          tiny ? 4 : 20, tiny ? 5 : 10, seed + 16)});
-  cases.push_back({"tendrils",
-                   attach_chains(erdos_renyi(n / 2, n, false, seed + 17),
-                                 tiny ? 5 : 40, tiny ? 3 : 5, seed + 18)});
-  return cases;
+  return graph_corpus(seed, tiny);
 }
 
 }  // namespace apgre::testing
