@@ -4,12 +4,15 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <span>
 
 #include "bc/frontier.hpp"
 #include "bcc/reach.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace apgre {
 
@@ -35,6 +38,11 @@ struct SubgraphScratch {
   std::vector<double> d_o2o;
   LevelBuckets levels;
 
+  // Observability tallies; the owner flushes them into the metrics registry
+  // when the scratch retires (once per thread, so tallying is contention-free).
+  std::uint64_t sources = 0;
+  std::uint64_t traversed_arcs = 0;
+
   void ensure(Vertex n) {
     if (dist.size() < n) {
       dist.assign(n, kUnvisited);
@@ -46,7 +54,9 @@ struct SubgraphScratch {
   }
 
   void reset_touched(const Subgraph& sg) {
+    ++sources;
     for (Vertex v : levels.touched()) {
+      traversed_arcs += sg.graph.out_degree(v);
       dist[v] = kUnvisited;
       sigma[v] = 0.0;
       d_i2i[v] = 0.0;
@@ -143,11 +153,20 @@ void subgraph_source_serial(const Subgraph& sg, Vertex s, SubgraphScratch& scrat
   scratch.reset_touched(sg);
 }
 
+void flush_kernel_tallies(std::uint64_t sources, std::uint64_t traversed_arcs,
+                          std::uint64_t cas_retries = 0) {
+  MetricsRegistry& m = metrics();
+  m.counter("bc.apgre.sources").add(sources);
+  m.counter("bc.apgre.traversed_arcs").add(traversed_arcs);
+  if (cas_retries != 0) m.counter("bc.apgre.cas_retries").add(cas_retries);
+}
+
 std::vector<double> subgraph_bc_serial(const Subgraph& sg) {
   std::vector<double> bc(sg.num_vertices(), 0.0);
   SubgraphScratch scratch;
   scratch.ensure(sg.num_vertices());
   for (Vertex s : sg.roots) subgraph_source_serial(sg, s, scratch, bc);
+  flush_kernel_tallies(scratch.sources, scratch.traversed_arcs);
   return bc;
 }
 
@@ -171,6 +190,13 @@ struct ParallelScratch {
   std::vector<Vertex> candidates;
   ThreadLocalFrontier remaining;
 
+  // Observability tallies. The plain fields are only touched from the
+  // serial sections between parallel regions; cas_retries is flushed once
+  // per thread per forward region.
+  std::uint64_t sources = 0;
+  std::uint64_t traversed_arcs = 0;
+  std::atomic<std::uint64_t> cas_retries{0};
+
   explicit ParallelScratch(Vertex n)
       : dist(n), sigma(n), d_i2i(n, 0.0), d_i2o(n, 0.0), d_o2o(n, 0.0) {
     for (Vertex v = 0; v < n; ++v) {
@@ -180,12 +206,51 @@ struct ParallelScratch {
   }
 };
 
+/// Published through `fine_region_ctx` so subgraph_source_parallel's
+/// regions capture no enclosing locals (region-context idiom,
+/// support/parallel.hpp).
+struct FineRegionCtx {
+  const Subgraph* sg = nullptr;
+  ParallelScratch* st = nullptr;
+  double* bc = nullptr;
+  std::span<const Vertex> level;
+  std::int32_t depth = 0;
+  Vertex source = 0;
+  bool s_is_ap = false;
+  double size_o2i = 0.0;
+  double gamma_s = 0.0;
+};
+
+FineRegionCtx* fine_region_ctx = nullptr;
+
+/// Same idiom for apgre_bc's coarse-grained sub-graph region.
+struct CoarseRegionCtx {
+  const Decomposition* dec = nullptr;
+  std::span<const std::size_t> items;
+  double* bc = nullptr;
+  Vertex num_global_vertices = 0;
+  std::uint64_t* sources = nullptr;
+  std::uint64_t* traversed_arcs = nullptr;
+};
+
+CoarseRegionCtx* coarse_region_ctx = nullptr;
+
 void subgraph_source_parallel(const Subgraph& sg, Vertex s, ParallelScratch& st,
                               std::vector<double>& bc, bool hybrid_inner) {
   const CsrGraph& g = sg.graph;
   const bool s_is_ap = sg.is_boundary_ap[s] != 0;
   const double size_o2i = s_is_ap ? static_cast<double>(sg.beta[s]) : 0.0;
   const double gamma_s = static_cast<double>(sg.gamma[s]);
+
+  FineRegionCtx ctx;
+  ctx.sg = &sg;
+  ctx.st = &st;
+  ctx.bc = bc.data();
+  ctx.source = s;
+  ctx.s_is_ap = s_is_ap;
+  ctx.size_o2i = size_o2i;
+  ctx.gamma_s = gamma_s;
+  fine_region_ctx = &ctx;
 
   for (Vertex a : sg.boundary_aps) {
     if (a == s) continue;
@@ -224,24 +289,35 @@ void subgraph_source_parallel(const Subgraph& sg, Vertex s, ParallelScratch& st,
         }
         candidates_valid = true;
       }
-#pragma omp parallel for schedule(static)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(st.candidates.size());
-           ++i) {
-        const Vertex v = st.candidates[static_cast<std::size_t>(i)];
-        double paths = 0.0;
-        for (Vertex u : g.in_neighbors(v)) {
-          if (st.dist[u].load(std::memory_order_relaxed) == depth) {
-            paths += st.sigma[u].load(std::memory_order_relaxed);
+      ctx.depth = depth;
+      omp_fork_fence();
+#pragma omp parallel
+      {
+        omp_worker_entry_fence();
+        const FineRegionCtx& C = *fine_region_ctx;
+        ParallelScratch& ps = *C.st;
+        const CsrGraph& cg = C.sg->graph;
+#pragma omp for schedule(static) nowait
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(ps.candidates.size());
+             ++i) {
+          const Vertex v = ps.candidates[static_cast<std::size_t>(i)];
+          double paths = 0.0;
+          for (Vertex u : cg.in_neighbors(v)) {
+            if (ps.dist[u].load(std::memory_order_relaxed) == C.depth) {
+              paths += ps.sigma[u].load(std::memory_order_relaxed);
+            }
+          }
+          if (paths > 0.0) {
+            ps.dist[v].store(C.depth + 1, std::memory_order_relaxed);
+            ps.sigma[v].store(paths, std::memory_order_relaxed);
+            ps.next.local().push_back(v);
+          } else {
+            ps.remaining.local().push_back(v);
           }
         }
-        if (paths > 0.0) {
-          st.dist[v].store(depth + 1, std::memory_order_relaxed);
-          st.sigma[v].store(paths, std::memory_order_relaxed);
-          st.next.local().push_back(v);
-        } else {
-          st.remaining.local().push_back(v);
-        }
+        omp_worker_exit_fence();
       }
+      omp_join_fence();
       st.candidates.clear();
       st.next.drain_into(st.levels);
       {
@@ -251,22 +327,40 @@ void subgraph_source_parallel(const Subgraph& sg, Vertex s, ParallelScratch& st,
         st.candidates.assign(tmp.touched().begin(), tmp.touched().end());
       }
     } else {
-#pragma omp parallel for schedule(dynamic, 64)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size()); ++i) {
-        const Vertex v = frontier[static_cast<std::size_t>(i)];
-        for (Vertex w : g.out_neighbors(v)) {
-          std::int32_t expected = kUnvisited;
-          if (st.dist[w].compare_exchange_strong(expected, depth + 1,
-                                                 std::memory_order_relaxed)) {
-            st.next.local().push_back(w);
-            expected = depth + 1;
-          }
-          if (expected == depth + 1) {
-            st.sigma[w].fetch_add(st.sigma[v].load(std::memory_order_relaxed),
-                                  std::memory_order_relaxed);
+      ctx.level = frontier;
+      ctx.depth = depth;
+      omp_fork_fence();
+#pragma omp parallel
+      {
+        omp_worker_entry_fence();
+        const FineRegionCtx& C = *fine_region_ctx;
+        ParallelScratch& ps = *C.st;
+        const CsrGraph& cg = C.sg->graph;
+        std::uint64_t lost_claims = 0;
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(C.level.size()); ++i) {
+          const Vertex v = C.level[static_cast<std::size_t>(i)];
+          for (Vertex w : cg.out_neighbors(v)) {
+            std::int32_t expected = kUnvisited;
+            if (ps.dist[w].compare_exchange_strong(expected, C.depth + 1,
+                                                   std::memory_order_relaxed)) {
+              ps.next.local().push_back(w);
+              expected = C.depth + 1;
+            } else if (expected == C.depth + 1) {
+              ++lost_claims;
+            }
+            if (expected == C.depth + 1) {
+              ps.sigma[w].fetch_add(ps.sigma[v].load(std::memory_order_relaxed),
+                                    std::memory_order_relaxed);
+            }
           }
         }
+        if (lost_claims != 0) {
+          ps.cas_retries.fetch_add(lost_claims, std::memory_order_relaxed);
+        }
+        omp_worker_exit_fence();
       }
+      omp_join_fence();
       st.next.drain_into(st.levels);
       candidates_valid = false;  // stale after a push level
     }
@@ -278,38 +372,51 @@ void subgraph_source_parallel(const Subgraph& sg, Vertex s, ParallelScratch& st,
   }
 
   for (std::size_t lvl = st.levels.num_levels(); lvl-- > 0;) {
-    const auto level = st.levels.level(lvl);
-#pragma omp parallel for schedule(dynamic, 64)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(level.size()); ++i) {
-      const Vertex v = level[static_cast<std::size_t>(i)];
-      const auto dv = st.dist[v].load(std::memory_order_relaxed);
-      const double sv = st.sigma[v].load(std::memory_order_relaxed);
-      double acc_i2i = 0.0;
-      double acc_i2o = st.d_i2o[v];
-      double acc_o2o = st.d_o2o[v];
-      for (Vertex w : g.out_neighbors(v)) {
-        if (st.dist[w].load(std::memory_order_relaxed) != dv + 1) continue;
-        const double coef = sv / st.sigma[w].load(std::memory_order_relaxed);
-        acc_i2i += coef * (1.0 + st.d_i2i[w]);
-        acc_i2o += coef * st.d_i2o[w];
-        if (s_is_ap) acc_o2o += coef * st.d_o2o[w];
+    ctx.level = st.levels.level(lvl);
+    omp_fork_fence();
+#pragma omp parallel
+    {
+      omp_worker_entry_fence();
+      const FineRegionCtx& C = *fine_region_ctx;
+      ParallelScratch& ps = *C.st;
+      const CsrGraph& cg = C.sg->graph;
+#pragma omp for schedule(dynamic, 64) nowait
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(C.level.size()); ++i) {
+        const Vertex v = C.level[static_cast<std::size_t>(i)];
+        const auto dv = ps.dist[v].load(std::memory_order_relaxed);
+        const double sv = ps.sigma[v].load(std::memory_order_relaxed);
+        double acc_i2i = 0.0;
+        double acc_i2o = ps.d_i2o[v];
+        double acc_o2o = ps.d_o2o[v];
+        for (Vertex w : cg.out_neighbors(v)) {
+          if (ps.dist[w].load(std::memory_order_relaxed) != dv + 1) continue;
+          const double coef = sv / ps.sigma[w].load(std::memory_order_relaxed);
+          acc_i2i += coef * (1.0 + ps.d_i2i[w]);
+          acc_i2o += coef * ps.d_i2o[w];
+          if (C.s_is_ap) acc_o2o += coef * ps.d_o2o[w];
+        }
+        ps.d_i2i[v] = acc_i2i;
+        ps.d_i2o[v] = acc_i2o;
+        ps.d_o2o[v] = acc_o2o;
+        if (v != C.source) {
+          C.bc[v] += (1.0 + C.gamma_s) * (acc_i2i + acc_i2o) +
+                     C.size_o2i * acc_i2i + acc_o2o;
+        } else if (C.gamma_s > 0.0) {
+          double self = acc_i2i + acc_i2o;
+          if (!cg.directed()) self -= 1.0;
+          if (C.s_is_ap) self += static_cast<double>(C.sg->alpha[C.source]);
+          C.bc[C.source] += C.gamma_s * self;
+        }
       }
-      st.d_i2i[v] = acc_i2i;
-      st.d_i2o[v] = acc_i2o;
-      st.d_o2o[v] = acc_o2o;
-      if (v != s) {
-        bc[v] += (1.0 + gamma_s) * (acc_i2i + acc_i2o) + size_o2i * acc_i2i +
-                 acc_o2o;
-      } else if (gamma_s > 0.0) {
-        double self = acc_i2i + acc_i2o;
-        if (!g.directed()) self -= 1.0;
-        if (s_is_ap) self += static_cast<double>(sg.alpha[s]);
-        bc[s] += gamma_s * self;
-      }
+      omp_worker_exit_fence();
     }
+    omp_join_fence();
   }
+  fine_region_ctx = nullptr;
 
+  ++st.sources;
   for (Vertex v : st.levels.touched()) {
+    st.traversed_arcs += g.out_degree(v);
     st.dist[v].store(kUnvisited, std::memory_order_relaxed);
     st.sigma[v].store(0.0, std::memory_order_relaxed);
     st.d_i2i[v] = 0.0;
@@ -329,6 +436,8 @@ std::vector<double> subgraph_bc_parallel(const Subgraph& sg, bool hybrid_inner) 
   for (Vertex s : sg.roots) {
     subgraph_source_parallel(sg, s, scratch, bc, hybrid_inner);
   }
+  flush_kernel_tallies(scratch.sources, scratch.traversed_arcs,
+                       scratch.cas_retries.load(std::memory_order_relaxed));
   return bc;
 }
 
@@ -342,6 +451,7 @@ std::vector<double> apgre_subgraph_bc(const Subgraph& sg, bool parallel_inner,
 
 std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
                              ApgreStats* stats) {
+  APGRE_TRACE_SPAN("apgre/total");
   Timer total_timer;
   ApgreStats local_stats;
 
@@ -351,11 +461,13 @@ std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
   popts.compute_reach = false;
   Decomposition dec;
   {
+    APGRE_TRACE_SPAN("apgre/decompose");
     ScopedTimer t(local_stats.partition_seconds);
     dec = decompose(g, popts);
   }
   // Step 2: alpha/beta counting.
   {
+    APGRE_TRACE_SPAN("apgre/reach");
     ScopedTimer t(local_stats.reach_seconds);
     compute_reach_counts(g, dec, opts.partition.reach);
   }
@@ -392,6 +504,7 @@ std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
   };
 
   if (!dec.subgraphs.empty()) {
+    APGRE_TRACE_SPAN("apgre/top_bc");
     ScopedTimer t(local_stats.top_bc_seconds);
     const Subgraph& top = dec.subgraphs[dec.top_subgraph];
     const bool parallel_top =
@@ -400,32 +513,59 @@ std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
                 apgre_subgraph_bc(top, parallel_top, opts.hybrid_inner));
   }
   {
+    APGRE_TRACE_SPAN("apgre/rest_bc");
     ScopedTimer t(local_stats.rest_bc_seconds);
     for (std::size_t sgi : fine) {
       merge_local(bc, sgi,
                   subgraph_bc_parallel(dec.subgraphs[sgi], opts.hybrid_inner));
     }
+    std::uint64_t coarse_sources = 0;
+    std::uint64_t coarse_traversed_arcs = 0;
+    CoarseRegionCtx cctx;
+    cctx.dec = &dec;
+    cctx.items = coarse;
+    cctx.bc = bc.data();
+    cctx.num_global_vertices = g.num_vertices();
+    cctx.sources = &coarse_sources;
+    cctx.traversed_arcs = &coarse_traversed_arcs;
+    coarse_region_ctx = &cctx;
+    omp_fork_fence();
 #pragma omp parallel
     {
+      omp_worker_entry_fence();
+      const CoarseRegionCtx& C = *coarse_region_ctx;
       // Per-thread global accumulation buffer: sub-graphs share vertices
       // only at articulation points, but a private buffer avoids all races.
-      std::vector<double> thread_bc(g.num_vertices(), 0.0);
+      std::vector<double> thread_bc(C.num_global_vertices, 0.0);
       SubgraphScratch scratch;
       std::vector<double> local;
-#pragma omp for schedule(dynamic, 8)
-      for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(coarse.size());
+#pragma omp for schedule(dynamic, 8) nowait
+      for (std::int64_t idx = 0; idx < static_cast<std::int64_t>(C.items.size());
            ++idx) {
-        const Subgraph& sg = dec.subgraphs[coarse[static_cast<std::size_t>(idx)]];
+        const Subgraph& sg =
+            C.dec->subgraphs[C.items[static_cast<std::size_t>(idx)]];
         scratch.ensure(sg.num_vertices());
         local.assign(sg.num_vertices(), 0.0);
         for (Vertex s : sg.roots) subgraph_source_serial(sg, s, scratch, local);
-        merge_local(thread_bc, coarse[static_cast<std::size_t>(idx)], local);
+        for (Vertex v = 0; v < sg.num_vertices(); ++v) {
+          thread_bc[sg.to_global[v]] += local[v];
+        }
       }
 #pragma omp critical(apgre_bc_merge)
       {
-        for (Vertex v = 0; v < g.num_vertices(); ++v) bc[v] += thread_bc[v];
+        omp_critical_entry_fence();
+        for (Vertex v = 0; v < C.num_global_vertices; ++v) {
+          C.bc[v] += thread_bc[v];
+        }
+        *C.sources += scratch.sources;
+        *C.traversed_arcs += scratch.traversed_arcs;
+        omp_critical_exit_fence();
       }
+      omp_worker_exit_fence();
     }
+    omp_join_fence();
+    coarse_region_ctx = nullptr;
+    flush_kernel_tallies(coarse_sources, coarse_traversed_arcs);
   }
 
   local_stats.total_seconds = total_timer.seconds();
@@ -441,6 +581,25 @@ std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
   local_stats.partial_redundancy = work.partial_redundancy;
   local_stats.total_redundancy = work.total_redundancy;
   if (stats != nullptr) *stats = local_stats;
+
+  MetricsRegistry& m = metrics();
+  m.counter("apgre.runs").add(1);
+  m.counter("apgre.subgraphs").add(local_stats.num_subgraphs);
+  m.counter("apgre.articulation_points").add(local_stats.num_articulation_points);
+  m.counter("apgre.pendants_removed").add(local_stats.num_pendants_removed);
+  m.gauge("apgre.partition_seconds").set(local_stats.partition_seconds);
+  m.gauge("apgre.reach_seconds").set(local_stats.reach_seconds);
+  m.gauge("apgre.top_bc_seconds").set(local_stats.top_bc_seconds);
+  m.gauge("apgre.rest_bc_seconds").set(local_stats.rest_bc_seconds);
+  m.gauge("apgre.total_seconds").set(local_stats.total_seconds);
+  m.gauge("apgre.partial_redundancy").set(local_stats.partial_redundancy);
+  m.gauge("apgre.total_redundancy").set(local_stats.total_redundancy);
+  Histogram& hv = m.histogram("apgre.subgraph_vertices");
+  Histogram& ha = m.histogram("apgre.subgraph_arcs");
+  for (const Subgraph& sg : dec.subgraphs) {
+    hv.observe(sg.num_vertices());
+    ha.observe(sg.num_arcs());
+  }
   return bc;
 }
 

@@ -10,8 +10,10 @@
 #include "bc/parallel_succs.hpp"
 #include "bc/sampling.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace apgre {
 
@@ -49,6 +51,8 @@ BcResult betweenness(const CsrGraph& g, const BcOptions& opts) {
   BcResult result;
   ThreadBudget budget(opts.threads > 0 ? opts.threads : num_threads());
 
+  const std::string name = algorithm_name(opts.algorithm);
+  TraceSpan span("bc/" + name);
   Timer timer;
   switch (opts.algorithm) {
     case Algorithm::kNaive:

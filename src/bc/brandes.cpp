@@ -4,6 +4,7 @@
 
 #include "bc/brandes_kernel.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 
 namespace apgre {
 
@@ -22,6 +23,11 @@ std::vector<double> brandes_bc_from_sources(const CsrGraph& g,
     APGRE_ASSERT(s < g.num_vertices());
     detail::brandes_iteration(g, s, source_weight, scratch, bc);
   }
+  MetricsRegistry& m = metrics();
+  m.counter("bc.serial.sources").add(scratch.sources);
+  m.counter("bc.serial.traversed_arcs").add(scratch.traversed_arcs);
+  m.gauge("bc.serial.forward_seconds").set(scratch.forward_seconds);
+  m.gauge("bc.serial.backward_seconds").set(scratch.backward_seconds);
   return bc;
 }
 

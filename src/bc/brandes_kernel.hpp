@@ -8,6 +8,7 @@
 
 #include "bc/frontier.hpp"
 #include "graph/csr.hpp"
+#include "support/timer.hpp"
 
 namespace apgre::detail {
 
@@ -19,6 +20,14 @@ struct BrandesScratch {
   std::vector<double> sigma;
   std::vector<double> delta;
   LevelBuckets levels;
+
+  // Observability tallies accumulated across sources; the driving algorithm
+  // flushes them into the metrics registry once per run (the scratch is
+  // per-thread, so tallying here stays contention-free).
+  std::uint64_t sources = 0;
+  std::uint64_t traversed_arcs = 0;
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;
 
   explicit BrandesScratch(Vertex n)
       : dist(n, kUnvisited), sigma(n, 0.0), delta(n, 0.0) {}
@@ -47,6 +56,7 @@ inline void brandes_iteration(const CsrGraph& g, Vertex s, double weight,
   sigma[s] = 1.0;
   levels.push(s);
   levels.finish_level();
+  Timer phase_timer;
   for (std::size_t current = 0; !levels.level(current).empty(); ++current) {
     // Index-based scan: push() grows the underlying array, so spans into
     // the current level would dangle.
@@ -64,7 +74,9 @@ inline void brandes_iteration(const CsrGraph& g, Vertex s, double weight,
     levels.finish_level();
     if (levels.level(current + 1).empty()) break;
   }
+  scratch.forward_seconds += phase_timer.seconds();
 
+  phase_timer.reset();
   for (std::size_t lvl = levels.num_levels(); lvl-- > 0;) {
     for (Vertex v : levels.level(lvl)) {
       double acc = 0.0;
@@ -75,6 +87,10 @@ inline void brandes_iteration(const CsrGraph& g, Vertex s, double weight,
       if (v != s) bc[v] += weight * acc;
     }
   }
+  scratch.backward_seconds += phase_timer.seconds();
+
+  ++scratch.sources;
+  for (Vertex v : levels.touched()) scratch.traversed_arcs += g.out_degree(v);
   scratch.reset_touched();
 }
 

@@ -3,27 +3,70 @@
 #include <memory>
 
 #include "bc/brandes_kernel.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
 
 namespace apgre {
 
+namespace {
+
+/// Published through `region_ctx` so the parallel region captures no
+/// enclosing locals (region-context idiom, support/parallel.hpp).
+struct RegionCtx {
+  const CsrGraph* g = nullptr;
+  double* bc = nullptr;
+  std::uint64_t* traversed_arcs = nullptr;
+  double* forward_cpu_seconds = nullptr;
+  double* backward_cpu_seconds = nullptr;
+};
+
+RegionCtx* region_ctx = nullptr;
+
+}  // namespace
+
 std::vector<double> coarse_bc(const CsrGraph& g) {
   const Vertex n = g.num_vertices();
   std::vector<double> bc(n, 0.0);
+  std::uint64_t traversed_arcs = 0;
+  // Summed across threads, so these are CPU seconds, not wall time.
+  double forward_cpu_seconds = 0.0;
+  double backward_cpu_seconds = 0.0;
 
+  RegionCtx ctx{&g, bc.data(), &traversed_arcs, &forward_cpu_seconds,
+                &backward_cpu_seconds};
+  region_ctx = &ctx;
+  omp_fork_fence();
 #pragma omp parallel
   {
-    detail::BrandesScratch scratch(n);
-    std::vector<double> local_bc(n, 0.0);
+    omp_worker_entry_fence();
+    const RegionCtx& C = *region_ctx;
+    const Vertex num = C.g->num_vertices();
+    detail::BrandesScratch scratch(num);
+    std::vector<double> local_bc(num, 0.0);
 #pragma omp for schedule(dynamic, 16)
-    for (std::int64_t s = 0; s < static_cast<std::int64_t>(n); ++s) {
-      detail::brandes_iteration(g, static_cast<Vertex>(s), 1.0, scratch, local_bc);
+    for (std::int64_t s = 0; s < static_cast<std::int64_t>(num); ++s) {
+      detail::brandes_iteration(*C.g, static_cast<Vertex>(s), 1.0, scratch,
+                                local_bc);
     }
 #pragma omp critical(apgre_coarse_merge)
     {
-      for (Vertex v = 0; v < n; ++v) bc[v] += local_bc[v];
+      omp_critical_entry_fence();
+      for (Vertex v = 0; v < num; ++v) C.bc[v] += local_bc[v];
+      *C.traversed_arcs += scratch.traversed_arcs;
+      *C.forward_cpu_seconds += scratch.forward_seconds;
+      *C.backward_cpu_seconds += scratch.backward_seconds;
+      omp_critical_exit_fence();
     }
+    omp_worker_exit_fence();
   }
+  omp_join_fence();
+  region_ctx = nullptr;
+
+  MetricsRegistry& m = metrics();
+  m.counter("bc.coarse.sources").add(n);
+  m.counter("bc.coarse.traversed_arcs").add(traversed_arcs);
+  m.gauge("bc.coarse.forward_cpu_seconds").set(forward_cpu_seconds);
+  m.gauge("bc.coarse.backward_cpu_seconds").set(backward_cpu_seconds);
   return bc;
 }
 

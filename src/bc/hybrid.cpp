@@ -3,9 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <span>
 
 #include "bc/frontier.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/timer.hpp"
 
 namespace apgre {
 
@@ -18,6 +21,24 @@ struct alignas(64) LocalLists {
   std::vector<Vertex> remaining;
   std::uint64_t out_edges = 0;
 };
+
+/// Published through `region_ctx` so the parallel regions capture no
+/// enclosing locals (region-context idiom, support/parallel.hpp).
+struct RegionCtx {
+  const CsrGraph* g = nullptr;
+  std::atomic<std::int32_t>* dist = nullptr;
+  std::atomic<double>* sigma = nullptr;
+  double* delta = nullptr;
+  double* bc = nullptr;
+  LocalLists* locals = nullptr;
+  std::atomic<std::uint64_t>* cas_retries = nullptr;
+  std::span<const Vertex> candidates;
+  std::span<const Vertex> level;
+  std::int32_t depth = 0;
+  Vertex source = 0;
+};
+
+RegionCtx* region_ctx = nullptr;
 
 }  // namespace
 
@@ -39,15 +60,34 @@ std::vector<double> hybrid_bc(const CsrGraph& g, const HybridOptions& opts) {
 
   const auto total_arcs = static_cast<double>(g.num_arcs());
 
+  std::uint64_t traversed_arcs = 0;
+  std::uint64_t bottom_up_levels = 0;
+  std::atomic<std::uint64_t> cas_retries{0};
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;
+  Timer phase_timer;
+
+  RegionCtx ctx;
+  ctx.g = &g;
+  ctx.dist = dist.data();
+  ctx.sigma = sigma.data();
+  ctx.delta = delta.data();
+  ctx.bc = bc.data();
+  ctx.locals = locals.data();
+  ctx.cas_retries = &cas_retries;
+  region_ctx = &ctx;
+
   for (Vertex s = 0; s < n; ++s) {
     dist[s].store(0, std::memory_order_relaxed);
     sigma[s].store(1.0, std::memory_order_relaxed);
     levels.push(s);
     levels.finish_level();
+    ctx.source = s;
     candidates_valid = false;
     std::uint64_t frontier_out_edges = g.out_degree(s);
     double explored_arcs = 0.0;
 
+    phase_timer.reset();
     for (std::int32_t depth = 0;
          !levels.level(static_cast<std::size_t>(depth)).empty(); ++depth) {
       const auto frontier = levels.level(static_cast<std::size_t>(depth));
@@ -58,6 +98,7 @@ std::vector<double> hybrid_bc(const CsrGraph& g, const HybridOptions& opts) {
           static_cast<double>(frontier.size()) > static_cast<double>(n) / opts.beta;
 
       if (bottom_up) {
+        ++bottom_up_levels;
         if (!candidates_valid) {
           // First bottom-up level of this source: materialise the
           // unvisited list.
@@ -69,25 +110,35 @@ std::vector<double> hybrid_bc(const CsrGraph& g, const HybridOptions& opts) {
           }
           candidates_valid = true;
         }
-#pragma omp parallel for schedule(static)
-        for (std::int64_t i = 0; i < static_cast<std::int64_t>(candidates.size()); ++i) {
-          const Vertex v = candidates[static_cast<std::size_t>(i)];
-          double paths = 0.0;
-          for (Vertex u : g.in_neighbors(v)) {
-            if (dist[u].load(std::memory_order_relaxed) == depth) {
-              paths += sigma[u].load(std::memory_order_relaxed);
+        ctx.candidates = candidates;
+        ctx.depth = depth;
+        omp_fork_fence();
+#pragma omp parallel
+        {
+          omp_worker_entry_fence();
+          const RegionCtx& C = *region_ctx;
+#pragma omp for schedule(static) nowait
+          for (std::int64_t i = 0; i < static_cast<std::int64_t>(C.candidates.size()); ++i) {
+            const Vertex v = C.candidates[static_cast<std::size_t>(i)];
+            double paths = 0.0;
+            for (Vertex u : C.g->in_neighbors(v)) {
+              if (C.dist[u].load(std::memory_order_relaxed) == C.depth) {
+                paths += C.sigma[u].load(std::memory_order_relaxed);
+              }
+            }
+            auto& local = C.locals[static_cast<std::size_t>(thread_id())];
+            if (paths > 0.0) {
+              C.dist[v].store(C.depth + 1, std::memory_order_relaxed);
+              C.sigma[v].store(paths, std::memory_order_relaxed);
+              local.discovered.push_back(v);
+              local.out_edges += C.g->out_degree(v);
+            } else {
+              local.remaining.push_back(v);
             }
           }
-          auto& local = locals[static_cast<std::size_t>(thread_id())];
-          if (paths > 0.0) {
-            dist[v].store(depth + 1, std::memory_order_relaxed);
-            sigma[v].store(paths, std::memory_order_relaxed);
-            local.discovered.push_back(v);
-            local.out_edges += g.out_degree(v);
-          } else {
-            local.remaining.push_back(v);
-          }
+          omp_worker_exit_fence();
         }
+        omp_join_fence();
         candidates.clear();
         frontier_out_edges = 0;
         for (auto& local : locals) {
@@ -101,24 +152,40 @@ std::vector<double> hybrid_bc(const CsrGraph& g, const HybridOptions& opts) {
         }
       } else {
         // Top-down push with CAS claims and atomic sigma, as in `preds`.
-#pragma omp parallel for schedule(dynamic, 64)
-        for (std::int64_t i = 0; i < static_cast<std::int64_t>(frontier.size()); ++i) {
-          const Vertex v = frontier[static_cast<std::size_t>(i)];
-          auto& local = locals[static_cast<std::size_t>(thread_id())];
-          for (Vertex w : g.out_neighbors(v)) {
-            std::int32_t expected = kUnvisited;
-            if (dist[w].compare_exchange_strong(expected, depth + 1,
-                                                std::memory_order_relaxed)) {
-              local.discovered.push_back(w);
-              local.out_edges += g.out_degree(w);
-              expected = depth + 1;
-            }
-            if (expected == depth + 1) {
-              sigma[w].fetch_add(sigma[v].load(std::memory_order_relaxed),
-                                 std::memory_order_relaxed);
+        ctx.level = frontier;
+        ctx.depth = depth;
+        omp_fork_fence();
+#pragma omp parallel
+        {
+          omp_worker_entry_fence();
+          const RegionCtx& C = *region_ctx;
+          std::uint64_t lost_claims = 0;
+#pragma omp for schedule(dynamic, 64) nowait
+          for (std::int64_t i = 0; i < static_cast<std::int64_t>(C.level.size()); ++i) {
+            const Vertex v = C.level[static_cast<std::size_t>(i)];
+            auto& local = C.locals[static_cast<std::size_t>(thread_id())];
+            for (Vertex w : C.g->out_neighbors(v)) {
+              std::int32_t expected = kUnvisited;
+              if (C.dist[w].compare_exchange_strong(expected, C.depth + 1,
+                                                    std::memory_order_relaxed)) {
+                local.discovered.push_back(w);
+                local.out_edges += C.g->out_degree(w);
+                expected = C.depth + 1;
+              } else if (expected == C.depth + 1) {
+                ++lost_claims;
+              }
+              if (expected == C.depth + 1) {
+                C.sigma[w].fetch_add(C.sigma[v].load(std::memory_order_relaxed),
+                                     std::memory_order_relaxed);
+              }
             }
           }
+          if (lost_claims != 0) {
+            C.cas_retries->fetch_add(lost_claims, std::memory_order_relaxed);
+          }
+          omp_worker_exit_fence();
         }
+        omp_join_fence();
         frontier_out_edges = 0;
         for (auto& local : locals) {
           levels.push_batch(local.discovered);
@@ -131,33 +198,55 @@ std::vector<double> hybrid_bc(const CsrGraph& g, const HybridOptions& opts) {
       levels.finish_level();
       if (levels.level(static_cast<std::size_t>(depth) + 1).empty()) break;
     }
+    forward_seconds += phase_timer.seconds();
 
     // Backward successor pull.
+    phase_timer.reset();
     for (std::size_t lvl = levels.num_levels(); lvl-- > 0;) {
-      const auto level = levels.level(lvl);
-#pragma omp parallel for schedule(dynamic, 64)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(level.size()); ++i) {
-        const Vertex v = level[static_cast<std::size_t>(i)];
-        const auto dv = dist[v].load(std::memory_order_relaxed);
-        const double sv = sigma[v].load(std::memory_order_relaxed);
-        double acc = 0.0;
-        for (Vertex w : g.out_neighbors(v)) {
-          if (dist[w].load(std::memory_order_relaxed) == dv + 1) {
-            acc += sv / sigma[w].load(std::memory_order_relaxed) * (1.0 + delta[w]);
+      ctx.level = levels.level(lvl);
+      omp_fork_fence();
+#pragma omp parallel
+      {
+        omp_worker_entry_fence();
+        const RegionCtx& C = *region_ctx;
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(C.level.size()); ++i) {
+          const Vertex v = C.level[static_cast<std::size_t>(i)];
+          const auto dv = C.dist[v].load(std::memory_order_relaxed);
+          const double sv = C.sigma[v].load(std::memory_order_relaxed);
+          double acc = 0.0;
+          for (Vertex w : C.g->out_neighbors(v)) {
+            if (C.dist[w].load(std::memory_order_relaxed) == dv + 1) {
+              acc += sv / C.sigma[w].load(std::memory_order_relaxed) *
+                     (1.0 + C.delta[w]);
+            }
           }
+          C.delta[v] = acc;
+          if (v != C.source) C.bc[v] += acc;
         }
-        delta[v] = acc;
-        if (v != s) bc[v] += acc;
+        omp_worker_exit_fence();
       }
+      omp_join_fence();
     }
+    backward_seconds += phase_timer.seconds();
 
     for (Vertex v : levels.touched()) {
+      traversed_arcs += g.out_degree(v);
       dist[v].store(kUnvisited, std::memory_order_relaxed);
       sigma[v].store(0.0, std::memory_order_relaxed);
       delta[v] = 0.0;
     }
     levels.clear();
   }
+  region_ctx = nullptr;
+
+  MetricsRegistry& m = metrics();
+  m.counter("bc.hybrid.sources").add(n);
+  m.counter("bc.hybrid.traversed_arcs").add(traversed_arcs);
+  m.counter("bc.hybrid.bottom_up_levels").add(bottom_up_levels);
+  m.counter("bc.hybrid.cas_retries").add(cas_retries.load(std::memory_order_relaxed));
+  m.gauge("bc.hybrid.forward_seconds").set(forward_seconds);
+  m.gauge("bc.hybrid.backward_seconds").set(backward_seconds);
   return bc;
 }
 

@@ -1,10 +1,14 @@
 #include "bc/lockfree.hpp"
 
+#include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <span>
 
 #include "bc/frontier.hpp"
+#include "support/metrics.hpp"
 #include "support/parallel.hpp"
+#include "support/timer.hpp"
 
 namespace apgre {
 
@@ -26,13 +30,39 @@ struct CandidateSplit {
   Local& local() { return per_thread[static_cast<std::size_t>(thread_id())]; }
 };
 
+/// Everything the parallel regions touch, published through `region_ctx`
+/// (region-context idiom, support/parallel.hpp) so the region bodies
+/// capture no enclosing locals.
+struct RegionCtx {
+  const CsrGraph* g = nullptr;
+  std::atomic<std::int32_t>* dist = nullptr;
+  double* sigma = nullptr;
+  double* delta = nullptr;
+  double* bc = nullptr;
+  CandidateSplit* split = nullptr;
+  std::span<const Vertex> candidates;
+  std::span<const Vertex> level;
+  std::int32_t depth = 0;
+  Vertex source = 0;
+};
+
+RegionCtx* region_ctx = nullptr;
+
 }  // namespace
 
 std::vector<double> lockfree_bc(const CsrGraph& g) {
   const Vertex n = g.num_vertices();
   std::vector<double> bc(n, 0.0);
 
-  std::vector<std::int32_t> dist(n, kUnvisited);
+  // dist needs relaxed atomics: a pull scan reads dist of in-neighbours
+  // that other threads may be discovering (writing depth+1) in the same
+  // level. The read can only observe kUnvisited or depth+1 there — never
+  // the depth it compares against — so any outcome is correct, but the
+  // access itself must not be a plain-int race.
+  std::vector<std::atomic<std::int32_t>> dist(n);
+  for (Vertex v = 0; v < n; ++v) {
+    dist[v].store(kUnvisited, std::memory_order_relaxed);
+  }
   std::vector<double> sigma(n, 0.0);
   std::vector<double> delta(n, 0.0);
   LevelBuckets levels;
@@ -41,36 +71,64 @@ std::vector<double> lockfree_bc(const CsrGraph& g) {
   // pull scan narrows as the BFS progresses.
   std::vector<Vertex> candidates;
 
+  std::uint64_t traversed_arcs = 0;
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;
+  Timer phase_timer;
+
+  RegionCtx ctx;
+  ctx.g = &g;
+  ctx.dist = dist.data();
+  ctx.sigma = sigma.data();
+  ctx.delta = delta.data();
+  ctx.bc = bc.data();
+  ctx.split = &split;
+  region_ctx = &ctx;
+
   for (Vertex s = 0; s < n; ++s) {
-    dist[s] = 0;
+    dist[s].store(0, std::memory_order_relaxed);
     sigma[s] = 1.0;
     levels.push(s);
     levels.finish_level();
+    ctx.source = s;
 
     candidates.resize(n);
     std::iota(candidates.begin(), candidates.end(), 0);
     candidates.erase(candidates.begin() + s);
 
+    phase_timer.reset();
     for (std::int32_t depth = 0;
          !levels.level(static_cast<std::size_t>(depth)).empty(); ++depth) {
       // Pull phase: every candidate checks whether a level-`depth`
       // in-neighbour reaches it; each dist/sigma cell has a single writer,
-      // so no locks or atomics are required.
-#pragma omp parallel for schedule(static)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(candidates.size()); ++i) {
-        const Vertex v = candidates[static_cast<std::size_t>(i)];
-        double paths = 0.0;
-        for (Vertex u : g.in_neighbors(v)) {
-          if (dist[u] == depth) paths += sigma[u];
+      // so no locks or heavier-than-relaxed atomics are required.
+      ctx.candidates = candidates;
+      ctx.depth = depth;
+      omp_fork_fence();
+#pragma omp parallel
+      {
+        omp_worker_entry_fence();
+        const RegionCtx& C = *region_ctx;
+#pragma omp for schedule(static) nowait
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(C.candidates.size()); ++i) {
+          const Vertex v = C.candidates[static_cast<std::size_t>(i)];
+          double paths = 0.0;
+          for (Vertex u : C.g->in_neighbors(v)) {
+            if (C.dist[u].load(std::memory_order_relaxed) == C.depth) {
+              paths += C.sigma[u];
+            }
+          }
+          if (paths > 0.0) {
+            C.dist[v].store(C.depth + 1, std::memory_order_relaxed);
+            C.sigma[v] = paths;
+            C.split->local().discovered.push_back(v);
+          } else {
+            C.split->local().remaining.push_back(v);
+          }
         }
-        if (paths > 0.0) {
-          dist[v] = depth + 1;
-          sigma[v] = paths;
-          split.local().discovered.push_back(v);
-        } else {
-          split.local().remaining.push_back(v);
-        }
+        omp_worker_exit_fence();
       }
+      omp_join_fence();
       candidates.clear();
       for (auto& local : split.per_thread) {
         levels.push_batch(local.discovered);
@@ -82,30 +140,52 @@ std::vector<double> lockfree_bc(const CsrGraph& g) {
       levels.finish_level();
       if (levels.level(static_cast<std::size_t>(depth) + 1).empty()) break;
     }
+    forward_seconds += phase_timer.seconds();
 
     // Backward successor pull (same maths as `succs`, also free of
     // synchronisation).
+    phase_timer.reset();
     for (std::size_t lvl = levels.num_levels(); lvl-- > 0;) {
-      const auto level = levels.level(lvl);
-#pragma omp parallel for schedule(dynamic, 64)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(level.size()); ++i) {
-        const Vertex v = level[static_cast<std::size_t>(i)];
-        double acc = 0.0;
-        for (Vertex w : g.out_neighbors(v)) {
-          if (dist[w] == dist[v] + 1) acc += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      ctx.level = levels.level(lvl);
+      omp_fork_fence();
+#pragma omp parallel
+      {
+        omp_worker_entry_fence();
+        const RegionCtx& C = *region_ctx;
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::int64_t i = 0; i < static_cast<std::int64_t>(C.level.size()); ++i) {
+          const Vertex v = C.level[static_cast<std::size_t>(i)];
+          const auto dv = C.dist[v].load(std::memory_order_relaxed);
+          double acc = 0.0;
+          for (Vertex w : C.g->out_neighbors(v)) {
+            if (C.dist[w].load(std::memory_order_relaxed) == dv + 1) {
+              acc += C.sigma[v] / C.sigma[w] * (1.0 + C.delta[w]);
+            }
+          }
+          C.delta[v] = acc;
+          if (v != C.source) C.bc[v] += acc;
         }
-        delta[v] = acc;
-        if (v != s) bc[v] += acc;
+        omp_worker_exit_fence();
       }
+      omp_join_fence();
     }
+    backward_seconds += phase_timer.seconds();
 
     for (Vertex v : levels.touched()) {
-      dist[v] = kUnvisited;
+      traversed_arcs += g.out_degree(v);
+      dist[v].store(kUnvisited, std::memory_order_relaxed);
       sigma[v] = 0.0;
       delta[v] = 0.0;
     }
     levels.clear();
   }
+  region_ctx = nullptr;
+
+  MetricsRegistry& m = metrics();
+  m.counter("bc.lockfree.sources").add(n);
+  m.counter("bc.lockfree.traversed_arcs").add(traversed_arcs);
+  m.gauge("bc.lockfree.forward_seconds").set(forward_seconds);
+  m.gauge("bc.lockfree.backward_seconds").set(backward_seconds);
   return bc;
 }
 

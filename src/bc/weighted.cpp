@@ -169,6 +169,16 @@ WeightedCsrGraph weighted_subgraph(const WeightedCsrGraph& g, const Subgraph& sg
                                       g.directed());
 }
 
+/// Published through `weighted_region_ctx` so the parallel region captures
+/// no enclosing locals (region-context idiom, support/parallel.hpp).
+struct WeightedRegionCtx {
+  const WeightedCsrGraph* g = nullptr;
+  const Decomposition* dec = nullptr;
+  double* bc = nullptr;
+};
+
+WeightedRegionCtx* weighted_region_ctx = nullptr;
+
 }  // namespace
 
 std::vector<double> weighted_naive_bc(const WeightedCsrGraph& g) {
@@ -252,16 +262,25 @@ std::vector<double> weighted_apgre_bc(const WeightedCsrGraph& g,
   std::vector<double> bc(g.num_vertices(), 0.0);
   {
     ScopedTimer t(local_stats.rest_bc_seconds);
+    WeightedRegionCtx ctx;
+    ctx.g = &g;
+    ctx.dec = &dec;
+    ctx.bc = bc.data();
+    weighted_region_ctx = &ctx;
+    omp_fork_fence();
 #pragma omp parallel
     {
-      std::vector<double> thread_bc(g.num_vertices(), 0.0);
+      omp_worker_entry_fence();
+      const WeightedRegionCtx& C = *weighted_region_ctx;
+      const Vertex num_global = C.g->num_vertices();
+      std::vector<double> thread_bc(num_global, 0.0);
       DijkstraScratch scratch;
       std::vector<double> local;
-#pragma omp for schedule(dynamic, 8)
-      for (std::int64_t i = 0; i < static_cast<std::int64_t>(dec.subgraphs.size());
-           ++i) {
-        const Subgraph& sg = dec.subgraphs[static_cast<std::size_t>(i)];
-        const WeightedCsrGraph wsg = weighted_subgraph(g, sg);
+#pragma omp for schedule(dynamic, 8) nowait
+      for (std::int64_t i = 0;
+           i < static_cast<std::int64_t>(C.dec->subgraphs.size()); ++i) {
+        const Subgraph& sg = C.dec->subgraphs[static_cast<std::size_t>(i)];
+        const WeightedCsrGraph wsg = weighted_subgraph(*C.g, sg);
         scratch.ensure(sg.num_vertices());
         local.assign(sg.num_vertices(), 0.0);
         for (Vertex s : sg.roots) {
@@ -273,9 +292,14 @@ std::vector<double> weighted_apgre_bc(const WeightedCsrGraph& g,
       }
 #pragma omp critical(apgre_weighted_merge)
       {
-        for (Vertex v = 0; v < g.num_vertices(); ++v) bc[v] += thread_bc[v];
+        omp_critical_entry_fence();
+        for (Vertex v = 0; v < num_global; ++v) C.bc[v] += thread_bc[v];
+        omp_critical_exit_fence();
       }
+      omp_worker_exit_fence();
     }
+    omp_join_fence();
+    weighted_region_ctx = nullptr;
   }
 
   local_stats.total_seconds = total_timer.seconds();

@@ -20,6 +20,15 @@ struct BfsScratch {
   explicit BfsScratch(Vertex n) : mark(n, 0) {}
 };
 
+/// Published through `reach_region_ctx` so the parallel region captures no
+/// enclosing locals (region-context idiom, support/parallel.hpp).
+struct ReachRegionCtx {
+  const CsrGraph* g = nullptr;
+  Decomposition* dec = nullptr;
+};
+
+ReachRegionCtx* reach_region_ctx = nullptr;
+
 /// Count vertices reachable from `start` (itself excluded), following
 /// out-arcs (forward) or in-arcs (reverse), never entering a vertex whose
 /// mark equals `blocked_tag`.
@@ -44,29 +53,38 @@ std::uint64_t restricted_reach(const CsrGraph& g, Vertex start, bool forward,
 }
 
 void reach_by_bfs(const CsrGraph& g, Decomposition& dec) {
-  const auto num_subgraphs = static_cast<std::int64_t>(dec.subgraphs.size());
+  ReachRegionCtx ctx{&g, &dec};
+  reach_region_ctx = &ctx;
+  omp_fork_fence();
 #pragma omp parallel
   {
-    BfsScratch scratch(g.num_vertices());
-#pragma omp for schedule(dynamic, 1)
-    for (std::int64_t i = 0; i < num_subgraphs; ++i) {
-      Subgraph& sg = dec.subgraphs[static_cast<std::size_t>(i)];
+    omp_worker_entry_fence();
+    const ReachRegionCtx& C = *reach_region_ctx;
+    const CsrGraph& cg = *C.g;
+    BfsScratch scratch(cg.num_vertices());
+#pragma omp for schedule(dynamic, 1) nowait
+    for (std::int64_t i = 0;
+         i < static_cast<std::int64_t>(C.dec->subgraphs.size()); ++i) {
+      Subgraph& sg = C.dec->subgraphs[static_cast<std::size_t>(i)];
       if (sg.boundary_aps.empty()) continue;
       const std::uint64_t blocked_tag = ++scratch.epoch;
       for (Vertex v : sg.to_global) scratch.mark[v] = blocked_tag;
       for (Vertex local : sg.boundary_aps) {
         const Vertex global = sg.to_global[local];
-        sg.alpha[local] = restricted_reach(g, global, /*forward=*/true,
+        sg.alpha[local] = restricted_reach(cg, global, /*forward=*/true,
                                            blocked_tag, ++scratch.epoch, scratch);
-        if (g.directed()) {
-          sg.beta[local] = restricted_reach(g, global, /*forward=*/false,
+        if (cg.directed()) {
+          sg.beta[local] = restricted_reach(cg, global, /*forward=*/false,
                                             blocked_tag, ++scratch.epoch, scratch);
         } else {
           sg.beta[local] = sg.alpha[local];
         }
       }
     }
+    omp_worker_exit_fence();
   }
+  omp_join_fence();
+  reach_region_ctx = nullptr;
 }
 
 // ---- Tree-DP strategy (undirected) --------------------------------------

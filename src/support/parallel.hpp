@@ -13,7 +13,84 @@
 #include <omp.h>
 #endif
 
+// ThreadSanitizer interop. gcc's libgomp synchronises fork/join barriers
+// and `omp critical` with raw futexes TSan cannot see, so every OpenMP
+// region would report false races between perfectly ordered accesses. The
+// kernels bracket their parallel regions and critical sections with the
+// fences below, which restate the happens-before edges libgomp really
+// provides through TSan's annotation interface. Everything compiles to
+// nothing outside -fsanitize=thread builds (APGRE_SANITIZE=thread).
+#if defined(__SANITIZE_THREAD__)
+#define APGRE_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define APGRE_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef APGRE_TSAN_ENABLED
+#define APGRE_TSAN_ENABLED 0
+#endif
+
+#if APGRE_TSAN_ENABLED
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#endif
+
 namespace apgre {
+
+namespace detail {
+#if APGRE_TSAN_ENABLED
+// One global fence tag: a release merges the releasing thread's clock into
+// the tag, an acquire joins the tag into the acquiring thread, so the tag
+// accumulates edges from every fenced region. Spurious extra edges only
+// ever run through the fence call sites — the region boundaries libgomp
+// genuinely synchronises — so intra-region races stay detectable.
+inline char tsan_fence_tag;
+inline void tsan_fence_release() { __tsan_release(&tsan_fence_tag); }
+inline void tsan_fence_acquire() { __tsan_acquire(&tsan_fence_tag); }
+#else
+inline void tsan_fence_release() {}
+inline void tsan_fence_acquire() {}
+#endif
+}  // namespace detail
+
+/// Call immediately before opening a parallel region (main thread):
+/// publishes the pre-region writes to the workers' entry fences.
+inline void omp_fork_fence() { detail::tsan_fence_release(); }
+
+/// First statement inside the region, every worker: observes the writes
+/// published by omp_fork_fence() and by prior regions' exit fences.
+inline void omp_worker_entry_fence() { detail::tsan_fence_acquire(); }
+
+/// Last statement inside the region, every worker: publishes this worker's
+/// writes to the join fence and to the next region's entry fences.
+inline void omp_worker_exit_fence() { detail::tsan_fence_release(); }
+
+/// Call immediately after the region's closing brace (main thread):
+/// observes every worker's exit fence, mirroring the real join barrier.
+inline void omp_join_fence() { detail::tsan_fence_acquire(); }
+
+/// Bracket the body of an `omp critical` section (entry / exit): libgomp's
+/// lock is futex-based and invisible to TSan as well.
+inline void omp_critical_entry_fence() { detail::tsan_fence_acquire(); }
+inline void omp_critical_exit_fence() { detail::tsan_fence_release(); }
+
+// Region-context idiom. The fences above cannot order one class of access:
+// gcc outlines a `#pragma omp parallel` body into `<fn>._omp_fn` and passes
+// every referenced enclosing local through a stack capture block whose
+// stores are emitted at the pragma itself — after omp_fork_fence() runs —
+// so pool-reused workers' loads of that block race under TSan. Kernels that
+// must stay TSan-clean therefore reference *no* enclosing locals inside
+// their regions: each file keeps a namespace-scope context pointer, the
+// forking thread points it at a stack context struct *before*
+// omp_fork_fence(), and the body dereferences it after
+// omp_worker_entry_fence(). The pointer store/load are ordinary
+// instrumented accesses, so the fence pair gives them the happens-before
+// edge the capture block can never get. Consequence: such kernels are not
+// reentrant from concurrent caller threads — the same constraint libgomp's
+// shared worker pool already imposes.
 
 /// Number of threads an upcoming parallel region will use.
 inline int num_threads() {

@@ -14,6 +14,12 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Fold another accumulator in (Chan et al. pairwise combination), as if
+  /// every sample of `other` had been add()ed here. Lets per-thread
+  /// accumulators run independently and combine at the end instead of
+  /// serializing through one shared instance.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }
   /// Sample variance (n-1 denominator); 0 when fewer than two samples.

@@ -1,0 +1,90 @@
+// Lightweight RAII tracing spans for the BC algorithm family.
+//
+// A TraceSpan records one named interval (start/end wall time on a shared
+// process epoch, thread, nesting depth, per-thread open order) into a
+// thread-local buffer; collect_spans() merges and drains every buffer. Span
+// open/close never contends with other threads unless a flush is running,
+// so spans are cheap enough to wrap algorithm phases (decompose, forward,
+// backward) — but they are *not* per-edge events; hot loops must stay
+// span-free and report into the metrics registry (support/metrics.hpp)
+// instead.
+//
+// The whole facility compiles out with -DAPGRE_TRACE=OFF (CMake option,
+// surfaces here as APGRE_TRACE_ENABLED=0): APGRE_TRACE_SPAN vanishes and
+// collect_spans() returns nothing, so release builds can shed even the
+// per-phase clock reads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef APGRE_TRACE_ENABLED
+#define APGRE_TRACE_ENABLED 1
+#endif
+
+namespace apgre {
+
+/// One finished span. Times are seconds since the process trace epoch (the
+/// first span opened), so spans from different threads share a time base.
+struct SpanRecord {
+  std::string name;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  int thread = 0;              ///< buffer registration order, not an OS id
+  int depth = 0;               ///< nesting depth at open time (0 = outermost)
+  std::uint64_t sequence = 0;  ///< per-thread open order
+
+  double elapsed_seconds() const { return end_seconds - start_seconds; }
+};
+
+/// True when spans are compiled in (APGRE_TRACE=ON, the default).
+constexpr bool trace_enabled() { return APGRE_TRACE_ENABLED != 0; }
+
+#if APGRE_TRACE_ENABLED
+
+/// RAII span: records itself into the calling thread's buffer on scope exit.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  double start_seconds_;
+  int depth_;
+  std::uint64_t sequence_;
+};
+
+/// Move every finished span out of all thread buffers (including threads
+/// that have since exited), ordered by start time. Spans still open stay in
+/// their threads and surface at the next collect after they close.
+std::vector<SpanRecord> collect_spans();
+
+/// Discard buffered spans without returning them.
+void clear_spans();
+
+#else  // Tracing compiled out: every operation is a no-op.
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const std::string&) {}
+};
+
+inline std::vector<SpanRecord> collect_spans() { return {}; }
+inline void clear_spans() {}
+
+#endif
+
+}  // namespace apgre
+
+#if APGRE_TRACE_ENABLED
+#define APGRE_TRACE_CONCAT_(a, b) a##b
+#define APGRE_TRACE_CONCAT(a, b) APGRE_TRACE_CONCAT_(a, b)
+#define APGRE_TRACE_SPAN(name) \
+  ::apgre::TraceSpan APGRE_TRACE_CONCAT(apgre_trace_span_, __LINE__)(name)
+#else
+#define APGRE_TRACE_SPAN(name) ((void)0)
+#endif

@@ -1,0 +1,158 @@
+// End-to-end tests of the bench_regress harness: spawn the real binary
+// (path injected by CMake), check the JSON report schema and the exit-code
+// contract of the --baseline gate (0 clean, 1 regression, 2 malformed).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+
+#ifndef APGRE_BENCH_REGRESS_PATH
+#error "APGRE_BENCH_REGRESS_PATH must be defined by the build"
+#endif
+
+namespace apgre {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_tool(const std::string& args) {
+  const std::string command =
+      std::string(APGRE_BENCH_REGRESS_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buffer{};
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// A fast measurement everybody reuses: 1 rep, no warmup, two algorithms,
+/// the seeded corpus only.
+std::string fast_flags() {
+  return "--repeat 1 --warmup 0 --algo-set serial,apgre --seed 3";
+}
+
+class BenchRegressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    report_path_ = ::testing::TempDir() + "/bench_report_" +
+                   std::to_string(static_cast<long>(getpid())) + ".json";
+  }
+  void TearDown() override { std::remove(report_path_.c_str()); }
+
+  JsonValue read_report() const {
+    std::ifstream in(report_path_);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return JsonValue::parse(buf.str());
+  }
+
+  void write_file(const std::string& text) const {
+    std::ofstream out(report_path_);
+    out << text;
+  }
+
+  std::string report_path_;
+};
+
+TEST_F(BenchRegressTest, HelpExitsZero) {
+  const CommandResult r = run_tool("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--baseline"), std::string::npos);
+}
+
+TEST_F(BenchRegressTest, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_tool("--frobnicate").exit_code, 2);
+  EXPECT_EQ(run_tool("--graphs nonsense").exit_code, 2);
+  EXPECT_EQ(run_tool("--repeat 0").exit_code, 2);
+}
+
+TEST_F(BenchRegressTest, ReportMatchesSchema) {
+  const CommandResult r =
+      run_tool(fast_flags() + " --revision testrev --out " + report_path_);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  const JsonValue report = read_report();
+  EXPECT_EQ(report.at("schema_version").as_double(), 1.0);
+  EXPECT_EQ(report.at("revision").as_string(), "testrev");
+  EXPECT_TRUE(report.at("host").is_object());
+  EXPECT_EQ(report.at("config").at("repeat").as_double(), 1.0);
+
+  const auto& results = report.at("results").as_array();
+  ASSERT_FALSE(results.empty());
+  for (const JsonValue& result : results) {
+    EXPECT_NE(result.at("graph").as_string().find("corpus/"), std::string::npos);
+    EXPECT_GT(result.at("vertices").as_double(), 0.0);
+    const auto& algorithms = result.at("algorithms").as_object();
+    ASSERT_EQ(algorithms.size(), 2u);
+    for (const auto& [name, stats] : algorithms) {
+      EXPECT_TRUE(name == "serial" || name == "apgre") << name;
+      EXPECT_GE(stats.at("seconds_median").as_double(), 0.0);
+      EXPECT_GE(stats.at("seconds_p90").as_double(),
+                stats.at("seconds_min").as_double());
+      EXPECT_GT(stats.at("mteps_median").as_double(), 0.0);
+      EXPECT_TRUE(stats.at("metrics").is_object());
+      EXPECT_TRUE(stats.at("spans").is_object());
+      // The kernels report into the registry under their own prefix.
+      const std::string prefix = name == "serial" ? "bc.serial." : "bc.apgre.";
+      EXPECT_TRUE(stats.at("metrics").contains(prefix + "traversed_arcs"));
+    }
+  }
+}
+
+TEST_F(BenchRegressTest, SelfBaselineComparesClean) {
+  ASSERT_EQ(run_tool(fast_flags() + " --out " + report_path_).exit_code, 0);
+  // Identical build, generous threshold: the gate must pass.
+  const CommandResult r = run_tool(fast_flags() + " --threshold 1000 --baseline " +
+                                   report_path_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 regressions"), std::string::npos) << r.output;
+}
+
+TEST_F(BenchRegressTest, RegressionExitsOne) {
+  ASSERT_EQ(run_tool(fast_flags() + " --out " + report_path_).exit_code, 0);
+  // Shrink every baseline timing to ~zero: everything now "regresses".
+  JsonValue report = read_report();
+  for (JsonValue& result : report["results"].as_array()) {
+    for (auto& [name, stats] : result["algorithms"].as_object()) {
+      stats["seconds_min"] = JsonValue(1e-9);
+    }
+  }
+  write_file(report.dump(2));
+  const CommandResult r =
+      run_tool(fast_flags() + " --min-delta 0 --baseline " + report_path_);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("REGRESSION"), std::string::npos);
+}
+
+TEST_F(BenchRegressTest, MalformedBaselineExitsTwo) {
+  write_file("this is not json");
+  EXPECT_EQ(run_tool(fast_flags() + " --baseline " + report_path_).exit_code, 2);
+}
+
+TEST_F(BenchRegressTest, WrongSchemaVersionExitsTwo) {
+  write_file("{\"schema_version\": 999, \"results\": []}");
+  EXPECT_EQ(run_tool(fast_flags() + " --baseline " + report_path_).exit_code, 2);
+}
+
+TEST_F(BenchRegressTest, MissingBaselineFileExitsTwo) {
+  EXPECT_EQ(
+      run_tool(fast_flags() + " --baseline /nonexistent/base.json").exit_code, 2);
+}
+
+}  // namespace
+}  // namespace apgre

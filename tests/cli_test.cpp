@@ -3,6 +3,8 @@
 // and exit codes — the full user journey, not just library calls.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <fstream>
@@ -42,8 +44,12 @@ CommandResult run_cli(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    snap_path_ = ::testing::TempDir() + "/cli_graph.snap";
-    dimacs_path_ = ::testing::TempDir() + "/cli_graph.gr";
+    // Unique per process: ctest runs each test as its own process, possibly
+    // in parallel, and a shared fixture path would let one test's TearDown
+    // delete the graph another test is about to read.
+    const std::string tag = std::to_string(static_cast<long>(getpid()));
+    snap_path_ = ::testing::TempDir() + "/cli_graph_" + tag + ".snap";
+    dimacs_path_ = ::testing::TempDir() + "/cli_graph_" + tag + ".gr";
     const CsrGraph g = attach_pendants(caveman(6, 6, 77), 20, 78);
     write_snap_file(snap_path_, g);
     write_dimacs_file(dimacs_path_, g);

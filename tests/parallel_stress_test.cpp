@@ -1,0 +1,120 @@
+// Multi-threaded stress tier for the five parallel BC backends (preds,
+// succs, lockfree, coarse, hybrid): repeated runs on adversarial shapes —
+// a star (one giant level), a long path (many one-vertex levels), a dense
+// biconnected component and a barbell — differentially checked against
+// serial Brandes, at thread counts {1, 2, hardware}. The host runs ctest
+// on few cores, so the thread counts oversubscribe deliberately: context
+// switches mid-kernel widen race windows, which is exactly what this tier
+// (and the ThreadSanitizer CI job that runs it) is for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bc/bc.hpp"
+#include "check/corpus.hpp"
+#include "check/oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "support/parallel.hpp"
+
+namespace apgre {
+namespace {
+
+constexpr int kRepetitions = 3;
+
+const std::vector<Algorithm>& parallel_backends() {
+  static const std::vector<Algorithm> backends = {
+      Algorithm::kParallelPreds, Algorithm::kParallelSuccs, Algorithm::kLockFree,
+      Algorithm::kCoarse, Algorithm::kHybrid};
+  return backends;
+}
+
+std::vector<int> thread_counts() {
+  std::vector<int> counts = {1, 2, std::max(4, num_threads())};
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+struct AdversarialGraph {
+  std::string name;
+  CsrGraph graph;
+};
+
+std::vector<AdversarialGraph> adversarial_graphs() {
+  std::vector<AdversarialGraph> graphs;
+  // One giant BFS level: every worker hammers the same frontier.
+  graphs.push_back({"star_200", star(200)});
+  // 200 levels of a single vertex: maximal fork/join churn per source.
+  graphs.push_back({"path_200", path(200)});
+  // Dense biconnected component: no articulation points, heavy sigma
+  // contention on the CAS-claimed forward phase.
+  graphs.push_back({"complete_24", complete(24)});
+  // Articulation-point stress shape plus pendant decorations.
+  graphs.push_back({"barbell_pendants",
+                    attach_pendants(barbell(12, 6), /*count=*/24, /*seed=*/99)});
+  return graphs;
+}
+
+void expect_backend_matches_serial(const CsrGraph& g, Algorithm backend,
+                                   int threads, const std::vector<double>& expected,
+                                   const std::string& tag) {
+  BcOptions opts;
+  opts.algorithm = backend;
+  opts.threads = threads;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    const std::vector<double> actual = betweenness(g, opts).scores;
+    const ScoreComparison cmp = compare_scores(expected, actual);
+    EXPECT_TRUE(cmp.ok) << tag << " algorithm " << algorithm_name(backend)
+                        << " threads " << threads << " rep " << rep
+                        << ": worst vertex " << cmp.worst_vertex << " expected "
+                        << cmp.expected_score << " got " << cmp.actual_score;
+    if (!cmp.ok) return;  // one blamed failure per configuration is enough
+  }
+}
+
+TEST(ParallelStressTest, BackendsMatchSerialOnAdversarialGraphs) {
+  for (const AdversarialGraph& ag : adversarial_graphs()) {
+    BcOptions serial;
+    serial.algorithm = Algorithm::kBrandesSerial;
+    const std::vector<double> expected = betweenness(ag.graph, serial).scores;
+    for (Algorithm backend : parallel_backends()) {
+      for (int threads : thread_counts()) {
+        expect_backend_matches_serial(ag.graph, backend, threads, expected,
+                                      ag.name);
+      }
+    }
+  }
+}
+
+// The sweep the TSan CI job leans on: every parallel backend over the tiny
+// check corpus with forced concurrency (4+ threads even on small hosts).
+TEST(ParallelStressTest, BackendsMatchSerialOnCheckCorpus) {
+  const int threads = std::max(4, num_threads());
+  for (const CorpusCase& c : graph_corpus(/*seed=*/5, /*tiny=*/true)) {
+    BcOptions serial;
+    serial.algorithm = Algorithm::kBrandesSerial;
+    const std::vector<double> expected = betweenness(c.graph, serial).scores;
+    for (Algorithm backend : parallel_backends()) {
+      expect_backend_matches_serial(c.graph, backend, threads, expected, c.name);
+    }
+  }
+}
+
+// APGRE's two-level parallelism (coarse outer loop + fine-grained inner
+// kernel) rides along: it exercises the fenced regions in apgre.cpp.
+TEST(ParallelStressTest, ApgreMatchesSerialUnderForcedConcurrency) {
+  for (const AdversarialGraph& ag : adversarial_graphs()) {
+    BcOptions serial;
+    serial.algorithm = Algorithm::kBrandesSerial;
+    const std::vector<double> expected = betweenness(ag.graph, serial).scores;
+    for (int threads : thread_counts()) {
+      expect_backend_matches_serial(ag.graph, Algorithm::kApgre, threads,
+                                    expected, ag.name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apgre

@@ -87,6 +87,51 @@ TEST(RunningStats, SingleSampleHasZeroVariance) {
   EXPECT_DOUBLE_EQ(s.min(), 3.5);
 }
 
+TEST(RunningStats, MergeMatchesSequentialAccumulation) {
+  const std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0,
+                                       -1.0, 0.25, 13.5};
+  for (std::size_t split = 0; split <= samples.size(); ++split) {
+    RunningStats left;
+    RunningStats right;
+    RunningStats reference;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (i < split ? left : right).add(samples[i]);
+      reference.add(samples[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), reference.count()) << "split " << split;
+    EXPECT_NEAR(left.mean(), reference.mean(), 1e-12) << "split " << split;
+    EXPECT_NEAR(left.variance(), reference.variance(), 1e-12) << "split " << split;
+    EXPECT_DOUBLE_EQ(left.sum(), reference.sum()) << "split " << split;
+    EXPECT_DOUBLE_EQ(left.min(), reference.min()) << "split " << split;
+    EXPECT_DOUBLE_EQ(left.max(), reference.max()) << "split " << split;
+  }
+}
+
+TEST(RunningStats, MergeWithEmptySidesIsIdentity) {
+  RunningStats filled;
+  filled.add(1.0);
+  filled.add(3.0);
+
+  RunningStats empty;
+  filled.merge(empty);  // empty right side: no-op
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 2.0);
+
+  RunningStats target;
+  target.merge(filled);  // empty left side: copies the other accumulator
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 3.0);
+  EXPECT_NEAR(target.variance(), filled.variance(), 1e-15);
+
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);  // both empty
+  EXPECT_EQ(a.count(), 0u);
+}
+
 TEST(Log2Histogram, BucketsPowersOfTwo) {
   Log2Histogram h;
   h.add(0);

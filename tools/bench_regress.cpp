@@ -1,0 +1,326 @@
+// bench_regress — gated performance-regression harness.
+//
+//   bench_regress --repeat 5 --out BENCH_head.json
+//   bench_regress --baseline BENCH_main.json --threshold 0.3
+//   bench_regress --graphs both --algo-set serial,apgre --out bench.json
+//
+// Runs the seeded check corpus (and optionally the Table-1 workload
+// analogues) across a chosen algorithm set, records median / p90 wall time
+// and MTEPS over N repetitions plus a metrics-registry snapshot and
+// aggregated tracing spans, and emits a schema-versioned JSON report.
+// In --baseline mode the current run is compared against a previous report:
+// any (graph, algorithm) pair whose median slows down by more than
+// --threshold (relative) fails the gate.
+//
+// Exit status: 0 clean, 1 at least one regression, 2 usage error or a
+// malformed / schema-incompatible baseline. docs/OBSERVABILITY.md describes
+// the report format and how CI refreshes its baseline artifact.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bc/bc.hpp"
+#include "check/corpus.hpp"
+#include "support/error.hpp"
+#include "support/flags.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+#include "support/parallel.hpp"
+#include "support/stats.hpp"
+#include "support/trace.hpp"
+#include "workloads.hpp"
+
+namespace {
+
+using namespace apgre;
+
+constexpr std::int64_t kSchemaVersion = 1;
+
+std::vector<Algorithm> parse_algo_set(const std::string& spec) {
+  std::vector<Algorithm> set;
+  std::stringstream ss(spec);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (!name.empty()) set.push_back(algorithm_from_name(name));
+  }
+  APGRE_REQUIRE(!set.empty(), "--algo-set selected no algorithms");
+  return set;
+}
+
+struct BenchGraph {
+  std::string name;
+  CsrGraph graph;
+};
+
+std::vector<BenchGraph> build_graph_list(const std::string& graphs,
+                                         std::uint64_t seed, double scale) {
+  APGRE_REQUIRE(graphs == "corpus" || graphs == "workloads" || graphs == "both",
+                "--graphs must be corpus, workloads or both");
+  std::vector<BenchGraph> list;
+  if (graphs != "workloads") {
+    for (CorpusCase& c : graph_corpus(seed, /*tiny=*/false)) {
+      list.push_back({"corpus/" + c.name, std::move(c.graph)});
+    }
+  }
+  if (graphs != "corpus") {
+    for (const bench::Workload& w : bench::all_workloads(scale)) {
+      list.push_back({"workload/" + w.id, w.build()});
+    }
+  }
+  return list;
+}
+
+/// Aggregate the drained spans as name -> {count, total_seconds}.
+JsonValue aggregate_spans(const std::vector<SpanRecord>& spans) {
+  std::map<std::string, std::pair<std::int64_t, double>> agg;
+  for (const SpanRecord& s : spans) {
+    auto& [count, total] = agg[s.name];
+    ++count;
+    total += s.elapsed_seconds();
+  }
+  JsonValue::Object out;
+  for (const auto& [name, pair] : agg) {
+    JsonValue::Object entry;
+    entry["count"] = JsonValue(pair.first);
+    entry["total_seconds"] = JsonValue(pair.second);
+    out[name] = JsonValue(std::move(entry));
+  }
+  return JsonValue(std::move(out));
+}
+
+/// Non-zero registry entries as name -> number (histograms as {count, sum}).
+JsonValue snapshot_metrics() {
+  JsonValue::Object out;
+  for (const MetricSample& s : metrics().snapshot()) {
+    if (s.kind == MetricKind::kHistogram) {
+      if (s.number == 0.0) continue;  // no observations
+      JsonValue::Object h;
+      h["count"] = JsonValue(s.number);
+      h["sum"] = JsonValue(s.histogram_sum);
+      out[s.name] = JsonValue(std::move(h));
+    } else if (s.number != 0.0) {
+      out[s.name] = JsonValue(s.number);
+    }
+  }
+  return JsonValue(std::move(out));
+}
+
+JsonValue measure(const BenchGraph& bg, Algorithm algorithm, int repeat,
+                  int warmup, int threads) {
+  BcOptions opts;
+  opts.algorithm = algorithm;
+  opts.threads = threads;
+  for (int i = 0; i < warmup; ++i) betweenness(bg.graph, opts);
+  metrics().reset();
+  clear_spans();
+
+  std::vector<double> seconds;
+  std::vector<double> mteps;
+  seconds.reserve(static_cast<std::size_t>(repeat));
+  for (int i = 0; i < repeat; ++i) {
+    const BcResult r = betweenness(bg.graph, opts);
+    seconds.push_back(r.seconds);
+    mteps.push_back(r.mteps);
+  }
+
+  JsonValue::Object out;
+  out["reps"] = JsonValue(static_cast<std::int64_t>(repeat));
+  out["seconds_median"] = JsonValue(percentile(seconds, 50.0));
+  out["seconds_p90"] = JsonValue(percentile(seconds, 90.0));
+  out["seconds_min"] = JsonValue(*std::min_element(seconds.begin(), seconds.end()));
+  out["mteps_median"] = JsonValue(percentile(mteps, 50.0));
+  out["metrics"] = snapshot_metrics();
+  out["spans"] = aggregate_spans(collect_spans());
+  return JsonValue(std::move(out));
+}
+
+/// Throws Error on unreadable / malformed / schema-incompatible reports.
+JsonValue load_report(const std::string& path) {
+  std::ifstream in(path);
+  APGRE_REQUIRE(in.good(), "cannot open report: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue report = JsonValue::parse(buf.str());
+  APGRE_REQUIRE(report.is_object() && report.contains("schema_version"),
+                "report " + path + " has no schema_version");
+  APGRE_REQUIRE(report.at("schema_version").as_double() ==
+                    static_cast<double>(kSchemaVersion),
+                "report " + path + " has unsupported schema_version");
+  APGRE_REQUIRE(report.contains("results") && report.at("results").is_array(),
+                "report " + path + " has no results array");
+  return report;
+}
+
+struct GateOutcome {
+  std::size_t compared = 0;
+  std::size_t skipped = 0;
+  std::size_t regressions = 0;
+};
+
+/// Compare head timings against the baseline report; a pair regresses when
+/// head > base * (1 + threshold). The gate runs on seconds_min, not the
+/// median: scheduler noise only ever adds time, so the per-pair minimum is
+/// the stable estimator on a shared machine (medians of sub-10ms runs
+/// jitter past any reasonable threshold). Pairs missing on either side are
+/// skipped — graph and algorithm sets may legitimately drift between
+/// revisions.
+GateOutcome gate_against_baseline(const JsonValue& baseline, const JsonValue& head,
+                                  double threshold, double min_delta) {
+  std::map<std::string, double> base_times;
+  for (const JsonValue& result : baseline.at("results").as_array()) {
+    const std::string graph = result.at("graph").as_string();
+    for (const auto& [algo, stats] : result.at("algorithms").as_object()) {
+      base_times[graph + "#" + algo] = stats.at("seconds_min").as_double();
+    }
+  }
+
+  GateOutcome outcome;
+  for (const JsonValue& result : head.at("results").as_array()) {
+    const std::string graph = result.at("graph").as_string();
+    for (const auto& [algo, stats] : result.at("algorithms").as_object()) {
+      const auto it = base_times.find(graph + "#" + algo);
+      if (it == base_times.end()) {
+        ++outcome.skipped;
+        continue;
+      }
+      ++outcome.compared;
+      const double base = it->second;
+      const double now = stats.at("seconds_min").as_double();
+      // Both a relative and an absolute bar: sub-millisecond pairs can move
+      // 30% on clock granularity alone, which is not a regression.
+      if (now > base * (1.0 + threshold) && now - base > min_delta) {
+        ++outcome.regressions;
+        std::fprintf(stderr,
+                     "REGRESSION %s %s: min %.6fs vs baseline %.6fs "
+                     "(+%.1f%%, threshold %.1f%%)\n",
+                     graph.c_str(), algo.c_str(), now, base,
+                     (now / base - 1.0) * 100.0, threshold * 100.0);
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "bench_regress: perf-regression harness over the check corpus and the "
+      "Table-1 workload analogues.\nusage: bench_regress [flags]");
+  flags.add_int("repeat", 5, "timed repetitions per (graph, algorithm)")
+      .add_int("warmup", 1, "untimed warmup runs per (graph, algorithm)")
+      .add_string("algo-set",
+                  "serial,preds,succs,lockfree,coarse,hybrid,apgre,algebraic",
+                  "comma list of algorithms to measure")
+      .add_string("graphs", "corpus", "graph set: corpus, workloads or both")
+      .add_double("scale", 0.25, "workload linear-scale factor")
+      .add_int("seed", 1, "corpus seed")
+      .add_int("threads", 0, "thread budget (0 = runtime default)")
+      .add_string("out", "", "write the JSON report to this path")
+      .add_string("baseline", "", "compare against this prior report")
+      .add_double("threshold", 0.50,
+                  "relative slowdown tolerated before the gate fails")
+      .add_double("min-delta", 0.005,
+                  "absolute slowdown (seconds) a regression must also exceed")
+      .add_string("revision", "unknown", "revision label stored in the report");
+
+  std::vector<Algorithm> algo_set;
+  std::vector<BenchGraph> graph_list;
+  try {
+    const auto positional = flags.parse(argc, argv);
+    if (flags.help_requested()) {
+      std::fprintf(stderr, "%s", flags.help().c_str());
+      return 0;
+    }
+    APGRE_REQUIRE(positional.empty(), "bench_regress takes no positional arguments");
+    APGRE_REQUIRE(flags.get_int("repeat") >= 1, "--repeat must be >= 1");
+    APGRE_REQUIRE(flags.get_int("warmup") >= 0, "--warmup must be >= 0");
+    APGRE_REQUIRE(flags.get_double("threshold") >= 0.0,
+                  "--threshold must be non-negative");
+    algo_set = parse_algo_set(flags.get_string("algo-set"));
+    graph_list = build_graph_list(flags.get_string("graphs"),
+                                  static_cast<std::uint64_t>(flags.get_int("seed")),
+                                  flags.get_double("scale"));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), flags.help().c_str());
+    return 2;
+  }
+
+  const int repeat = static_cast<int>(flags.get_int("repeat"));
+  const int warmup = static_cast<int>(flags.get_int("warmup"));
+  const int threads = static_cast<int>(flags.get_int("threads"));
+
+  JsonValue::Array results;
+  for (const BenchGraph& bg : graph_list) {
+    JsonValue::Object algorithms;
+    for (Algorithm algorithm : algo_set) {
+      algorithms[algorithm_name(algorithm)] =
+          measure(bg, algorithm, repeat, warmup, threads);
+    }
+    JsonValue::Object entry;
+    entry["graph"] = JsonValue(bg.name);
+    entry["vertices"] = JsonValue(static_cast<std::uint64_t>(bg.graph.num_vertices()));
+    entry["arcs"] = JsonValue(static_cast<std::uint64_t>(bg.graph.num_arcs()));
+    entry["directed"] = JsonValue(bg.graph.directed());
+    entry["algorithms"] = JsonValue(std::move(algorithms));
+    results.push_back(JsonValue(std::move(entry)));
+    std::fprintf(stderr, "measured %s (%u vertices)\n", bg.name.c_str(),
+                 static_cast<unsigned>(bg.graph.num_vertices()));
+  }
+
+  JsonValue::Object report;
+  report["schema_version"] = JsonValue(kSchemaVersion);
+  report["revision"] = JsonValue(flags.get_string("revision"));
+  {
+    JsonValue::Object host;
+    host["omp_max_threads"] = JsonValue(static_cast<std::int64_t>(num_threads()));
+    host["trace_enabled"] = JsonValue(trace_enabled());
+    report["host"] = JsonValue(std::move(host));
+  }
+  {
+    JsonValue::Object config;
+    config["repeat"] = JsonValue(static_cast<std::int64_t>(repeat));
+    config["warmup"] = JsonValue(static_cast<std::int64_t>(warmup));
+    config["graphs"] = JsonValue(flags.get_string("graphs"));
+    config["algo_set"] = JsonValue(flags.get_string("algo-set"));
+    config["scale"] = JsonValue(flags.get_double("scale"));
+    config["seed"] = JsonValue(flags.get_int("seed"));
+    report["config"] = JsonValue(std::move(config));
+  }
+  report["results"] = JsonValue(std::move(results));
+  const JsonValue head(std::move(report));
+
+  if (const std::string out = flags.get_string("out"); !out.empty()) {
+    std::ofstream file(out);
+    if (!file.good()) {
+      std::fprintf(stderr, "error: cannot write report to %s\n", out.c_str());
+      return 2;
+    }
+    file << head.dump(2) << "\n";
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+  }
+
+  if (const std::string base_path = flags.get_string("baseline");
+      !base_path.empty()) {
+    JsonValue baseline;
+    try {
+      baseline = load_report(base_path);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    const GateOutcome outcome =
+        gate_against_baseline(baseline, head, flags.get_double("threshold"),
+                              flags.get_double("min-delta"));
+    std::fprintf(stderr,
+                 "baseline gate: %zu pairs compared, %zu skipped, "
+                 "%zu regressions\n",
+                 outcome.compared, outcome.skipped, outcome.regressions);
+    if (outcome.regressions != 0) return 1;
+  }
+  return 0;
+}
