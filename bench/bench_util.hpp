@@ -15,12 +15,14 @@
 
 namespace apgre::bench {
 
-/// The comparison set of the paper's Tables 2/3 (serial first).
+/// The comparison set of the paper's Tables 2/3 (serial first), derived
+/// from the registry's `comparison` capability flag.
 inline std::vector<Algorithm> comparison_algorithms() {
-  return {Algorithm::kBrandesSerial, Algorithm::kApgre,
-          Algorithm::kParallelPreds, Algorithm::kParallelSuccs,
-          Algorithm::kLockFree,      Algorithm::kCoarse,
-          Algorithm::kHybrid};
+  std::vector<Algorithm> set;
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    if (info.comparison) set.push_back(info.algorithm);
+  }
+  return set;
 }
 
 /// A single timed run. Returns nullopt when the estimated cost exceeds the

@@ -441,44 +441,23 @@ std::vector<double> subgraph_bc_parallel(const Subgraph& sg, bool hybrid_inner) 
   return bc;
 }
 
-}  // namespace
-
-std::vector<double> apgre_subgraph_bc(const Subgraph& sg, bool parallel_inner,
-                                      bool hybrid_inner) {
-  return parallel_inner ? subgraph_bc_parallel(sg, hybrid_inner)
-                        : subgraph_bc_serial(sg);
-}
-
-std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
-                             ApgreStats* stats) {
-  APGRE_TRACE_SPAN("apgre/total");
-  Timer total_timer;
-  ApgreStats local_stats;
-
-  // Step 1: decomposition (timed separately from reach counting so the
-  // Figure-8 breakdown can report both).
-  PartitionOptions popts = opts.partition;
-  popts.compute_reach = false;
-  Decomposition dec;
-  {
-    APGRE_TRACE_SPAN("apgre/decompose");
-    ScopedTimer t(local_stats.partition_seconds);
-    dec = decompose(g, popts);
-  }
-  // Step 2: alpha/beta counting.
-  {
-    APGRE_TRACE_SPAN("apgre/reach");
-    ScopedTimer t(local_stats.reach_seconds);
-    compute_reach_counts(g, dec, opts.partition.reach);
-  }
-
-  // Step 3: per-sub-graph BC with two-level parallelism. Large sub-graphs
-  // (by arc share) run one at a time with the fine-grained kernel; the
-  // rest are distributed across threads.
-  const EdgeId total_arcs = g.num_arcs();
-  const EdgeId fine_cutoff = std::max<EdgeId>(
+/// Arc threshold above which a sub-graph is "large" (fine-grained tier).
+EdgeId fine_grain_cutoff(const ApgreOptions& opts, EdgeId total_arcs) {
+  return std::max<EdgeId>(
       opts.fine_grain_min_arcs,
       static_cast<EdgeId>(opts.fine_grain_fraction * static_cast<double>(total_arcs)));
+}
+
+// --------------------------------------------------------------------------
+// Flat scoring path (the pre-scheduler driver, kept reachable with
+// SchedulerOptions::enabled = false): the top sub-graph and every other
+// large sub-graph run one at a time with the fine-grained kernel; the rest
+// are distributed across an OpenMP loop.
+// --------------------------------------------------------------------------
+
+std::vector<double> score_flat(const CsrGraph& g, const Decomposition& dec,
+                               const ApgreOptions& opts, ApgreStats& stats) {
+  const EdgeId fine_cutoff = fine_grain_cutoff(opts, g.num_arcs());
 
   std::vector<std::size_t> fine;
   std::vector<std::size_t> coarse;
@@ -505,7 +484,7 @@ std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
 
   if (!dec.subgraphs.empty()) {
     APGRE_TRACE_SPAN("apgre/top_bc");
-    ScopedTimer t(local_stats.top_bc_seconds);
+    ScopedTimer t(stats.top_bc_seconds);
     const Subgraph& top = dec.subgraphs[dec.top_subgraph];
     const bool parallel_top =
         inner_parallel_pays && top.num_arcs() >= fine_cutoff;
@@ -514,7 +493,7 @@ std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
   }
   {
     APGRE_TRACE_SPAN("apgre/rest_bc");
-    ScopedTimer t(local_stats.rest_bc_seconds);
+    ScopedTimer t(stats.rest_bc_seconds);
     for (std::size_t sgi : fine) {
       merge_local(bc, sgi,
                   subgraph_bc_parallel(dec.subgraphs[sgi], opts.hybrid_inner));
@@ -567,39 +546,235 @@ std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
     coarse_region_ctx = nullptr;
     flush_kernel_tallies(coarse_sources, coarse_traversed_arcs);
   }
+  return bc;
+}
 
-  local_stats.total_seconds = total_timer.seconds();
-  local_stats.num_subgraphs = dec.subgraphs.size();
-  local_stats.num_articulation_points = dec.num_articulation_points;
-  local_stats.num_pendants_removed = dec.num_pendants_removed;
+// --------------------------------------------------------------------------
+// Scheduled scoring path: every (sub-graph, root-batch) pair becomes a task
+// on the work-stealing scheduler (support/sched/scheduler.hpp). Sub-graphs
+// too large to split profitably run the level-synchronous OpenMP kernel
+// whole, *before* the scheduler run (task bodies must not open OpenMP
+// regions). The kernel per tier is chosen adaptively from size / root-count
+// heuristics and the choice is recorded in ApgreStats.
+// --------------------------------------------------------------------------
+
+std::vector<double> score_scheduled(const CsrGraph& g, const Decomposition& dec,
+                                    const ApgreOptions& opts,
+                                    const SchedulerOptions& sched,
+                                    ApgreStats& stats) {
+  WorkStealingScheduler scheduler(sched);
+  const int workers = scheduler.num_workers();
+  const EdgeId fine_cutoff = fine_grain_cutoff(opts, g.num_arcs());
+  const bool inner_parallel_pays = num_threads() > 1;
+
+  // Classify: `dedicated` sub-graphs are large but have too few roots to
+  // split into enough batches to load-balance — fine-grained parallelism
+  // inside one source is the only lever left. Large sub-graphs with many
+  // roots split into root batches; everything else is one serial task.
+  struct Piece {
+    std::size_t sgi;
+    std::size_t root_begin;
+    std::size_t root_end;
+    std::uint64_t cost;  ///< ~arcs * roots, for largest-first distribution
+    bool batch;          ///< part of a split sub-graph (vs whole)
+  };
+  std::vector<std::size_t> dedicated;
+  std::vector<Piece> pieces;
+  for (std::size_t i = 0; i < dec.subgraphs.size(); ++i) {
+    const Subgraph& sg = dec.subgraphs[i];
+    const std::size_t roots = sg.roots.size();
+    if (roots == 0) continue;
+    const bool large = sg.num_arcs() >= fine_cutoff;
+    if (large && sched.adaptive_kernel && inner_parallel_pays &&
+        roots < 2 * static_cast<std::size_t>(workers)) {
+      dedicated.push_back(i);
+      continue;
+    }
+    std::size_t grain = roots;
+    if (large) {
+      grain = sched.grain > 0
+                  ? static_cast<std::size_t>(sched.grain)
+                  : std::max<std::size_t>(
+                        1, roots / (4 * static_cast<std::size_t>(workers)));
+    }
+    const std::uint64_t arc_cost = std::max<std::uint64_t>(sg.num_arcs(), 1);
+    for (std::size_t b = 0; b < roots; b += grain) {
+      const std::size_t e = std::min(roots, b + grain);
+      pieces.push_back(
+          {i, b, e, arc_cost * static_cast<std::uint64_t>(e - b), large});
+    }
+  }
+  // Largest pieces first: run() deals tasks round-robin, and thieves steal
+  // from the victim's old end, so big work spreads out before the tail.
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& a, const Piece& b) { return a.cost > b.cost; });
+
+  std::vector<double> bc(g.num_vertices(), 0.0);
+
+  {
+    APGRE_TRACE_SPAN("apgre/top_bc");
+    ScopedTimer t(stats.top_bc_seconds);
+    for (std::size_t sgi : dedicated) {
+      const Subgraph& sg = dec.subgraphs[sgi];
+      // Dense low-diameter sub-graphs flip to the direction-optimising
+      // forward phase even when the caller left hybrid_inner off.
+      const bool hybrid =
+          opts.hybrid_inner ||
+          (sg.num_vertices() > 0 &&
+           sg.num_arcs() / static_cast<EdgeId>(sg.num_vertices()) >= 16);
+      const std::vector<double> local = subgraph_bc_parallel(sg, hybrid);
+      for (Vertex v = 0; v < sg.num_vertices(); ++v) {
+        bc[sg.to_global[v]] += local[v];
+      }
+    }
+  }
+
+  // Per-worker accumulation state. Sub-graphs overlap only at articulation
+  // points, but giving each worker a private global-id buffer (lazily
+  // allocated on first use) makes every task body race-free without locks.
+  struct WorkerBuf {
+    std::vector<double> bc;
+    SubgraphScratch scratch;
+    std::vector<double> local;
+  };
+  std::vector<WorkerBuf> bufs(static_cast<std::size_t>(workers));
+  const Vertex n_global = g.num_vertices();
+
+  std::vector<WorkStealingScheduler::Task> tasks;
+  tasks.reserve(pieces.size());
+  for (const Piece& p : pieces) {
+    tasks.push_back([&dec, &bufs, n_global, p](int worker) {
+      WorkerBuf& wb = bufs[static_cast<std::size_t>(worker)];
+      if (wb.bc.empty()) wb.bc.assign(n_global, 0.0);
+      const Subgraph& sg = dec.subgraphs[p.sgi];
+      wb.scratch.ensure(sg.num_vertices());
+      wb.local.assign(sg.num_vertices(), 0.0);
+      for (std::size_t r = p.root_begin; r < p.root_end; ++r) {
+        subgraph_source_serial(sg, sg.roots[r], wb.scratch, wb.local);
+      }
+      for (Vertex v = 0; v < sg.num_vertices(); ++v) {
+        wb.bc[sg.to_global[v]] += wb.local[v];
+      }
+    });
+  }
+
+  SchedulerStats run_stats;
+  {
+    APGRE_TRACE_SPAN("apgre/rest_bc");
+    ScopedTimer t(stats.rest_bc_seconds);
+    run_stats = scheduler.run(std::move(tasks));
+    for (WorkerBuf& wb : bufs) {
+      if (wb.bc.empty()) continue;
+      for (Vertex v = 0; v < n_global; ++v) bc[v] += wb.bc[v];
+    }
+  }
+  for (const WorkerBuf& wb : bufs) {
+    if (wb.scratch.sources != 0) {
+      flush_kernel_tallies(wb.scratch.sources, wb.scratch.traversed_arcs);
+    }
+  }
+
+  stats.num_fine_subgraphs = dedicated.size();
+  for (const Piece& p : pieces) {
+    if (p.batch && (p.root_begin != 0 || p.root_end != dec.subgraphs[p.sgi].roots.size())) {
+      ++stats.num_batch_tasks;
+    } else {
+      ++stats.num_subgraph_tasks;
+    }
+  }
+  stats.sched_tasks = run_stats.tasks;
+  stats.sched_steals = run_stats.steals;
+  stats.sched_idle_seconds = run_stats.idle_seconds;
+  return bc;
+}
+
+}  // namespace
+
+std::vector<double> apgre_subgraph_bc(const Subgraph& sg, bool parallel_inner,
+                                      bool hybrid_inner) {
+  return parallel_inner ? subgraph_bc_parallel(sg, hybrid_inner)
+                        : subgraph_bc_serial(sg);
+}
+
+std::vector<double> apgre_bc_with_decomposition(const CsrGraph& g,
+                                                const Decomposition& dec,
+                                                const ApgreOptions& opts,
+                                                ApgreStats* stats,
+                                                const SchedulerOptions& sched) {
+  APGRE_TRACE_SPAN("apgre/score");
+  ApgreStats local;
+  if (stats != nullptr) {
+    // The caller reports what it spent on decompose + reach; a Solver cache
+    // hit legitimately reports zero here.
+    local.partition_seconds = stats->partition_seconds;
+    local.reach_seconds = stats->reach_seconds;
+  }
+
+  Timer score_timer;
+  std::vector<double> bc = sched.enabled
+                               ? score_scheduled(g, dec, opts, sched, local)
+                               : score_flat(g, dec, opts, local);
+  local.total_seconds =
+      local.partition_seconds + local.reach_seconds + score_timer.seconds();
+
+  local.num_subgraphs = dec.subgraphs.size();
+  local.num_articulation_points = dec.num_articulation_points;
+  local.num_pendants_removed = dec.num_pendants_removed;
   if (!dec.subgraphs.empty()) {
     const Subgraph& top = dec.subgraphs[dec.top_subgraph];
-    local_stats.top_vertices = top.num_vertices();
-    local_stats.top_arcs = top.num_arcs();
+    local.top_vertices = top.num_vertices();
+    local.top_arcs = top.num_arcs();
   }
-  const auto work = dec.work_model(total_arcs);
-  local_stats.partial_redundancy = work.partial_redundancy;
-  local_stats.total_redundancy = work.total_redundancy;
-  if (stats != nullptr) *stats = local_stats;
+  const auto work = dec.work_model(g.num_arcs());
+  local.partial_redundancy = work.partial_redundancy;
+  local.total_redundancy = work.total_redundancy;
+  if (stats != nullptr) *stats = local;
 
   MetricsRegistry& m = metrics();
   m.counter("apgre.runs").add(1);
-  m.counter("apgre.subgraphs").add(local_stats.num_subgraphs);
-  m.counter("apgre.articulation_points").add(local_stats.num_articulation_points);
-  m.counter("apgre.pendants_removed").add(local_stats.num_pendants_removed);
-  m.gauge("apgre.partition_seconds").set(local_stats.partition_seconds);
-  m.gauge("apgre.reach_seconds").set(local_stats.reach_seconds);
-  m.gauge("apgre.top_bc_seconds").set(local_stats.top_bc_seconds);
-  m.gauge("apgre.rest_bc_seconds").set(local_stats.rest_bc_seconds);
-  m.gauge("apgre.total_seconds").set(local_stats.total_seconds);
-  m.gauge("apgre.partial_redundancy").set(local_stats.partial_redundancy);
-  m.gauge("apgre.total_redundancy").set(local_stats.total_redundancy);
+  m.counter("apgre.subgraphs").add(local.num_subgraphs);
+  m.counter("apgre.articulation_points").add(local.num_articulation_points);
+  m.counter("apgre.pendants_removed").add(local.num_pendants_removed);
+  m.gauge("apgre.partition_seconds").set(local.partition_seconds);
+  m.gauge("apgre.reach_seconds").set(local.reach_seconds);
+  m.gauge("apgre.top_bc_seconds").set(local.top_bc_seconds);
+  m.gauge("apgre.rest_bc_seconds").set(local.rest_bc_seconds);
+  m.gauge("apgre.total_seconds").set(local.total_seconds);
+  m.gauge("apgre.partial_redundancy").set(local.partial_redundancy);
+  m.gauge("apgre.total_redundancy").set(local.total_redundancy);
   Histogram& hv = m.histogram("apgre.subgraph_vertices");
   Histogram& ha = m.histogram("apgre.subgraph_arcs");
   for (const Subgraph& sg : dec.subgraphs) {
     hv.observe(sg.num_vertices());
     ha.observe(sg.num_arcs());
   }
+  return bc;
+}
+
+std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
+                             ApgreStats* stats, const SchedulerOptions& sched) {
+  APGRE_TRACE_SPAN("apgre/total");
+  ApgreStats local;
+
+  // Step 1: decomposition (timed separately from reach counting so the
+  // Figure-8 breakdown can report both).
+  PartitionOptions popts = opts.partition;
+  popts.compute_reach = false;
+  Decomposition dec;
+  {
+    APGRE_TRACE_SPAN("apgre/decompose");
+    ScopedTimer t(local.partition_seconds);
+    dec = decompose(g, popts);
+  }
+  // Step 2: alpha/beta counting.
+  {
+    APGRE_TRACE_SPAN("apgre/reach");
+    ScopedTimer t(local.reach_seconds);
+    compute_reach_counts(g, dec, opts.partition.reach);
+  }
+  // Step 3: scoring (flat or scheduled) + stats/metrics.
+  std::vector<double> bc = apgre_bc_with_decomposition(g, dec, opts, &local, sched);
+  if (stats != nullptr) *stats = local;
   return bc;
 }
 

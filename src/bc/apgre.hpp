@@ -23,6 +23,7 @@
 
 #include "bcc/partition.hpp"
 #include "graph/csr.hpp"
+#include "support/sched/scheduler.hpp"
 
 namespace apgre {
 
@@ -45,8 +46,13 @@ struct ApgreOptions {
 struct ApgreStats {
   double partition_seconds = 0.0;  ///< biconnected decomposition + grouping
   double reach_seconds = 0.0;      ///< alpha/beta counting
-  double top_bc_seconds = 0.0;     ///< BC of fine-grained (large) sub-graphs
-  double rest_bc_seconds = 0.0;    ///< BC of the remaining sub-graphs
+  /// BC of the sub-graphs processed with the fine-grained level-synchronous
+  /// kernel (flat mode: the large "top" tier; scheduler mode: the dedicated
+  /// sub-graphs too large to root-split).
+  double top_bc_seconds = 0.0;
+  /// BC of everything else (flat mode: the coarse OpenMP loop; scheduler
+  /// mode: the work-stealing run over (sub-graph, root-batch) tasks).
+  double rest_bc_seconds = 0.0;
   double total_seconds = 0.0;
 
   std::size_t num_subgraphs = 0;
@@ -57,11 +63,34 @@ struct ApgreStats {
   /// Redundancy work model (Figure 7).
   double partial_redundancy = 0.0;
   double total_redundancy = 0.0;
+
+  /// Two-level scheduler breakdown (zero when the flat loop ran). The
+  /// adaptive kernel choice (SchedulerOptions::adaptive_kernel) is recorded
+  /// here: `num_fine_subgraphs` ran the level-synchronous OpenMP kernel
+  /// whole, `num_batch_tasks` + `num_subgraph_tasks` ran the serial kernel
+  /// on scheduler workers.
+  std::size_t num_fine_subgraphs = 0;  ///< dedicated level-synchronous runs
+  std::size_t num_batch_tasks = 0;     ///< root-batch tasks of split sub-graphs
+  std::size_t num_subgraph_tasks = 0;  ///< whole-sub-graph serial tasks
+  std::uint64_t sched_tasks = 0;       ///< tasks executed by the scheduler
+  std::uint64_t sched_steals = 0;      ///< successful work steals
+  double sched_idle_seconds = 0.0;     ///< summed worker idle time
 };
 
-/// Full APGRE run.
+/// Full APGRE run: decomposition + reach counting + scoring.
 std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts = {},
-                             ApgreStats* stats = nullptr);
+                             ApgreStats* stats = nullptr,
+                             const SchedulerOptions& sched = {});
+
+/// Scoring only, on a caller-supplied decomposition whose alpha/beta reach
+/// counts are already filled in (compute_reach_counts). This is the Solver
+/// fast path (bc/bc.hpp): decompose once, score many times. When `stats` is
+/// non-null its partition_seconds / reach_seconds are kept as-is (the
+/// caller reports what *it* spent — zero on a cache hit) and every other
+/// field is overwritten; total_seconds covers partition + reach + scoring.
+std::vector<double> apgre_bc_with_decomposition(
+    const CsrGraph& g, const Decomposition& dec, const ApgreOptions& opts = {},
+    ApgreStats* stats = nullptr, const SchedulerOptions& sched = {});
 
 /// BC scores of one sub-graph in local ids (paper Algorithm 2, BCinSG).
 /// Exposed for tests and the breakdown benchmark. `parallel_inner` selects

@@ -1,5 +1,7 @@
 #include "bc/bc.hpp"
 
+#include <array>
+
 #include "bc/algebraic.hpp"
 #include "bc/brandes.hpp"
 #include "bc/coarse.hpp"
@@ -9,6 +11,7 @@
 #include "bc/parallel_preds.hpp"
 #include "bc/parallel_succs.hpp"
 #include "bc/sampling.hpp"
+#include "bcc/reach.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -17,74 +20,193 @@
 
 namespace apgre {
 
+namespace {
+
+// Kernel adapters: one uniform signature per registry row. The dispatcher
+// (Solver::solve) owns timing, halving, and mteps; kernels only produce
+// scores and, where applicable, extra result fields.
+
+std::vector<double> run_naive(const CsrGraph& g, const BcOptions&, BcResult&) {
+  return naive_bc(g);
+}
+std::vector<double> run_serial(const CsrGraph& g, const BcOptions&, BcResult&) {
+  return brandes_bc(g);
+}
+std::vector<double> run_preds(const CsrGraph& g, const BcOptions&, BcResult&) {
+  return parallel_preds_bc(g);
+}
+std::vector<double> run_succs(const CsrGraph& g, const BcOptions&, BcResult&) {
+  return parallel_succs_bc(g);
+}
+std::vector<double> run_lockfree(const CsrGraph& g, const BcOptions&, BcResult&) {
+  return lockfree_bc(g);
+}
+std::vector<double> run_coarse(const CsrGraph& g, const BcOptions&, BcResult&) {
+  return coarse_bc(g);
+}
+std::vector<double> run_hybrid(const CsrGraph& g, const BcOptions&, BcResult&) {
+  return hybrid_bc(g);
+}
+std::vector<double> run_apgre(const CsrGraph& g, const BcOptions& opts,
+                              BcResult& result) {
+  return apgre_bc(g, opts.apgre, &result.apgre_stats, opts.scheduler);
+}
+std::vector<double> run_algebraic(const CsrGraph& g, const BcOptions&, BcResult&) {
+  return algebraic_bc(g);
+}
+std::vector<double> run_sampling(const CsrGraph& g, const BcOptions& opts,
+                                 BcResult&) {
+  return sampled_bc(g, opts.num_samples, opts.seed);
+}
+
+// The registry. Order matches the Algorithm enum so algorithm_info() can
+// index directly; a static_assert below guards the correspondence.
+constexpr std::size_t kNumAlgorithms = 10;
+const std::array<AlgorithmInfo, kNumAlgorithms> kRegistry = {{
+    {Algorithm::kNaive, "naive", nullptr,
+     "O(V^3) definition-based oracle (tests only)", &run_naive,
+     /*exact=*/true, /*parallel=*/false, /*comparison=*/false,
+     /*test_only=*/true},
+    {Algorithm::kBrandesSerial, "serial", nullptr,
+     "Brandes 2001, the serial baseline", &run_serial,
+     /*exact=*/true, /*parallel=*/false, /*comparison=*/true,
+     /*test_only=*/false},
+    {Algorithm::kParallelPreds, "preds", nullptr,
+     "level-synchronous with predecessor lists (Bader-Madduri)", &run_preds,
+     /*exact=*/true, /*parallel=*/true, /*comparison=*/true,
+     /*test_only=*/false},
+    {Algorithm::kParallelSuccs, "succs", nullptr,
+     "level-synchronous with successor scans (Madduri et al.)", &run_succs,
+     /*exact=*/true, /*parallel=*/true, /*comparison=*/true,
+     /*test_only=*/false},
+    {Algorithm::kLockFree, "lockfree", nullptr,
+     "pull-based level-synchronous, no atomics (Tan et al.)", &run_lockfree,
+     /*exact=*/true, /*parallel=*/true, /*comparison=*/true,
+     /*test_only=*/false},
+    {Algorithm::kCoarse, "coarse", "async",
+     "source-parallel with per-thread buffers", &run_coarse,
+     /*exact=*/true, /*parallel=*/true, /*comparison=*/true,
+     /*test_only=*/false},
+    {Algorithm::kHybrid, "hybrid", nullptr,
+     "direction-optimising BFS (Beamer)", &run_hybrid,
+     /*exact=*/true, /*parallel=*/true, /*comparison=*/true,
+     /*test_only=*/false},
+    {Algorithm::kApgre, "apgre", nullptr,
+     "articulation-point-guided redundancy elimination (the paper)",
+     &run_apgre,
+     /*exact=*/true, /*parallel=*/true, /*comparison=*/true,
+     /*test_only=*/false},
+    {Algorithm::kAlgebraic, "algebraic", "batched",
+     "64-wide batched Brandes (Buluc-Gilbert style)", &run_algebraic,
+     /*exact=*/true, /*parallel=*/false, /*comparison=*/false,
+     /*test_only=*/false},
+    {Algorithm::kSampling, "sampling", nullptr,
+     "Brandes-Pich source sampling (approximate)", &run_sampling,
+     /*exact=*/false, /*parallel=*/false, /*comparison=*/false,
+     /*test_only=*/false},
+}};
+
+static_assert(static_cast<std::size_t>(Algorithm::kSampling) ==
+                  kNumAlgorithms - 1,
+              "registry must have one row per Algorithm value, in enum order");
+
+}  // namespace
+
+std::span<const AlgorithmInfo> algorithm_registry() { return kRegistry; }
+
+const AlgorithmInfo& algorithm_info(Algorithm algorithm) {
+  const auto index = static_cast<std::size_t>(algorithm);
+  if (index >= kRegistry.size() || kRegistry[index].algorithm != algorithm) {
+    throw OptionError("algorithm value " + std::to_string(index) +
+                      " is not in the registry");
+  }
+  return kRegistry[index];
+}
+
 Algorithm algorithm_from_name(const std::string& name) {
-  if (name == "naive") return Algorithm::kNaive;
-  if (name == "serial") return Algorithm::kBrandesSerial;
-  if (name == "preds") return Algorithm::kParallelPreds;
-  if (name == "succs") return Algorithm::kParallelSuccs;
-  if (name == "lockfree") return Algorithm::kLockFree;
-  if (name == "coarse" || name == "async") return Algorithm::kCoarse;
-  if (name == "hybrid") return Algorithm::kHybrid;
-  if (name == "apgre") return Algorithm::kApgre;
-  if (name == "algebraic" || name == "batched") return Algorithm::kAlgebraic;
-  if (name == "sampling") return Algorithm::kSampling;
-  throw OptionError("unknown BC algorithm: " + name);
+  std::string known;
+  for (const AlgorithmInfo& info : kRegistry) {
+    if (name == info.name || (info.alias != nullptr && name == info.alias)) {
+      return info.algorithm;
+    }
+    if (!known.empty()) known += " | ";
+    known += info.name;
+  }
+  throw OptionError("unknown BC algorithm: " + name + " (expected " + known +
+                    ")");
 }
 
 std::string algorithm_name(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kNaive: return "naive";
-    case Algorithm::kBrandesSerial: return "serial";
-    case Algorithm::kParallelPreds: return "preds";
-    case Algorithm::kParallelSuccs: return "succs";
-    case Algorithm::kLockFree: return "lockfree";
-    case Algorithm::kCoarse: return "coarse";
-    case Algorithm::kHybrid: return "hybrid";
-    case Algorithm::kApgre: return "apgre";
-    case Algorithm::kAlgebraic: return "algebraic";
-    case Algorithm::kSampling: return "sampling";
-  }
-  return "?";
+  return algorithm_info(algorithm).name;
 }
 
-BcResult betweenness(const CsrGraph& g, const BcOptions& opts) {
-  BcResult result;
-  ThreadBudget budget(opts.threads > 0 ? opts.threads : num_threads());
+Status validate_options(const BcOptions& opts) {
+  const auto index = static_cast<std::size_t>(opts.algorithm);
+  if (index >= kRegistry.size()) {
+    return Status::invalid_option("algorithm value " + std::to_string(index) +
+                                  " is not in the registry");
+  }
+  if (opts.threads < 0) {
+    return Status::invalid_option("threads must be >= 0, got " +
+                                  std::to_string(opts.threads));
+  }
+  const ApgreOptions& a = opts.apgre;
+  if (!(a.fine_grain_fraction >= 0.0 && a.fine_grain_fraction <= 1.0)) {
+    return Status::invalid_option(
+        "apgre.fine_grain_fraction must be in [0, 1], got " +
+        std::to_string(a.fine_grain_fraction));
+  }
+  const SchedulerOptions& s = opts.scheduler;
+  if (s.threads < 0) {
+    return Status::invalid_option("scheduler.threads must be >= 0, got " +
+                                  std::to_string(s.threads));
+  }
+  if (s.grain < 0) {
+    return Status::invalid_option("scheduler.grain must be >= 0, got " +
+                                  std::to_string(s.grain));
+  }
+  if (s.steal_policy != StealPolicy::kRandom &&
+      s.steal_policy != StealPolicy::kSequential) {
+    return Status::invalid_option("scheduler.steal_policy is not a known policy");
+  }
+  return Status::Ok();
+}
 
-  const std::string name = algorithm_name(opts.algorithm);
-  TraceSpan span("bc/" + name);
+BcResult Solver::solve(const BcOptions& opts) {
+  BcResult result;
+  result.status = validate_options(opts);
+  if (!result.status.ok()) return result;
+
+  const CsrGraph& g = *g_;
+  ThreadBudget budget(opts.threads > 0 ? opts.threads : num_threads());
+  const AlgorithmInfo& info = algorithm_info(opts.algorithm);
+  TraceSpan span(std::string("bc/") + info.name);
+
   Timer timer;
-  switch (opts.algorithm) {
-    case Algorithm::kNaive:
-      result.scores = naive_bc(g);
-      break;
-    case Algorithm::kBrandesSerial:
-      result.scores = brandes_bc(g);
-      break;
-    case Algorithm::kParallelPreds:
-      result.scores = parallel_preds_bc(g);
-      break;
-    case Algorithm::kParallelSuccs:
-      result.scores = parallel_succs_bc(g);
-      break;
-    case Algorithm::kLockFree:
-      result.scores = lockfree_bc(g);
-      break;
-    case Algorithm::kCoarse:
-      result.scores = coarse_bc(g);
-      break;
-    case Algorithm::kHybrid:
-      result.scores = hybrid_bc(g);
-      break;
-    case Algorithm::kApgre:
-      result.scores = apgre_bc(g, opts.apgre, &result.apgre_stats);
-      break;
-    case Algorithm::kAlgebraic:
-      result.scores = algebraic_bc(g);
-      break;
-    case Algorithm::kSampling:
-      result.scores = sampled_bc(g, opts.num_samples, opts.seed);
-      break;
+  if (opts.algorithm == Algorithm::kApgre) {
+    // Session fast path: decompose + count reach once, score per solve.
+    PartitionOptions key = opts.apgre.partition;
+    key.compute_reach = false;
+    ApgreStats stats;  // partition/reach seconds stay zero on a cache hit
+    if (dec_ == nullptr || !(dec_key_ == key)) {
+      dec_ = std::make_unique<Decomposition>();
+      {
+        APGRE_TRACE_SPAN("apgre/decompose");
+        ScopedTimer t(stats.partition_seconds);
+        *dec_ = decompose(g, key);
+      }
+      {
+        APGRE_TRACE_SPAN("apgre/reach");
+        ScopedTimer t(stats.reach_seconds);
+        compute_reach_counts(g, *dec_, key.reach);
+      }
+      dec_key_ = key;
+    }
+    result.scores = apgre_bc_with_decomposition(g, *dec_, opts.apgre, &stats,
+                                                opts.scheduler);
+    result.apgre_stats = stats;
+  } else {
+    result.scores = info.kernel(g, opts, result);
   }
   result.seconds = timer.seconds();
 
@@ -98,6 +220,11 @@ BcResult betweenness(const CsrGraph& g, const BcOptions& opts) {
                    static_cast<double>(g.num_arcs()) / result.seconds / 1e6;
   }
   return result;
+}
+
+BcResult betweenness(const CsrGraph& g, const BcOptions& opts) {
+  Solver solver(g);
+  return solver.solve(opts);
 }
 
 }  // namespace apgre

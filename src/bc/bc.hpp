@@ -1,9 +1,20 @@
 // Public entry point of the APGRE betweenness-centrality library.
 //
+// One-shot:
 //   #include "bc/bc.hpp"
 //   apgre::BcResult r = apgre::betweenness(graph);            // APGRE
 //   apgre::BcOptions o; o.algorithm = apgre::Algorithm::kBrandesSerial;
 //   apgre::BcResult serial = apgre::betweenness(graph, o);    // baseline
+//
+// Session-style (amortises the BCC decomposition across solves):
+//   apgre::Solver solver(graph);
+//   apgre::BcResult a = solver.solve();            // decomposes + scores
+//   apgre::BcResult b = solver.solve(other_opts);  // reuses the decomposition
+//
+// betweenness() and Solver::solve() never throw on invalid options — they
+// report through BcResult::status. Malformed *input* (unreadable files,
+// inconsistent graphs) still throws apgre::Error at the call site that
+// touches the input.
 //
 // Scores follow the directed-BC convention: BC(v) = sum over ordered pairs
 // (s, t), s != v != t, of sigma_st(v) / sigma_st. For symmetric
@@ -14,12 +25,15 @@
 // is exactly what the paper's evaluation compares.
 #pragma once
 
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bc/apgre.hpp"
 #include "bcc/partition.hpp"
 #include "graph/csr.hpp"
+#include "support/error.hpp"
 
 namespace apgre {
 
@@ -38,9 +52,40 @@ enum class Algorithm {
   kSampling,      ///< Brandes-Pich source sampling (approximate)
 };
 
-/// Parse / print algorithm names used by benches and examples
-/// ("apgre", "serial", "preds", "succs", "lockfree", "coarse", "hybrid",
-/// "naive", "sampling").
+struct BcOptions;
+struct BcResult;
+
+/// One row of the algorithm registry: the single source of truth tying an
+/// Algorithm value to its names, kernel entry point, and capability flags.
+/// algorithm_from_name / algorithm_name / betweenness dispatch, the CLI
+/// help text, the oracle's exact set, and the benches' comparison set are
+/// all derived from this table — adding an algorithm means adding one row.
+struct AlgorithmInfo {
+  Algorithm algorithm = Algorithm::kApgre;
+  const char* name = nullptr;     ///< canonical name ("apgre", "serial", ...)
+  const char* alias = nullptr;    ///< accepted alternative name, or nullptr
+  const char* summary = nullptr;  ///< one-line description for --help output
+  /// Kernel entry point. May fill result fields beyond scores (kApgre
+  /// writes apgre_stats); the dispatcher owns timing / halving / mteps.
+  std::vector<double> (*kernel)(const CsrGraph& g, const BcOptions& opts,
+                                BcResult& result) = nullptr;
+  bool exact = true;       ///< scores match Brandes exactly (oracle set)
+  bool parallel = false;   ///< uses the thread budget
+  bool comparison = false; ///< member of the paper's Tables 2/3 set
+  bool test_only = false;  ///< reference oracle, excluded from benches
+};
+
+/// Every registered algorithm, in enum order.
+std::span<const AlgorithmInfo> algorithm_registry();
+
+/// Registry row for `algorithm` (throws OptionError on values outside the
+/// registry, e.g. a cast from a corrupted int).
+const AlgorithmInfo& algorithm_info(Algorithm algorithm);
+
+/// Parse / print algorithm names from the registry ("apgre", "serial",
+/// "preds", "succs", "lockfree", "coarse"/"async", "hybrid", "naive",
+/// "algebraic"/"batched", "sampling"). Parsing throws OptionError on
+/// unknown names.
 Algorithm algorithm_from_name(const std::string& name);
 std::string algorithm_name(Algorithm algorithm);
 
@@ -52,12 +97,23 @@ struct BcOptions {
   bool undirected_halving = false;
   /// APGRE tuning (ignored by other algorithms).
   ApgreOptions apgre;
+  /// Work-stealing scheduler knobs for APGRE's scoring phase
+  /// (support/sched/scheduler.hpp; ignored by other algorithms).
+  SchedulerOptions scheduler;
   /// kSampling: number of sampled sources (0 = sqrt(|V|)) and seed.
   Vertex num_samples = 0;
   std::uint64_t seed = 1;
 };
 
+/// Check `opts` for inconsistencies without running anything. The same
+/// validation runs at the top of betweenness() / Solver::solve(), which
+/// report it through BcResult::status instead of throwing.
+Status validate_options(const BcOptions& opts);
+
 struct BcResult {
+  /// Why the run produced no scores; ok() on success. Invalid options are
+  /// reported here (never thrown).
+  Status status;
   std::vector<double> scores;
   /// Filled when algorithm == kApgre (phase breakdown, decomposition info).
   ApgreStats apgre_stats;
@@ -68,7 +124,36 @@ struct BcResult {
   double mteps = 0.0;
 };
 
-/// Compute betweenness centrality with the selected algorithm.
+/// Session-style interface over one graph. The first APGRE solve computes
+/// the BCC decomposition plus the alpha/beta/gamma reach counts and caches
+/// them; later solves whose PartitionOptions match reuse the cache and only
+/// re-run the scoring phase (their stats report zero partition / reach
+/// seconds). Changing PartitionOptions re-decomposes. Non-APGRE algorithms
+/// pass straight through. Not thread-safe; one Solver per thread.
+class Solver {
+ public:
+  /// `g` is referenced, not copied — it must outlive the Solver.
+  explicit Solver(const CsrGraph& g) : g_(&g) {}
+
+  /// Compute BC. Identical scores to betweenness(g, opts) — byte-for-byte,
+  /// cache hit or miss (the scoring phase is deterministic given the
+  /// decomposition, and the decomposition is deterministic given options).
+  BcResult solve(const BcOptions& opts = {});
+
+  const CsrGraph& graph() const { return *g_; }
+
+  /// The cached decomposition, or nullptr before the first APGRE solve.
+  /// The pointer is stable across cache-hit solves (tests key on this).
+  const Decomposition* decomposition() const { return dec_.get(); }
+
+ private:
+  const CsrGraph* g_;
+  std::unique_ptr<Decomposition> dec_;
+  PartitionOptions dec_key_;
+};
+
+/// One-shot betweenness centrality: a thin wrapper constructing a Solver
+/// for a single solve.
 BcResult betweenness(const CsrGraph& g, const BcOptions& opts = {});
 
 }  // namespace apgre

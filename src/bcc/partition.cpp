@@ -8,6 +8,7 @@
 #include "bcc/reach.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 
 namespace apgre {
 
@@ -146,6 +147,9 @@ Decomposition::WorkModel Decomposition::work_model(EdgeId total_arcs) const {
 }
 
 Decomposition decompose(const CsrGraph& g, const PartitionOptions& opts) {
+  // Lets callers (and the Solver-reuse tests) observe how often the
+  // expensive decomposition actually runs.
+  metrics().counter("bcc.decompositions").add(1);
   const BiconnectedComponents bcc = biconnected_components(g);
   const BlockCutTree tree = block_cut_tree(bcc, g.num_vertices());
 

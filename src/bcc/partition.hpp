@@ -37,6 +37,10 @@ struct PartitionOptions {
   /// compute_reach_counts() itself (the APGRE driver does this to time the
   /// two steps separately, as in the paper's Figure 8 breakdown).
   bool compute_reach = true;
+
+  /// Memberwise equality — bc::Solver keys its cached decomposition on this.
+  friend bool operator==(const PartitionOptions&,
+                         const PartitionOptions&) = default;
 };
 
 /// One sub-graph SGi of the decomposition.

@@ -40,12 +40,14 @@ ScoreComparison compare_scores(const std::vector<double>& expected,
 
 std::vector<Algorithm> exact_algorithm_set(const CsrGraph& g,
                                            Vertex max_naive_vertices) {
+  // Derived from the registry's capability flags: every exact algorithm,
+  // with the O(V^3) test-only oracle gated on graph size.
   std::vector<Algorithm> set;
-  if (g.num_vertices() <= max_naive_vertices) set.push_back(Algorithm::kNaive);
-  set.insert(set.end(),
-             {Algorithm::kBrandesSerial, Algorithm::kParallelPreds,
-              Algorithm::kParallelSuccs, Algorithm::kLockFree, Algorithm::kCoarse,
-              Algorithm::kHybrid, Algorithm::kApgre, Algorithm::kAlgebraic});
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    if (!info.exact) continue;
+    if (info.test_only && g.num_vertices() > max_naive_vertices) continue;
+    set.push_back(info.algorithm);
+  }
   return set;
 }
 

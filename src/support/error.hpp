@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace apgre {
 
@@ -30,6 +31,30 @@ class ParseError : public Error {
 class OptionError : public Error {
  public:
   using Error::Error;
+};
+
+/// Error category of a Status.
+enum class StatusCode {
+  kOk,
+  kInvalidOption,  ///< caller-supplied options are inconsistent / out of range
+  kFailed,         ///< the computation itself failed (recoverable)
+};
+
+/// Value-style error channel for APIs that must not throw on bad input
+/// (bc::betweenness / bc::Solver::solve report option problems here; see
+/// docs/API.md). Default-constructed Status is OK.
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  static Status Ok() { return {}; }
+  static Status invalid_option(std::string msg) {
+    return {StatusCode::kInvalidOption, std::move(msg)};
+  }
+  static Status failed(std::string msg) {
+    return {StatusCode::kFailed, std::move(msg)};
+  }
 };
 
 namespace detail {

@@ -1,0 +1,147 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05, with the C11
+// memory-order treatment of Le et al., PPoPP'13).
+//
+// One owner thread pushes and pops at the bottom (LIFO — keeps the owner on
+// its own recently-spawned, cache-warm tasks); any number of thief threads
+// steal from the top (FIFO — thieves take the oldest, typically largest,
+// task). The ring buffer grows geometrically; retired rings are kept alive
+// until destruction because a concurrent thief may still hold a pointer to
+// an old ring (its [top, bottom) window is identical in every live ring, so
+// a stale read is still a valid value and the CAS on `top_` arbitrates
+// ownership either way).
+//
+// Memory orders are deliberately conservative (seq_cst at the owner/thief
+// rendezvous points instead of standalone fences): the deque hands out
+// millisecond-scale BC tasks, so the few extra synchronising instructions
+// are invisible, and ThreadSanitizer — which models atomic operations but
+// not standalone fences — can verify the protocol in the stress tier.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "slots are std::atomic<T>: T must be trivially copyable");
+
+ public:
+  explicit ChaseLevDeque(std::int64_t initial_capacity = 64) {
+    rings_.push_back(std::make_unique<Ring>(round_up_pow2(initial_capacity)));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: append at the bottom.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t >= ring->capacity) ring = grow(ring, t, b);
+    ring->slot(b).store(value, std::memory_order_relaxed);
+    // The release store publishes the slot write to thieves that acquire
+    // `bottom_`.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: take the most recently pushed element (LIFO).
+  bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    const T value = ring->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via the CAS on top_.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    out = value;
+    return true;
+  }
+
+  /// Any thread: take the oldest element (FIFO). Returns false when the
+  /// deque looks empty *or* the steal lost a race — callers treat both as
+  /// "try elsewhere".
+  bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    const T value = ring->slot(t).load(std::memory_order_relaxed);
+    // The slot read may be stale if the owner wrapped the ring since we read
+    // `t` — but any such wrap implies `top_` moved, so the CAS fails and the
+    // stale value is discarded.
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    out = value;
+    return true;
+  }
+
+  /// Racy size estimate (monitoring only).
+  std::int64_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  bool empty() const { return size_estimate() == 0; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::int64_t cap)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(std::make_unique<std::atomic<T>[]>(static_cast<std::size_t>(cap))) {}
+    std::atomic<T>& slot(std::int64_t i) { return slots[i & mask]; }
+
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  static std::int64_t round_up_pow2(std::int64_t n) {
+    std::int64_t cap = 8;
+    while (cap < n) cap <<= 1;
+    return cap;
+  }
+
+  /// Owner only, called from push() when full: double the ring, copy the
+  /// live window, publish, and retire (but keep) the old ring.
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    rings_.push_back(std::make_unique<Ring>(old->capacity * 2));
+    Ring* bigger = rings_.back().get();
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> ring_{nullptr};
+  std::vector<std::unique_ptr<Ring>> rings_;  // owner-only; freed at destruction
+};
+
+}  // namespace apgre

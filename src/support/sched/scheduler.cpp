@@ -1,0 +1,205 @@
+#include "support/sched/scheduler.hpp"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/parallel.hpp"
+#include "support/sched/chase_lev.hpp"
+#include "support/timer.hpp"
+#include "support/trace.hpp"
+
+namespace apgre {
+
+StealPolicy steal_policy_from_name(const std::string& name) {
+  if (name == "random") return StealPolicy::kRandom;
+  if (name == "sequential") return StealPolicy::kSequential;
+  throw OptionError("unknown steal policy: " + name +
+                    " (expected random | sequential)");
+}
+
+std::string steal_policy_name(StealPolicy policy) {
+  switch (policy) {
+    case StealPolicy::kRandom: return "random";
+    case StealPolicy::kSequential: return "sequential";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+struct WorkStealingScheduler::RunState {
+  struct alignas(64) Worker {
+    ChaseLevDeque<Task*> deque;
+    /// Task storage. Only the owning worker appends (std::deque never
+    /// relocates existing elements), so `Task*` handed to the deque stay
+    /// valid for thieves.
+    std::deque<Task> arena;
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t failed_steals = 0;
+    double idle_seconds = 0.0;
+  };
+
+  explicit RunState(int n) : num_workers(n) {
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) workers.push_back(std::make_unique<Worker>());
+  }
+
+  int num_workers;
+  std::vector<std::unique_ptr<Worker>> workers;
+  /// Tasks submitted but not yet finished; incremented *before* a task
+  /// becomes stealable, decremented after it ran, so pending == 0 is the
+  /// termination condition even while tasks spawn subtasks.
+  std::atomic<std::uint64_t> pending{0};
+  Histogram* task_micros = nullptr;
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+};
+
+WorkStealingScheduler::WorkStealingScheduler(const SchedulerOptions& opts)
+    : opts_(opts) {
+  workers_ = opts.threads > 0 ? opts.threads : num_threads();
+  if (workers_ < 1) workers_ = 1;
+}
+
+void WorkStealingScheduler::spawn(int worker, Task task) {
+  APGRE_ASSERT_MSG(active_ != nullptr, "spawn() outside a scheduler run");
+  APGRE_ASSERT(worker >= 0 && worker < active_->num_workers);
+  RunState::Worker& w = *active_->workers[static_cast<std::size_t>(worker)];
+  w.arena.push_back(std::move(task));
+  active_->pending.fetch_add(1, std::memory_order_relaxed);
+  w.deque.push(&w.arena.back());
+}
+
+void WorkStealingScheduler::worker_loop(RunState& state, int worker) {
+  RunState::Worker& me = *state.workers[static_cast<std::size_t>(worker)];
+  std::uint64_t rng =
+      0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(worker + 1) + 1;
+
+  auto execute = [&](Task* task) {
+    Timer task_timer;
+    try {
+      (*task)(worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.error_mu);
+      if (!state.first_error) state.first_error = std::current_exception();
+    }
+    if (state.task_micros != nullptr) {
+      state.task_micros->observe(
+          static_cast<std::uint64_t>(task_timer.seconds() * 1e6));
+    }
+    ++me.executed;
+    state.pending.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  Task* task = nullptr;
+  for (;;) {
+    if (me.deque.pop(task)) {
+      execute(task);
+      continue;
+    }
+    if (state.pending.load(std::memory_order_acquire) == 0) break;
+
+    // Idle: sweep victims until a steal lands or all work has drained.
+    Timer idle;
+    bool got = false;
+    while (!got && state.pending.load(std::memory_order_acquire) != 0) {
+      for (int attempt = 0; attempt < state.num_workers && !got; ++attempt) {
+        int victim;
+        if (opts_.steal_policy == StealPolicy::kRandom) {
+          victim = static_cast<int>(xorshift(rng) %
+                                    static_cast<std::uint64_t>(state.num_workers));
+        } else {
+          victim = (worker + 1 + attempt) % state.num_workers;
+        }
+        if (victim == worker) {
+          // A task spawned between our failed pop and now lives in our own
+          // deque; take it the cheap way.
+          got = me.deque.pop(task);
+          continue;
+        }
+        if (state.workers[static_cast<std::size_t>(victim)]->deque.steal(task)) {
+          got = true;
+          ++me.steals;
+        } else {
+          ++me.failed_steals;
+        }
+      }
+      if (!got) std::this_thread::yield();
+    }
+    me.idle_seconds += idle.seconds();
+    if (!got) break;  // pending drained to zero while we were stealing
+    execute(task);
+  }
+}
+
+SchedulerStats WorkStealingScheduler::run(std::vector<Task> tasks) {
+  APGRE_ASSERT_MSG(active_ == nullptr, "WorkStealingScheduler::run is not reentrant");
+  TraceSpan span("sched/run");
+  Timer run_timer;
+
+  RunState state(workers_);
+  state.task_micros = &metrics().histogram("sched.task_micros");
+  active_ = &state;
+
+  // Distribute the initial tasks round-robin before any worker exists; the
+  // thread constructors below publish these single-threaded writes.
+  state.pending.store(tasks.size(), std::memory_order_relaxed);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    RunState::Worker& w = *state.workers[i % static_cast<std::size_t>(workers_)];
+    w.arena.push_back(std::move(tasks[i]));
+    w.deque.push(&w.arena.back());
+  }
+
+  if (workers_ == 1) {
+    worker_loop(state, 0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers_ - 1));
+    for (int w = 1; w < workers_; ++w) {
+      threads.emplace_back([this, &state, w] { worker_loop(state, w); });
+    }
+    worker_loop(state, 0);
+    for (std::thread& t : threads) t.join();
+  }
+  active_ = nullptr;
+
+  SchedulerStats stats;
+  stats.workers = workers_;
+  for (const auto& w : state.workers) {
+    stats.tasks += w->executed;
+    stats.steals += w->steals;
+    stats.failed_steals += w->failed_steals;
+    stats.idle_seconds += w->idle_seconds;
+  }
+  stats.run_seconds = run_timer.seconds();
+
+  MetricsRegistry& m = metrics();
+  m.counter("sched.runs").add(1);
+  m.counter("sched.tasks").add(stats.tasks);
+  m.counter("sched.steals").add(stats.steals);
+  m.counter("sched.failed_steals").add(stats.failed_steals);
+  m.gauge("sched.workers").set(static_cast<double>(stats.workers));
+  m.gauge("sched.idle_seconds").set(stats.idle_seconds);
+  m.gauge("sched.run_seconds").set(stats.run_seconds);
+
+  if (state.first_error) std::rethrow_exception(state.first_error);
+  return stats;
+}
+
+}  // namespace apgre

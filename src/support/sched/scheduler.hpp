@@ -1,0 +1,102 @@
+// Two-level work-stealing task scheduler.
+//
+// The paper's headline speedup needs *two-level* parallelism: coarse tasks
+// per (sub-graph, root-batch) pair plus fine parallelism inside the largest
+// sub-graphs. A flat `#pragma omp for` over sub-graphs serializes on skewed
+// decompositions (one giant biconnected component plus thousands of tiny
+// ones — the norm, per the paper's Figure 2). This scheduler fixes the skew:
+// every worker owns a Chase-Lev deque (sched/chase_lev.hpp); initial tasks
+// are distributed round-robin; an idle worker steals the oldest task from a
+// victim chosen by `steal_policy`. Tasks may spawn subtasks onto their
+// worker's own deque, which thieves then relieve.
+//
+// Workers are plain std::threads (not an OpenMP team): task bodies must not
+// open OpenMP parallel regions — the caller runs level-synchronous OpenMP
+// kernels *before* run(), on sub-graphs too coarse to split (see
+// bc/apgre.cpp). With one worker, run() executes inline on the calling
+// thread: no threads, no steals, no atomic churn beyond the deque itself.
+//
+// Observability: every run() reports into the metrics registry
+// (`sched.tasks`, `sched.steals`, `sched.failed_steals`, task-latency
+// histogram `sched.task_micros`, gauges `sched.idle_seconds` /
+// `sched.run_seconds` / `sched.workers`) and opens a `sched/run` trace
+// span; the returned SchedulerStats carries the same numbers for the
+// caller's own stats structs. docs/OBSERVABILITY.md documents the names.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace apgre {
+
+/// Victim selection for idle workers.
+enum class StealPolicy {
+  kRandom,      ///< uniformly random victim per attempt (classic Cilk)
+  kSequential,  ///< round-robin sweep starting after the thief's own id
+};
+
+/// Parse / print steal-policy names ("random", "sequential").
+StealPolicy steal_policy_from_name(const std::string& name);
+std::string steal_policy_name(StealPolicy policy);
+
+struct SchedulerOptions {
+  /// Route APGRE's per-sub-graph work through the scheduler (the flat
+  /// OpenMP loop remains available with enabled = false).
+  bool enabled = true;
+  /// Worker count; 0 uses the OpenMP thread budget (support/parallel.hpp),
+  /// so BcOptions::threads caps the scheduler too.
+  int threads = 0;
+  /// Roots per fine-grained (sub-graph, root-batch) task when a large
+  /// sub-graph is split; 0 picks roots / (4 * workers), at least 1.
+  int grain = 0;
+  StealPolicy steal_policy = StealPolicy::kRandom;
+  /// Choose the per-sub-graph kernel adaptively (bc/apgre.cpp): large
+  /// sub-graphs with too few roots to split run the level-synchronous
+  /// OpenMP kernel whole; everything else becomes scheduler tasks running
+  /// the serial kernel. When false, every sub-graph is task-scheduled.
+  bool adaptive_kernel = true;
+};
+
+/// One run()'s outcome (also mirrored into the metrics registry).
+struct SchedulerStats {
+  std::uint64_t tasks = 0;          ///< tasks executed (initial + spawned)
+  std::uint64_t steals = 0;         ///< successful steals
+  std::uint64_t failed_steals = 0;  ///< steal attempts that found nothing
+  double idle_seconds = 0.0;        ///< time spent stealing/waiting, summed
+  double run_seconds = 0.0;         ///< wall time of the run() call
+  int workers = 0;
+};
+
+class WorkStealingScheduler {
+ public:
+  /// A task; receives the executing worker's id [0, num_workers()) so task
+  /// bodies can index per-worker buffers race-free.
+  using Task = std::function<void(int)>;
+
+  explicit WorkStealingScheduler(const SchedulerOptions& opts = {});
+
+  int num_workers() const { return workers_; }
+  const SchedulerOptions& options() const { return opts_; }
+
+  /// Execute every task (and everything they spawn) to completion and
+  /// return the run's stats. The calling thread participates as worker 0.
+  /// The first exception thrown by a task is rethrown here after all
+  /// remaining tasks have drained. Not reentrant: one run() at a time.
+  SchedulerStats run(std::vector<Task> tasks);
+
+  /// Push a subtask onto `worker`'s own deque. Only valid from inside a
+  /// task currently executing on that worker.
+  void spawn(int worker, Task task);
+
+ private:
+  struct RunState;
+  void worker_loop(RunState& state, int worker);
+
+  SchedulerOptions opts_;
+  int workers_ = 1;
+  RunState* active_ = nullptr;
+};
+
+}  // namespace apgre

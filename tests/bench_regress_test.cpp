@@ -94,8 +94,15 @@ TEST_F(BenchRegressTest, ReportMatchesSchema) {
 
   const auto& results = report.at("results").as_array();
   ASSERT_FALSE(results.empty());
+  bool saw_skewed = false;
   for (const JsonValue& result : results) {
-    EXPECT_NE(result.at("graph").as_string().find("corpus/"), std::string::npos);
+    // --graphs corpus, plus the skewed scheduler-stress workload that
+    // rides along in every set.
+    const std::string graph = result.at("graph").as_string();
+    if (graph == "workload/skewed*") saw_skewed = true;
+    EXPECT_TRUE(graph.find("corpus/") != std::string::npos ||
+                graph == "workload/skewed*")
+        << graph;
     EXPECT_GT(result.at("vertices").as_double(), 0.0);
     const auto& algorithms = result.at("algorithms").as_object();
     ASSERT_EQ(algorithms.size(), 2u);
@@ -112,6 +119,7 @@ TEST_F(BenchRegressTest, ReportMatchesSchema) {
       EXPECT_TRUE(stats.at("metrics").contains(prefix + "traversed_arcs"));
     }
   }
+  EXPECT_TRUE(saw_skewed) << "skewed scheduler workload missing from report";
 }
 
 TEST_F(BenchRegressTest, SelfBaselineComparesClean) {

@@ -143,6 +143,31 @@ TEST_F(CliTest, MissingInputFileFails) {
   EXPECT_NE(r.output.find("cannot open"), std::string::npos);
 }
 
+TEST_F(CliTest, InvalidOptionsExitThree) {
+  // Parses fine, rejected by validate_options: the Status exit code (3),
+  // distinct from usage errors (2) and runtime failures (1).
+  const CommandResult r = run_cli("--grain -1 " + snap_path_);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("invalid options"), std::string::npos);
+}
+
+TEST_F(CliTest, BadStealPolicyFails) {
+  const CommandResult r = run_cli("--steal-policy bogus " + snap_path_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("steal policy"), std::string::npos);
+}
+
+TEST_F(CliTest, SchedulerFlagsRoundTrip) {
+  const CommandResult on = run_cli(
+      "--grain 2 --steal-policy sequential --top 1 " + snap_path_);
+  EXPECT_EQ(on.exit_code, 0);
+  EXPECT_NE(on.output.find("scheduler:"), std::string::npos);
+
+  const CommandResult off = run_cli("--scheduler=false --top 1 " + snap_path_);
+  EXPECT_EQ(off.exit_code, 0);
+  EXPECT_EQ(off.output.find("scheduler:"), std::string::npos);
+}
+
 TEST_F(CliTest, SamplingMode) {
   const CommandResult r =
       run_cli("--algorithm sampling --samples 10 --seed 3 --top 3 " + snap_path_);

@@ -116,5 +116,51 @@ TEST(ParallelStressTest, ApgreMatchesSerialUnderForcedConcurrency) {
   }
 }
 
+// Work-stealing scheduler stress: a skewed decomposition (one dominant
+// biconnected core plus many tiny satellite blocks, chains and pendants)
+// scored through the two-level scheduler under every combination of
+// worker count, grain and steal policy. TSan sees the Chase-Lev deque,
+// the per-worker buffer merge and the spawn path under real contention.
+TEST(ParallelStressTest, SchedulerMatchesSerialOnSkewedDecomposition) {
+  CsrGraph g = barabasi_albert(300, 4, 41);
+  g = attach_communities(g, 60, 6, 42);
+  g = attach_chains(g, 30, 3, 43);
+  g = attach_pendants(g, 200, 44);
+
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  const std::vector<double> expected = betweenness(g, serial).scores;
+
+  for (int threads : thread_counts()) {
+    for (int grain : {0, 1, 8}) {
+      for (StealPolicy policy :
+           {StealPolicy::kRandom, StealPolicy::kSequential}) {
+        BcOptions opts;
+        opts.algorithm = Algorithm::kApgre;
+        opts.threads = threads;
+        opts.scheduler.enabled = true;
+        opts.scheduler.threads = threads;
+        opts.scheduler.grain = grain;
+        opts.scheduler.steal_policy = policy;
+        // Force everything through the task path so the deques see the
+        // giant core too, not just the satellite tail.
+        opts.scheduler.adaptive_kernel = (grain != 1);
+        const std::string tag = "skewed grain " + std::to_string(grain) +
+                                " policy " + steal_policy_name(policy);
+        for (int rep = 0; rep < kRepetitions; ++rep) {
+          const BcResult r = betweenness(g, opts);
+          ASSERT_TRUE(r.status.ok()) << tag;
+          const ScoreComparison cmp = compare_scores(expected, r.scores);
+          EXPECT_TRUE(cmp.ok)
+              << tag << " threads " << threads << " rep " << rep
+              << ": worst vertex " << cmp.worst_vertex << " expected "
+              << cmp.expected_score << " got " << cmp.actual_score;
+          if (!cmp.ok) return;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace apgre

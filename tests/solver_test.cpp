@@ -1,0 +1,201 @@
+// Session-style Solver, the algorithm registry, and the Status-based
+// options validation (bc/bc.hpp): decomposition reuse across solve() calls,
+// byte-identical scores vs the one-shot entry point, registry round-trips,
+// and the no-throw invalid-options contract.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bc/bc.hpp"
+#include "check/corpus.hpp"
+#include "check/oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "support/metrics.hpp"
+
+namespace apgre {
+namespace {
+
+CsrGraph skewed_graph() {
+  CsrGraph g = barabasi_albert(120, 3, 7);
+  g = attach_communities(g, 12, 6, 8);
+  return attach_pendants(g, 40, 9);
+}
+
+std::uint64_t decompositions() {
+  return metrics().counter("bcc.decompositions").value();
+}
+
+TEST(Solver, ScoresMatchOneShotBetweennessExactly) {
+  const CsrGraph g = skewed_graph();
+  Solver solver(g);
+  const BcResult session = solver.solve();
+  const BcResult oneshot = betweenness(g);
+  ASSERT_TRUE(session.status.ok());
+  ASSERT_TRUE(oneshot.status.ok());
+  // Same code path, same accumulation order: bitwise equality, not
+  // tolerance comparison.
+  EXPECT_EQ(session.scores, oneshot.scores);
+}
+
+TEST(Solver, ReusesDecompositionAcrossSolves) {
+  const CsrGraph g = skewed_graph();
+  Solver solver(g);
+  EXPECT_EQ(solver.decomposition(), nullptr);
+
+  const std::uint64_t before = decompositions();
+  const BcResult first = solver.solve();
+  const Decomposition* dec = solver.decomposition();
+  ASSERT_NE(dec, nullptr);
+  EXPECT_EQ(decompositions(), before + 1);
+  EXPECT_GT(first.apgre_stats.partition_seconds, 0.0);
+
+  const BcResult second = solver.solve();
+  EXPECT_EQ(decompositions(), before + 1) << "cache hit must not re-decompose";
+  EXPECT_EQ(solver.decomposition(), dec) << "cached decomposition is stable";
+  // The cache hit reports zero decomposition/reach time by contract.
+  EXPECT_EQ(second.apgre_stats.partition_seconds, 0.0);
+  EXPECT_EQ(second.apgre_stats.reach_seconds, 0.0);
+  EXPECT_EQ(first.scores, second.scores);
+}
+
+TEST(Solver, ScoringOnlyKnobsKeepTheCache) {
+  const CsrGraph g = skewed_graph();
+  Solver solver(g);
+  solver.solve();
+  const std::uint64_t after_first = decompositions();
+
+  BcOptions tuned;
+  tuned.scheduler.grain = 4;
+  tuned.scheduler.steal_policy = StealPolicy::kSequential;
+  tuned.apgre.hybrid_inner = true;
+  const BcResult r = solver.solve(tuned);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(decompositions(), after_first);
+}
+
+TEST(Solver, ChangedPartitionOptionsRedecompose) {
+  const CsrGraph g = skewed_graph();
+  Solver solver(g);
+  solver.solve();
+  const std::uint64_t after_first = decompositions();
+
+  BcOptions no_pendants;
+  no_pendants.apgre.partition.total_redundancy = false;
+  const BcResult r = solver.solve(no_pendants);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(decompositions(), after_first + 1);
+  EXPECT_EQ(r.apgre_stats.num_pendants_removed, 0u);
+
+  // Scores stay correct after the re-decomposition.
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  const ScoreComparison cmp =
+      compare_scores(betweenness(g, serial).scores, r.scores);
+  EXPECT_TRUE(cmp.ok) << "worst vertex " << cmp.worst_vertex;
+}
+
+TEST(Solver, NonApgreAlgorithmsPassThrough) {
+  const CsrGraph g = skewed_graph();
+  Solver solver(g);
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  const BcResult r = solver.solve(serial);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(solver.decomposition(), nullptr);
+  EXPECT_EQ(r.scores, betweenness(g, serial).scores);
+}
+
+TEST(Solver, SchedulerAndFlatPathsAgree) {
+  for (const CorpusCase& c : graph_corpus(/*seed=*/3, /*tiny=*/true)) {
+    Solver solver(c.graph);
+    BcOptions scheduled;  // default: scheduler enabled
+    BcOptions flat;
+    flat.scheduler.enabled = false;
+    const BcResult a = solver.solve(scheduled);
+    const BcResult b = solver.solve(flat);
+    ASSERT_TRUE(a.status.ok());
+    ASSERT_TRUE(b.status.ok());
+    const ScoreComparison cmp = compare_scores(b.scores, a.scores);
+    EXPECT_TRUE(cmp.ok) << c.name << ": worst vertex " << cmp.worst_vertex
+                        << " flat " << cmp.expected_score << " scheduled "
+                        << cmp.actual_score;
+  }
+}
+
+TEST(Registry, RoundTripsEveryAlgorithm) {
+  EXPECT_EQ(algorithm_registry().size(), 10u);
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    EXPECT_EQ(algorithm_from_name(info.name), info.algorithm);
+    EXPECT_EQ(algorithm_name(info.algorithm), info.name);
+    if (info.alias != nullptr) {
+      EXPECT_EQ(algorithm_from_name(info.alias), info.algorithm);
+    }
+    EXPECT_NE(info.kernel, nullptr);
+    EXPECT_EQ(&algorithm_info(info.algorithm), &info);
+  }
+}
+
+TEST(Registry, CapabilityFlagsMatchTheFamily) {
+  EXPECT_TRUE(algorithm_info(Algorithm::kNaive).test_only);
+  EXPECT_FALSE(algorithm_info(Algorithm::kNaive).comparison);
+  EXPECT_TRUE(algorithm_info(Algorithm::kApgre).exact);
+  EXPECT_TRUE(algorithm_info(Algorithm::kApgre).comparison);
+  EXPECT_FALSE(algorithm_info(Algorithm::kSampling).exact);
+  // The paper's Tables 2/3 compare exactly seven algorithms.
+  int comparison = 0;
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    if (info.comparison) ++comparison;
+    if (info.comparison) EXPECT_TRUE(info.exact) << info.name;
+  }
+  EXPECT_EQ(comparison, 7);
+}
+
+TEST(Registry, RejectsValuesOutsideTheTable) {
+  EXPECT_THROW(algorithm_info(static_cast<Algorithm>(999)), OptionError);
+  EXPECT_THROW(algorithm_from_name("bogus"), OptionError);
+}
+
+TEST(ValidateOptions, AcceptsDefaults) {
+  EXPECT_TRUE(validate_options(BcOptions{}).ok());
+}
+
+TEST(ValidateOptions, RejectsBadValuesWithoutThrowing) {
+  const CsrGraph g = cycle(8);
+
+  BcOptions bad_threads;
+  bad_threads.threads = -2;
+  EXPECT_EQ(validate_options(bad_threads).code, StatusCode::kInvalidOption);
+
+  BcOptions bad_fraction;
+  bad_fraction.apgre.fine_grain_fraction = 1.5;
+  EXPECT_EQ(validate_options(bad_fraction).code, StatusCode::kInvalidOption);
+
+  BcOptions bad_grain;
+  bad_grain.scheduler.grain = -1;
+  EXPECT_EQ(validate_options(bad_grain).code, StatusCode::kInvalidOption);
+
+  BcOptions bad_sched_threads;
+  bad_sched_threads.scheduler.threads = -4;
+  EXPECT_EQ(validate_options(bad_sched_threads).code,
+            StatusCode::kInvalidOption);
+
+  BcOptions bad_algorithm;
+  bad_algorithm.algorithm = static_cast<Algorithm>(999);
+  EXPECT_EQ(validate_options(bad_algorithm).code, StatusCode::kInvalidOption);
+
+  // betweenness / Solver::solve report the same Status instead of throwing.
+  const BcResult direct = betweenness(g, bad_grain);
+  EXPECT_EQ(direct.status.code, StatusCode::kInvalidOption);
+  EXPECT_FALSE(direct.status.message.empty());
+  EXPECT_TRUE(direct.scores.empty());
+
+  Solver solver(g);
+  const BcResult via_solver = solver.solve(bad_algorithm);
+  EXPECT_EQ(via_solver.status.code, StatusCode::kInvalidOption);
+  EXPECT_EQ(solver.decomposition(), nullptr)
+      << "rejected options must not touch the cache";
+}
+
+}  // namespace
+}  // namespace apgre

@@ -3,11 +3,16 @@
 //   apgre_cli --format snap --algorithm apgre --top 20 graph.txt
 //   apgre_cli --format dimacs --weighted --top 10 usa-road.gr
 //   apgre_cli --format snap --directed --algorithm succs --output scores.csv g.txt
+//   apgre_cli --grain 8 --steal-policy sequential graph.txt
 //
 // Formats: snap (edge list), dimacs (.gr), metis. Algorithms: every member
-// of the family (apgre, serial, preds, succs, lockfree, coarse/async,
-// hybrid, sampling) plus `edges` for edge betweenness. With --weighted
-// (dimacs only) the weighted Dijkstra-based algorithms run instead.
+// of the registry (bc/bc.hpp; the --algorithm help text is generated from
+// it) plus `edges` for edge betweenness. With --weighted (dimacs only) the
+// weighted Dijkstra-based algorithms run instead.
+//
+// Exit codes: 0 success, 1 runtime failure (unreadable input, internal
+// error), 2 usage error (unknown flags / names), 3 options rejected by
+// validate_options (reported through BcResult::status).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -39,6 +44,21 @@ void print_top(const std::vector<double>& scores, std::int64_t top) {
   }
 }
 
+/// "--algorithm" help text straight from the registry: "apgre | serial |
+/// ... | sampling | edges" plus aliases.
+std::string algorithm_help() {
+  std::string help;
+  for (const AlgorithmInfo& info : algorithm_registry()) {
+    if (!help.empty()) help += " | ";
+    help += info.name;
+    if (info.alias != nullptr) {
+      help += "/";
+      help += info.alias;
+    }
+  }
+  return help + " | edges";
+}
+
 void write_csv(const std::string& path, const std::vector<double>& scores) {
   std::ofstream out(path);
   APGRE_REQUIRE(out.good(), "cannot open " + path + " for writing");
@@ -58,9 +78,7 @@ int main(int argc, char** argv) {
       "redundancy elimination (PPoPP'16) and baselines.\n"
       "usage: apgre_cli [flags] <graph file>");
   flags.add_string("format", "snap", "input format: snap | dimacs | metis")
-      .add_string("algorithm", "apgre",
-                  "apgre | serial | preds | succs | lockfree | coarse | "
-                  "hybrid | sampling | edges")
+      .add_string("algorithm", "apgre", algorithm_help())
       .add_bool("directed", false, "treat the input as directed")
       .add_bool("weighted", false,
                 "use arc weights (dimacs format only; Dijkstra-based)")
@@ -70,6 +88,17 @@ int main(int argc, char** argv) {
       .add_int("seed", 1, "sampling seed")
       .add_bool("halve-undirected", false,
                 "report conventional undirected scores (each pair once)")
+      .add_bool("scheduler", true,
+                "apgre: score on the work-stealing scheduler "
+                "(--scheduler=false restores the flat loop)")
+      .add_int("grain", 0,
+               "apgre scheduler: roots per task when splitting a large "
+               "sub-graph (0 = auto)")
+      .add_string("steal-policy", "random",
+                  "apgre scheduler victim selection: random | sequential")
+      .add_bool("adaptive-kernel", true,
+                "apgre scheduler: pick the per-sub-graph kernel from "
+                "size/root heuristics")
       .add_string("output", "", "also write all scores to this CSV file");
 
   std::vector<std::string> positional;
@@ -150,8 +179,17 @@ int main(int argc, char** argv) {
     opts.undirected_halving = flags.get_bool("halve-undirected");
     opts.num_samples = static_cast<Vertex>(flags.get_int("samples"));
     opts.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    opts.scheduler.enabled = flags.get_bool("scheduler");
+    opts.scheduler.grain = static_cast<int>(flags.get_int("grain"));
+    opts.scheduler.steal_policy =
+        steal_policy_from_name(flags.get_string("steal-policy"));
+    opts.scheduler.adaptive_kernel = flags.get_bool("adaptive-kernel");
 
     const BcResult result = betweenness(g, opts);
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "invalid options: %s\n", result.status.message.c_str());
+      return 3;
+    }
     std::printf("%s finished in %.3f s (%.1f MTEPS)\n", algorithm.c_str(),
                 result.seconds, result.mteps);
     if (opts.algorithm == Algorithm::kApgre) {
@@ -162,6 +200,16 @@ int main(int argc, char** argv) {
                   result.apgre_stats.num_pendants_removed,
                   100.0 * result.apgre_stats.partial_redundancy,
                   100.0 * result.apgre_stats.total_redundancy);
+      if (opts.scheduler.enabled) {
+        std::printf("scheduler: %llu tasks (%zu fine / %zu batch / %zu whole), "
+                    "%llu steals, %.3f s idle\n",
+                    static_cast<unsigned long long>(result.apgre_stats.sched_tasks),
+                    result.apgre_stats.num_fine_subgraphs,
+                    result.apgre_stats.num_batch_tasks,
+                    result.apgre_stats.num_subgraph_tasks,
+                    static_cast<unsigned long long>(result.apgre_stats.sched_steals),
+                    result.apgre_stats.sched_idle_seconds);
+      }
     }
     std::printf("\n");
     print_top(result.scores, flags.get_int("top"));

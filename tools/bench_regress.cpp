@@ -40,12 +40,42 @@ using namespace apgre;
 
 constexpr std::int64_t kSchemaVersion = 1;
 
-std::vector<Algorithm> parse_algo_set(const std::string& spec) {
-  std::vector<Algorithm> set;
+/// One measured column of the report: a label plus the options that
+/// produce it. Labels are registry names, except `apgre_flat` — APGRE
+/// with the work-stealing scheduler disabled, kept in the default set so
+/// every report records the flat-vs-scheduled comparison.
+struct MeasureSpec {
+  std::string label;
+  BcOptions opts;
+};
+
+std::vector<MeasureSpec> parse_algo_set(const std::string& spec) {
+  std::vector<MeasureSpec> set;
+  auto add = [&set](const std::string& name) {
+    MeasureSpec m;
+    m.label = name;
+    if (name == "apgre_flat") {
+      m.opts.algorithm = Algorithm::kApgre;
+      m.opts.scheduler.enabled = false;
+    } else {
+      m.opts.algorithm = algorithm_from_name(name);
+    }
+    set.push_back(std::move(m));
+  };
   std::stringstream ss(spec);
   std::string name;
   while (std::getline(ss, name, ',')) {
-    if (!name.empty()) set.push_back(algorithm_from_name(name));
+    if (name.empty()) continue;
+    if (name == "exact") {
+      // Registry-derived default: every exact non-oracle algorithm, plus
+      // the flat-loop APGRE variant.
+      for (const AlgorithmInfo& info : algorithm_registry()) {
+        if (info.exact && !info.test_only) add(info.name);
+      }
+      add("apgre_flat");
+    } else {
+      add(name);
+    }
   }
   APGRE_REQUIRE(!set.empty(), "--algo-set selected no algorithms");
   return set;
@@ -71,6 +101,10 @@ std::vector<BenchGraph> build_graph_list(const std::string& graphs,
       list.push_back({"workload/" + w.id, w.build()});
     }
   }
+  // The scheduler's skewed-decomposition stress graph rides along in every
+  // set, so the flat-vs-scheduled comparison is recorded per report.
+  const bench::Workload skew = bench::skewed_workload(scale);
+  list.push_back({"workload/" + skew.id, skew.build()});
   return list;
 }
 
@@ -109,10 +143,9 @@ JsonValue snapshot_metrics() {
   return JsonValue(std::move(out));
 }
 
-JsonValue measure(const BenchGraph& bg, Algorithm algorithm, int repeat,
+JsonValue measure(const BenchGraph& bg, const MeasureSpec& spec, int repeat,
                   int warmup, int threads) {
-  BcOptions opts;
-  opts.algorithm = algorithm;
+  BcOptions opts = spec.opts;
   opts.threads = threads;
   for (int i = 0; i < warmup; ++i) betweenness(bg.graph, opts);
   metrics().reset();
@@ -123,6 +156,7 @@ JsonValue measure(const BenchGraph& bg, Algorithm algorithm, int repeat,
   seconds.reserve(static_cast<std::size_t>(repeat));
   for (int i = 0; i < repeat; ++i) {
     const BcResult r = betweenness(bg.graph, opts);
+    APGRE_REQUIRE(r.status.ok(), spec.label + ": " + r.status.message);
     seconds.push_back(r.seconds);
     mteps.push_back(r.mteps);
   }
@@ -213,9 +247,10 @@ int main(int argc, char** argv) {
       "Table-1 workload analogues.\nusage: bench_regress [flags]");
   flags.add_int("repeat", 5, "timed repetitions per (graph, algorithm)")
       .add_int("warmup", 1, "untimed warmup runs per (graph, algorithm)")
-      .add_string("algo-set",
-                  "serial,preds,succs,lockfree,coarse,hybrid,apgre,algebraic",
-                  "comma list of algorithms to measure")
+      .add_string("algo-set", "exact",
+                  "comma list of algorithm names, `exact` (every exact "
+                  "non-oracle registry entry + apgre_flat), or `apgre_flat` "
+                  "(apgre with the scheduler disabled)")
       .add_string("graphs", "corpus", "graph set: corpus, workloads or both")
       .add_double("scale", 0.25, "workload linear-scale factor")
       .add_int("seed", 1, "corpus seed")
@@ -228,7 +263,7 @@ int main(int argc, char** argv) {
                   "absolute slowdown (seconds) a regression must also exceed")
       .add_string("revision", "unknown", "revision label stored in the report");
 
-  std::vector<Algorithm> algo_set;
+  std::vector<MeasureSpec> algo_set;
   std::vector<BenchGraph> graph_list;
   try {
     const auto positional = flags.parse(argc, argv);
@@ -257,9 +292,8 @@ int main(int argc, char** argv) {
   JsonValue::Array results;
   for (const BenchGraph& bg : graph_list) {
     JsonValue::Object algorithms;
-    for (Algorithm algorithm : algo_set) {
-      algorithms[algorithm_name(algorithm)] =
-          measure(bg, algorithm, repeat, warmup, threads);
+    for (const MeasureSpec& spec : algo_set) {
+      algorithms[spec.label] = measure(bg, spec, repeat, warmup, threads);
     }
     JsonValue::Object entry;
     entry["graph"] = JsonValue(bg.name);
