@@ -222,6 +222,54 @@ BcResult Solver::solve(const BcOptions& opts) {
   return result;
 }
 
+void Solver::rebind(const CsrGraph& g) {
+  g_ = &g;
+  dec_.reset();
+  dec_key_ = PartitionOptions{};
+}
+
+void Solver::rebind_local_insert(const CsrGraph& g, Vertex u, Vertex v) {
+  if (dec_ == nullptr) {
+    rebind(g);
+    return;
+  }
+  APGRE_ASSERT(!g.directed() && g.num_vertices() == dec_->num_vertices);
+  g_ = &g;
+
+  // A non-articulation vertex lives in exactly one sub-graph; find u's and
+  // patch only that sub-graph's induced arc set. The decomposition counters
+  // and every reach count survive (see the header contract).
+  for (std::size_t sgi = 0; sgi < dec_->subgraphs.size(); ++sgi) {
+    Subgraph& sg = dec_->subgraphs[sgi];
+    Vertex lu = kInvalidVertex;
+    Vertex lv = kInvalidVertex;
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      if (sg.to_global[local] == u) lu = local;
+      if (sg.to_global[local] == v) lv = local;
+    }
+    if (lu == kInvalidVertex) continue;
+    APGRE_ASSERT(lv != kInvalidVertex);
+    EdgeList arcs(sg.graph.arcs());
+    arcs.push_back(Edge{lu, lv});
+    arcs.push_back(Edge{lv, lu});
+    sg.graph = CsrGraph::from_edges(sg.num_vertices(), std::move(arcs),
+                                    /*directed=*/false);
+    // The chord may promote this sub-graph to top (same tie-break as
+    // decompose(): arcs, then vertices).
+    const Subgraph& best = dec_->subgraphs[dec_->top_subgraph];
+    if (sg.num_arcs() > best.num_arcs() ||
+        (sg.num_arcs() == best.num_arcs() &&
+         sg.num_vertices() > best.num_vertices())) {
+      dec_->top_subgraph = sgi;
+    }
+    metrics().counter("bc.solver.local_rebinds").add();
+    return;
+  }
+  // u in no sub-graph (isolated before the insert) contradicts the kLocal
+  // precondition; re-decompose rather than score a stale cache.
+  rebind(g);
+}
+
 BcResult betweenness(const CsrGraph& g, const BcOptions& opts) {
   Solver solver(g);
   return solver.solve(opts);

@@ -146,6 +146,25 @@ class Solver {
   /// The pointer is stable across cache-hit solves (tests key on this).
   const Decomposition* decomposition() const { return dec_.get(); }
 
+  /// Point the session at a different graph snapshot (the service layer
+  /// calls this after a structural dynamic update). Drops the cached
+  /// decomposition: the next APGRE solve re-decomposes. `g` must outlive
+  /// the Solver, like the constructor argument.
+  void rebind(const CsrGraph& g);
+
+  /// Rebind to `g`, which must equal the previous graph plus exactly one
+  /// undirected edge {u, v} (global ids) classified kLocal by
+  /// BlockCutQueries::classify_update on the previous graph — an insert
+  /// strictly inside one biconnected component between two
+  /// non-articulation vertices, symmetric graphs only. Such a chord leaves
+  /// the block-cut tree, every other sub-graph, and all alpha/beta/gamma
+  /// reach counts unchanged, so the cached decomposition is patched in
+  /// place (only the affected sub-graph's induced arcs are rebuilt) and
+  /// the next solve skips re-decomposition. Falls back to rebind() when
+  /// nothing is cached. Violating the precondition silently corrupts
+  /// later APGRE scores — callers must classify first.
+  void rebind_local_insert(const CsrGraph& g, Vertex u, Vertex v);
+
  private:
   const CsrGraph* g_;
   std::unique_ptr<Decomposition> dec_;

@@ -106,6 +106,25 @@ bool BlockCutQueries::same_block(Vertex u, Vertex v) const {
   return std::binary_search(blocks.begin(), blocks.end(), block);
 }
 
+UpdateLocality BlockCutQueries::classify_update(Vertex u, Vertex v,
+                                               bool inserting) const {
+  APGRE_ASSERT(u < tree_.ap_index.size() && v < tree_.ap_index.size());
+  // Removals are always structural: deleting any cycle edge can split its
+  // block (C4 minus an edge is a path with two fresh articulation points).
+  if (!inserting) return UpdateLocality::kStructural;
+  if (u == v) return UpdateLocality::kStructural;
+  // An endpoint that is an articulation point may stop being one once the
+  // new edge adds a bypass, which merges blocks.
+  if (tree_.ap_index[u] != kInvalidVertex ||
+      tree_.ap_index[v] != kInvalidVertex) {
+    return UpdateLocality::kStructural;
+  }
+  // Two non-AP vertices inside one biconnected component: the inserted
+  // edge is a chord, every block and every articulation point survives.
+  return same_block(u, v) ? UpdateLocality::kLocal
+                          : UpdateLocality::kStructural;
+}
+
 bool BlockCutQueries::connected(Vertex u, Vertex v) const {
   if (u == v) return true;
   const Vertex nu = node_of(u);

@@ -12,11 +12,33 @@
 
 namespace apgre {
 
+/// How a single edge update relates to the block-cut tree (the service
+/// layer's invalidation decision, docs/API.md "Serving requests").
+enum class UpdateLocality {
+  /// The block-cut tree provably survives the update: an insertion whose
+  /// endpoints already share a biconnected component and neither of which
+  /// is an articulation point cannot create, destroy or merge blocks, so a
+  /// cached decomposition stays structurally valid (only the affected
+  /// block's induced arcs change).
+  kLocal,
+  /// Anything else — the update touches an articulation point, bridges two
+  /// biconnected components, or is a removal (deleting an edge can split
+  /// its block, e.g. any cycle edge) — so the tree must be recomputed.
+  kStructural,
+};
+
 /// Prebuilt query structure; O(|V|+|E|) construction, O(tree depth) per
 /// separation query, O(log deg) per same-block query.
 class BlockCutQueries {
  public:
   explicit BlockCutQueries(const CsrGraph& g);
+
+  /// Classify the update "insert (inserting = true) or remove the edge
+  /// (u, v)" against the tree this structure was built from. The verdict is
+  /// purely structural (undirected projection); callers that reuse a cached
+  /// *decomposition* must additionally require a symmetric graph, because
+  /// a directed intra-block arc can still change reachability counts.
+  UpdateLocality classify_update(Vertex u, Vertex v, bool inserting) const;
 
   /// True iff u and v share a biconnected component (equivalently: at
   /// least two vertex-disjoint paths join them, or they share an edge).

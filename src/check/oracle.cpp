@@ -1,8 +1,12 @@
 #include "check/oracle.hpp"
 
 #include <cmath>
+#include <random>
 #include <sstream>
+#include <unordered_set>
+#include <utility>
 
+#include "bc/dynamic.hpp"
 #include "bc/weighted.hpp"
 #include "support/error.hpp"
 
@@ -121,6 +125,87 @@ OracleReport weighted_differential_check(const WeightedCsrGraph& g,
   }
   return build_report(Algorithm::kBrandesSerial, reference_scores, runs,
                       opts.rel_tolerance, opts.abs_tolerance);
+}
+
+OracleReport dynamic_differential_check(const CsrGraph& g,
+                                        const std::vector<DynamicStep>& steps,
+                                        const OracleOptions& opts) {
+  OracleReport report;
+  report.reference = opts.reference;
+
+  DynamicBc dynamic(g);
+  BcOptions run;
+  run.threads = opts.threads;
+  run.algorithm = opts.reference;
+  for (const DynamicStep& step : steps) {
+    step.inserting ? dynamic.insert_edge(step.u, step.v)
+                   : dynamic.remove_edge(step.u, step.v);
+    // The reference changes per step: recompute from scratch on the
+    // mutated graph, so every incremental subtraction/re-addition since
+    // the start is checked, not just the last one.
+    const std::vector<double> expected =
+        betweenness(dynamic.graph(), run).scores;
+    AlgorithmDivergence d{Algorithm::kApgre,
+                          compare_scores(expected, dynamic.scores(),
+                                         opts.rel_tolerance,
+                                         opts.abs_tolerance)};
+    report.ok = report.ok && d.comparison.ok;
+    report.max_divergence =
+        std::max(report.max_divergence, d.comparison.max_divergence);
+    report.algorithms.push_back(std::move(d));
+  }
+  return report;
+}
+
+std::vector<DynamicStep> random_dynamic_steps(const CsrGraph& g,
+                                              std::size_t count,
+                                              std::uint64_t seed) {
+  std::vector<DynamicStep> steps;
+  const Vertex n = g.num_vertices();
+  if (n < 2) return steps;
+
+  // Edge bookkeeping: unordered pairs for undirected graphs (DynamicBc
+  // mutates both arcs at once), ordered for directed ones.
+  auto key = [&](Vertex u, Vertex v) {
+    if (!g.directed() && u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+  std::unordered_set<std::uint64_t> present;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (const Edge& e : g.arcs()) {
+    if (!g.directed() && e.src > e.dst) continue;
+    present.insert(key(e.src, e.dst));
+    edges.emplace_back(e.src, e.dst);
+  }
+
+  std::mt19937_64 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    bool done = false;
+    if (edges.empty() || (rng() & 1) != 0) {
+      // Insert a currently-absent non-loop edge; give up after a few draws
+      // on near-complete graphs and fall through to a removal.
+      for (int attempt = 0; attempt < 64 && !done; ++attempt) {
+        const auto u = static_cast<Vertex>(rng() % n);
+        const auto v = static_cast<Vertex>(rng() % n);
+        if (u == v || present.count(key(u, v)) != 0) continue;
+        steps.push_back({u, v, true});
+        present.insert(key(u, v));
+        edges.emplace_back(u, v);
+        done = true;
+      }
+    }
+    if (!done && !edges.empty()) {
+      const std::size_t idx = rng() % edges.size();
+      const auto [u, v] = edges[idx];
+      steps.push_back({u, v, false});
+      present.erase(key(u, v));
+      edges[idx] = edges.back();
+      edges.pop_back();
+      done = true;
+    }
+    if (!done) break;  // neither insertable nor removable: K1/K0 leftovers
+  }
+  return steps;
 }
 
 }  // namespace apgre

@@ -80,4 +80,31 @@ OracleReport differential_check(const CsrGraph& g, const OracleOptions& opts = {
 OracleReport weighted_differential_check(const WeightedCsrGraph& g,
                                          const OracleOptions& opts = {});
 
+/// One edge mutation of a dynamic differential run.
+struct DynamicStep {
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  bool inserting = true;
+};
+
+/// Dynamic family: starting from `g`, apply `steps` through DynamicBc and,
+/// after every mutation, diff its incrementally maintained scores against
+/// the static reference recomputed from scratch on the mutated graph. Each
+/// step appears in the report as one AlgorithmDivergence under the kApgre
+/// label (steps[i] -> report.algorithms[i]), so summary() still blames the
+/// first divergent vertex. Steps must be valid updates (no duplicate
+/// inserts, no removals of absent edges, no self-loops) — invalid steps
+/// throw Error, same as DynamicBc itself.
+OracleReport dynamic_differential_check(const CsrGraph& g,
+                                        const std::vector<DynamicStep>& steps,
+                                        const OracleOptions& opts = {});
+
+/// Generate `count` valid random mutations for `g` (mixed inserts and
+/// removals, deterministic in `seed`), reusable as dynamic_differential_check
+/// input. Inserts pick currently-absent non-loop edges, removals pick
+/// present ones; steps compound (a removed edge may be re-inserted later).
+std::vector<DynamicStep> random_dynamic_steps(const CsrGraph& g,
+                                              std::size_t count,
+                                              std::uint64_t seed);
+
 }  // namespace apgre

@@ -1,0 +1,470 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "bc/dynamic.hpp"
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace apgre {
+
+namespace {
+
+/// The OpenMP kernels communicate through a file-scope region context
+/// (support/parallel.hpp) and are therefore not reentrant from concurrent
+/// caller threads. One process-wide mutex serializes every solve whose
+/// algorithm_info().parallel is set; serial kernels and DynamicBc updates
+/// bypass it and run fully concurrently.
+std::mutex& parallel_kernel_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+bool uses_parallel_kernel(Algorithm algorithm) {
+  const auto index = static_cast<std::size_t>(algorithm);
+  const auto registry = algorithm_registry();
+  // Out-of-registry values are reported by validate_options downstream.
+  return index < registry.size() && registry[index].parallel;
+}
+
+}  // namespace
+
+struct Service::Impl {
+  /// Per-graph registry entry. `mu` serializes updates and snapshot swaps;
+  /// readers copy the shared_ptr under it and work on the immutable
+  /// snapshot outside. Lock ordering: entry->mu before cache_mu, never the
+  /// reverse.
+  struct GraphEntry {
+    std::mutex mu;
+    std::shared_ptr<const CsrGraph> graph;
+    /// Authoritative mutable copy once the first update arrives.
+    std::unique_ptr<DynamicBc> dynamic;
+    /// Block-cut classification cache; a kLocal insert provably leaves the
+    /// tree unchanged, so it survives local updates and is only rebuilt
+    /// after structural ones.
+    std::unique_ptr<BlockCutQueries> locality;
+  };
+
+  /// A warm Solver bound to one immutable snapshot. The pin keeps the
+  /// snapshot alive (and its address un-reusable), so pointer equality
+  /// against the entry's current snapshot is a sound freshness test.
+  struct Session {
+    std::shared_ptr<const CsrGraph> pin;
+    Solver solver;
+
+    explicit Session(std::shared_ptr<const CsrGraph> snap)
+        : pin(std::move(snap)), solver(*pin) {}
+  };
+
+  struct Stats {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> solves{0};
+    std::atomic<std::uint64_t> top_k{0};
+    std::atomic<std::uint64_t> updates{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> session_hits{0};
+    std::atomic<std::uint64_t> session_misses{0};
+    std::atomic<std::uint64_t> session_evictions{0};
+    std::atomic<std::uint64_t> updates_local{0};
+    std::atomic<std::uint64_t> updates_structural{0};
+  };
+
+  explicit Impl(ServiceOptions opts) : options(opts) {
+    options.workers = std::max(options.workers, 1);
+    options.session_capacity = std::max<std::size_t>(options.session_capacity, 1);
+    workers.reserve(static_cast<std::size_t>(options.workers));
+    for (int i = 0; i < options.workers; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lk(queue_mu);
+      stopping = true;
+    }
+    queue_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  // ---- worker pool -------------------------------------------------------
+
+  void worker_loop() {
+    for (;;) {
+      std::packaged_task<Response()> task;
+      {
+        std::unique_lock<std::mutex> lk(queue_mu);
+        queue_cv.wait(lk, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping, fully drained
+        task = std::move(queue.front());
+        queue.pop_front();
+        metrics().gauge("service.queue_depth").set(
+            static_cast<double>(queue.size()));
+      }
+      task();
+    }
+  }
+
+  std::future<Response> submit(Request request) {
+    std::packaged_task<Response()> task(
+        [this, req = std::move(request)] { return process(req); });
+    std::future<Response> future = task.get_future();
+    {
+      std::lock_guard<std::mutex> lk(queue_mu);
+      APGRE_REQUIRE(!stopping, "Service is shutting down");
+      queue.push_back(std::move(task));
+      metrics().gauge("service.queue_depth").set(
+          static_cast<double>(queue.size()));
+    }
+    queue_cv.notify_one();
+    return future;
+  }
+
+  // ---- registry ----------------------------------------------------------
+
+  std::shared_ptr<GraphEntry> find_entry(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(registry_mu);
+    const auto it = graphs.find(name);
+    return it == graphs.end() ? nullptr : it->second;
+  }
+
+  // ---- session cache (LRU, MRU at the front) -----------------------------
+
+  std::unique_ptr<Session> cache_take(const std::string& name) {
+    std::lock_guard<std::mutex> lk(cache_mu);
+    const auto it = lru_index.find(name);
+    if (it == lru_index.end()) return nullptr;
+    std::unique_ptr<Session> session = std::move(it->second->second);
+    lru.erase(it->second);
+    lru_index.erase(it);
+    return session;
+  }
+
+  void cache_put(const std::string& name, std::unique_ptr<Session> session) {
+    std::lock_guard<std::mutex> lk(cache_mu);
+    const auto it = lru_index.find(name);
+    if (it != lru_index.end()) {
+      // A concurrent solve reinserted first; most recent wins.
+      lru.erase(it->second);
+      lru_index.erase(it);
+    }
+    lru.emplace_front(name, std::move(session));
+    lru_index[name] = lru.begin();
+    while (lru.size() > options.session_capacity) {
+      lru_index.erase(lru.back().first);
+      lru.pop_back();
+      stats.session_evictions.fetch_add(1, std::memory_order_relaxed);
+      metrics().counter("service.session_evictions").add();
+    }
+  }
+
+  void cache_drop(const std::string& name) {
+    std::lock_guard<std::mutex> lk(cache_mu);
+    const auto it = lru_index.find(name);
+    if (it == lru_index.end()) return;
+    lru.erase(it->second);
+    lru_index.erase(it);
+  }
+
+  // ---- request handling --------------------------------------------------
+
+  Response process(const Request& request) {
+    stats.requests.fetch_add(1, std::memory_order_relaxed);
+    metrics().counter("service.requests").add();
+    Response response =
+        request.kind == RequestKind::kUpdate ? update(request) : solve(request);
+    if (!response.ok) {
+      stats.errors.fetch_add(1, std::memory_order_relaxed);
+      metrics().counter("service.errors").add();
+    }
+    return response;
+  }
+
+  static Response fail(Response response, std::string why) {
+    response.ok = false;
+    response.error = std::move(why);
+    return response;
+  }
+
+  Response solve(const Request& request) {
+    APGRE_TRACE_SPAN("service/solve");
+    Response response;
+    response.kind = request.kind;
+    (request.kind == RequestKind::kTopK ? stats.top_k : stats.solves)
+        .fetch_add(1, std::memory_order_relaxed);
+
+    const std::shared_ptr<GraphEntry> entry = find_entry(request.graph);
+    if (entry == nullptr) {
+      return fail(std::move(response), "unknown graph: " + request.graph);
+    }
+    if (request.kind == RequestKind::kTopK && request.k == 0) {
+      return fail(std::move(response), "top_k requires k >= 1");
+    }
+
+    std::shared_ptr<const CsrGraph> snap;
+    {
+      std::lock_guard<std::mutex> lk(entry->mu);
+      snap = entry->graph;
+    }
+
+    std::unique_ptr<Session> session = cache_take(request.graph);
+    const bool hit = session != nullptr && session->pin == snap;
+    if (session == nullptr) {
+      session = std::make_unique<Session>(snap);
+    } else if (!hit) {
+      // Cached but stale (an update or re-register raced past the patch
+      // window while this session was checked out): rebind structurally.
+      session->solver.rebind(*snap);
+      session->pin = snap;
+    }
+    (hit ? stats.session_hits : stats.session_misses)
+        .fetch_add(1, std::memory_order_relaxed);
+    metrics()
+        .counter(hit ? "service.session_hits" : "service.session_misses")
+        .add();
+
+    BcResult result;
+    if (uses_parallel_kernel(request.options.algorithm)) {
+      std::lock_guard<std::mutex> lk(parallel_kernel_mutex());
+      result = session->solver.solve(request.options);
+    } else {
+      result = session->solver.solve(request.options);
+    }
+    cache_put(request.graph, std::move(session));
+
+    if (!result.status.ok()) {
+      return fail(std::move(response), result.status.message);
+    }
+    response.ok = true;
+    response.session_hit = hit;
+    response.seconds = result.seconds;
+    if (request.kind == RequestKind::kSolve) {
+      response.scores = std::move(result.scores);
+      return response;
+    }
+    // top_k: partial-sort indices by score descending, vertex ascending on
+    // ties, so transcripts are byte-stable.
+    const std::vector<double>& scores = result.scores;
+    std::vector<Vertex> order(scores.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<Vertex>(i);
+    }
+    const std::size_t k =
+        std::min<std::size_t>(request.k, order.size());
+    const auto better = [&scores](Vertex a, Vertex b) {
+      if (scores[a] != scores[b]) return scores[a] > scores[b];
+      return a < b;
+    };
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(), better);
+    response.top.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      response.top.push_back(TopEntry{order[i], scores[order[i]]});
+    }
+    return response;
+  }
+
+  Response update(const Request& request) {
+    APGRE_TRACE_SPAN("service/update");
+    Response response;
+    response.kind = RequestKind::kUpdate;
+    stats.updates.fetch_add(1, std::memory_order_relaxed);
+
+    const std::shared_ptr<GraphEntry> entry = find_entry(request.graph);
+    if (entry == nullptr) {
+      return fail(std::move(response), "unknown graph: " + request.graph);
+    }
+
+    std::lock_guard<std::mutex> lk(entry->mu);
+    const std::shared_ptr<const CsrGraph> prev = entry->graph;
+    if (request.u >= prev->num_vertices() || request.v >= prev->num_vertices()) {
+      return fail(std::move(response), "update endpoint out of range");
+    }
+    if (entry->dynamic == nullptr) {
+      entry->dynamic = std::make_unique<DynamicBc>(*prev);
+    }
+
+    // Classify against the pre-update block-cut tree. Directed graphs are
+    // always structural for caching purposes: an intra-block directed arc
+    // can still change directed reachability (alpha/beta) elsewhere.
+    response.locality = UpdateLocality::kStructural;
+    if (!prev->directed() && request.inserting) {
+      if (entry->locality == nullptr) {
+        entry->locality = std::make_unique<BlockCutQueries>(*prev);
+      }
+      response.locality =
+          entry->locality->classify_update(request.u, request.v, true);
+    }
+
+    try {
+      response.affected_sources =
+          request.inserting
+              ? entry->dynamic->insert_edge(request.u, request.v)
+              : entry->dynamic->remove_edge(request.u, request.v);
+    } catch (const Error& e) {
+      // DynamicBc validates before mutating, so no state changed.
+      return fail(std::move(response), e.what());
+    }
+
+    const auto snap = std::make_shared<const CsrGraph>(entry->dynamic->graph());
+    entry->graph = snap;
+    const bool local = response.locality == UpdateLocality::kLocal;
+    if (!local) entry->locality.reset();
+    (local ? stats.updates_local : stats.updates_structural)
+        .fetch_add(1, std::memory_order_relaxed);
+    metrics()
+        .counter(local ? "service.updates_local"
+                       : "service.updates_structural")
+        .add();
+
+    // Patch the warm session in place (entry->mu is held, so no competing
+    // update; sessions inside the cache have no other users). A checked-out
+    // session misses the patch and rebinds structurally on reinsert.
+    {
+      std::lock_guard<std::mutex> ck(cache_mu);
+      const auto it = lru_index.find(request.graph);
+      if (it != lru_index.end()) {
+        Session& session = *it->second->second;
+        if (local && session.pin == prev) {
+          session.solver.rebind_local_insert(*snap, request.u, request.v);
+        } else {
+          session.solver.rebind(*snap);
+        }
+        session.pin = snap;
+      }
+    }
+
+    response.ok = true;
+    return response;
+  }
+
+  ServiceOptions options;
+
+  mutable std::mutex registry_mu;
+  std::map<std::string, std::shared_ptr<GraphEntry>> graphs;
+
+  mutable std::mutex cache_mu;
+  std::list<std::pair<std::string, std::unique_ptr<Session>>> lru;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string,
+                                         std::unique_ptr<Session>>>::iterator>
+      lru_index;
+
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<std::packaged_task<Response()>> queue;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  Stats stats;
+};
+
+Service::Service(ServiceOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+Service::~Service() = default;
+
+void Service::register_graph(const std::string& name, CsrGraph graph) {
+  APGRE_REQUIRE(!name.empty(), "graph name must be non-empty");
+  auto entry = std::make_shared<Impl::GraphEntry>();
+  entry->graph = std::make_shared<const CsrGraph>(std::move(graph));
+  {
+    std::lock_guard<std::mutex> lk(impl_->registry_mu);
+    impl_->graphs[name] = std::move(entry);
+  }
+  // Any warm session belongs to the replaced graph; drop it.
+  impl_->cache_drop(name);
+  metrics().gauge("service.graphs").set(
+      static_cast<double>(graph_names().size()));
+}
+
+bool Service::unregister_graph(const std::string& name) {
+  bool existed = false;
+  {
+    std::lock_guard<std::mutex> lk(impl_->registry_mu);
+    existed = impl_->graphs.erase(name) > 0;
+  }
+  impl_->cache_drop(name);
+  return existed;
+}
+
+std::vector<std::string> Service::graph_names() const {
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lk(impl_->registry_mu);
+  names.reserve(impl_->graphs.size());
+  for (const auto& [name, entry] : impl_->graphs) names.push_back(name);
+  return names;
+}
+
+std::shared_ptr<const CsrGraph> Service::snapshot(
+    const std::string& name) const {
+  const auto entry = impl_->find_entry(name);
+  if (entry == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lk(entry->mu);
+  return entry->graph;
+}
+
+std::future<Response> Service::submit(Request request) {
+  return impl_->submit(std::move(request));
+}
+
+std::vector<Response> Service::run_batch(std::vector<Request> requests) {
+  std::vector<std::future<Response>> futures;
+  futures.reserve(requests.size());
+  for (Request& request : requests) {
+    futures.push_back(impl_->submit(std::move(request)));
+  }
+  std::vector<Response> responses;
+  responses.reserve(futures.size());
+  for (std::future<Response>& future : futures) {
+    responses.push_back(future.get());
+  }
+  return responses;
+}
+
+Response Service::handle(const Request& request) {
+  return impl_->process(request);
+}
+
+std::size_t Service::evict_sessions() {
+  std::lock_guard<std::mutex> lk(impl_->cache_mu);
+  const std::size_t dropped = impl_->lru.size();
+  impl_->lru.clear();
+  impl_->lru_index.clear();
+  impl_->stats.session_evictions.fetch_add(dropped, std::memory_order_relaxed);
+  metrics().counter("service.session_evictions").add(dropped);
+  return dropped;
+}
+
+std::size_t Service::session_count() const {
+  std::lock_guard<std::mutex> lk(impl_->cache_mu);
+  return impl_->lru.size();
+}
+
+ServiceStats Service::stats() const {
+  const Impl::Stats& s = impl_->stats;
+  ServiceStats out;
+  out.requests = s.requests.load(std::memory_order_relaxed);
+  out.solves = s.solves.load(std::memory_order_relaxed);
+  out.top_k = s.top_k.load(std::memory_order_relaxed);
+  out.updates = s.updates.load(std::memory_order_relaxed);
+  out.errors = s.errors.load(std::memory_order_relaxed);
+  out.session_hits = s.session_hits.load(std::memory_order_relaxed);
+  out.session_misses = s.session_misses.load(std::memory_order_relaxed);
+  out.session_evictions = s.session_evictions.load(std::memory_order_relaxed);
+  out.updates_local = s.updates_local.load(std::memory_order_relaxed);
+  out.updates_structural = s.updates_structural.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace apgre

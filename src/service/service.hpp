@@ -1,0 +1,165 @@
+// Concurrent betweenness-centrality query service.
+//
+// One apgre::Service owns
+//   * a named-graph registry (register_graph / unregister_graph),
+//   * an LRU cache of warm Solver sessions, capacity-bounded, so repeated
+//     queries against the same graph reuse the APGRE decomposition and
+//     reach counts instead of recomputing them per request,
+//   * a worker thread pool draining a request queue (submit / run_batch).
+//
+// Three request kinds: `solve` (full score vector, any registered
+// algorithm), `top_k` (partial-sort over the scores), and `update` (edge
+// insert/remove routed through DynamicBc). Updates are AP-aware: an
+// insertion strictly inside one biconnected component between two
+// non-articulation vertices (BlockCutQueries::classify_update ==
+// UpdateLocality::kLocal) patches the cached decomposition in place
+// (Solver::rebind_local_insert) — the block-cut tree and all reach counts
+// provably survive — while anything structural drops it so the next solve
+// re-decomposes.
+//
+// Thread-safety: every public member is safe to call from any thread.
+// Internally, parallel kernels (algorithm_info().parallel) are serialized
+// behind one process-wide mutex because the OpenMP region-context idiom
+// (support/parallel.hpp) is not reentrant from concurrent caller threads;
+// serial kernels and DynamicBc updates run fully concurrently.
+//
+// Observability: service.* metrics (requests, session_hits/misses/
+// evictions, updates_local/structural, queue_depth gauge) plus per-Service
+// ServiceStats snapshots; request handling is wrapped in service/* trace
+// spans.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bc/bc.hpp"
+#include "bcc/queries.hpp"
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+struct ServiceOptions {
+  /// Worker threads draining the request queue; clamped to >= 1.
+  int workers = 4;
+  /// Maximum number of warm Solver sessions kept in the LRU cache.
+  std::size_t session_capacity = 8;
+};
+
+enum class RequestKind { kSolve, kTopK, kUpdate };
+
+struct Request {
+  RequestKind kind = RequestKind::kSolve;
+  /// Registered graph name.
+  std::string graph;
+  /// Solve / top_k options (algorithm, threads, halving, tuning).
+  BcOptions options;
+  /// top_k: ranking size (clamped to |V|; must be >= 1).
+  Vertex k = 10;
+  /// update: edge endpoints and direction of the mutation.
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  bool inserting = true;
+};
+
+struct TopEntry {
+  Vertex vertex = kInvalidVertex;
+  double score = 0.0;
+};
+
+struct Response {
+  RequestKind kind = RequestKind::kSolve;
+  bool ok = false;
+  /// Human-readable reason when !ok (unknown graph, invalid options,
+  /// duplicate insert, ...). Failed requests never mutate service state.
+  std::string error;
+  /// kSolve: full score vector.
+  std::vector<double> scores;
+  /// kTopK: the k highest-scoring vertices, score descending, vertex id
+  /// ascending on ties (deterministic for golden tests).
+  std::vector<TopEntry> top;
+  /// kSolve / kTopK: whether a warm session (graph snapshot still current)
+  /// was reused.
+  bool session_hit = false;
+  /// kUpdate: sources DynamicBc recomputed, and the invalidation verdict.
+  Vertex affected_sources = 0;
+  UpdateLocality locality = UpdateLocality::kStructural;
+  /// kSolve / kTopK: scoring wall time (BcResult::seconds).
+  double seconds = 0.0;
+};
+
+/// Point-in-time copy of one Service's own counters (the service.* metrics
+/// aggregate across all Service instances in the process; these don't).
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t top_k = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t session_hits = 0;
+  std::uint64_t session_misses = 0;
+  std::uint64_t session_evictions = 0;
+  std::uint64_t updates_local = 0;
+  std::uint64_t updates_structural = 0;
+
+  /// Warm-session fraction of solve/top_k requests; 0 when none ran.
+  double hit_rate() const {
+    const std::uint64_t lookups = session_hits + session_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(session_hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  /// Drains every queued request (futures are never broken), then joins.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Register `graph` under `name`, replacing any previous graph of that
+  /// name (its warm session is dropped). Throws Error on an empty name.
+  void register_graph(const std::string& name, CsrGraph graph);
+
+  /// Remove a graph and its warm session. False when the name is unknown.
+  bool unregister_graph(const std::string& name);
+
+  /// Registered names, sorted.
+  std::vector<std::string> graph_names() const;
+
+  /// Current snapshot of a registered graph (reflects applied updates), or
+  /// nullptr for unknown names. The snapshot is immutable; later updates
+  /// swap in a new one.
+  std::shared_ptr<const CsrGraph> snapshot(const std::string& name) const;
+
+  /// Enqueue one request for the worker pool.
+  std::future<Response> submit(Request request);
+
+  /// Enqueue all requests and wait; responses are in request order even
+  /// though execution interleaves across workers.
+  std::vector<Response> run_batch(std::vector<Request> requests);
+
+  /// Process one request on the calling thread (the workers call this; it
+  /// is also the single-threaded replay path the tests compare against).
+  Response handle(const Request& request);
+
+  /// Drop every warm session (forces the next solves cold); returns how
+  /// many were dropped. Counted as evictions.
+  std::size_t evict_sessions();
+
+  /// Warm sessions currently cached.
+  std::size_t session_count() const;
+
+  ServiceStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace apgre

@@ -122,6 +122,41 @@ TEST_F(BenchRegressTest, ReportMatchesSchema) {
   EXPECT_TRUE(saw_skewed) << "skewed scheduler workload missing from report";
 }
 
+TEST_F(BenchRegressTest, ServiceWorkloadReportsThroughput) {
+  const CommandResult r = run_tool(
+      "--workload service --clients 2 --requests 5 --seed 3 --threads 2 "
+      "--out " +
+      report_path_);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("service workload:"), std::string::npos) << r.output;
+
+  const JsonValue report = read_report();
+  EXPECT_EQ(report.at("schema_version").as_double(), 1.0);
+  EXPECT_EQ(report.at("config").at("workload").as_string(), "service");
+
+  const JsonValue& service = report.at("service");
+  EXPECT_EQ(service.at("clients").as_double(), 2.0);
+  EXPECT_EQ(service.at("requests_per_client").as_double(), 5.0);
+  EXPECT_EQ(service.at("requests").as_double(), 10.0);
+  EXPECT_GT(service.at("requests_per_second").as_double(), 0.0);
+  const double hit_rate = service.at("hit_rate").as_double();
+  EXPECT_GE(hit_rate, 0.0);
+  EXPECT_LE(hit_rate, 1.0);
+  const JsonValue& counters = service.at("counters");
+  EXPECT_TRUE(counters.contains("session_hits"));
+  EXPECT_TRUE(counters.contains("session_misses"));
+  EXPECT_TRUE(counters.contains("updates_local"));
+  EXPECT_TRUE(counters.contains("updates_structural"));
+  // The kernels benchmark section is skipped in service mode.
+  EXPECT_TRUE(report.at("results").as_array().empty());
+}
+
+TEST_F(BenchRegressTest, ServiceWorkloadFlagValidation) {
+  EXPECT_EQ(run_tool("--workload nonsense").exit_code, 2);
+  EXPECT_EQ(run_tool("--workload service --clients 0").exit_code, 2);
+  EXPECT_EQ(run_tool("--workload service --requests 0").exit_code, 2);
+}
+
 TEST_F(BenchRegressTest, SelfBaselineComparesClean) {
   ASSERT_EQ(run_tool(fast_flags() + " --out " + report_path_).exit_code, 0);
   // Identical build, generous threshold: the gate must pass.

@@ -80,6 +80,47 @@ TEST(CheckOracle, CompareScoresAcceptsAccumulationNoise) {
   EXPECT_TRUE(compare_scores(expected, actual, 1e-7, 1e-6).ok);
 }
 
+// ---- Dynamic differential (DynamicBc vs static oracle) -------------------
+
+TEST(CheckSweep, DynamicUpdatesMatchStaticRecomputeAcrossCorpus) {
+  constexpr std::uint64_t kDynamicSeeds = 3;
+  constexpr std::size_t kStepsPerGraph = 6;
+  for (std::uint64_t seed = 1; seed <= kDynamicSeeds; ++seed) {
+    for (const CorpusCase& c : graph_corpus(seed, /*tiny=*/true)) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " + c.name);
+      const std::vector<DynamicStep> steps =
+          random_dynamic_steps(c.graph, kStepsPerGraph, seed * 131 + 7);
+      const OracleReport report = dynamic_differential_check(c.graph, steps);
+      EXPECT_TRUE(report.ok) << report.summary();
+    }
+  }
+}
+
+TEST(CheckOracle, RandomDynamicStepsAreAlwaysApplicable) {
+  // Every generated step must be valid against the evolving graph: inserts
+  // name absent edges, removals name present ones. DynamicBc throws on a
+  // violation, which dynamic_differential_check would report as a failure,
+  // so an exception-free ok run is the assertion.
+  const CsrGraph g = attach_pendants(caveman(3, 5, 21), 6, 22);
+  const std::vector<DynamicStep> steps = random_dynamic_steps(g, 12, 99);
+  EXPECT_EQ(steps.size(), 12u);
+  const OracleReport report = dynamic_differential_check(g, steps);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_EQ(report.algorithms.size(), 12u) << "one report entry per step";
+}
+
+TEST(CheckOracle, DynamicStepsAreDeterministicPerSeed) {
+  const CsrGraph g = caveman(4, 4, 13);
+  const auto a = random_dynamic_steps(g, 8, 5);
+  const auto b = random_dynamic_steps(g, 8, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    EXPECT_EQ(a[i].inserting, b[i].inserting);
+  }
+}
+
 // ---- Metamorphic rules ---------------------------------------------------
 
 TEST(CheckSweep, MetamorphicRulesHoldForEveryExactAlgorithm) {

@@ -3,6 +3,14 @@
 // WorkStealingScheduler (task completion, spawn, stats, steal policies,
 // exception propagation). The TSan CI tier runs these too — the deque's
 // memory orders are exactly what it exists to check.
+//
+// Flakiness audit notes: every assertion here is schedule-independent by
+// design — worker counts are explicit (run() honours opts.threads without
+// clamping to hardware threads), the random steal policy draws from a
+// per-worker deterministically seeded RNG, and the concurrent-deque test
+// checks a checksum rather than any particular interleaving. Keep it that
+// way: no assertion may depend on which worker ran a task or how long a
+// task took.
 #include <gtest/gtest.h>
 
 #include <atomic>

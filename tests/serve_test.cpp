@@ -1,0 +1,286 @@
+// Golden-file tests of the apgre_serve binary (path injected by CMake,
+// same popen pattern as cli_test.cpp): write a request transcript, pipe it
+// through the server, and compare the response stream. Responses serialize
+// key-sorted and without timing fields by default, so whole transcripts
+// compare byte-exact; assertions fall back to substrings only where a
+// value (e.g. an affected-source count) is an algorithm detail rather than
+// part of the protocol contract. All golden runs use --workers 1 so batch
+// sub-requests execute in a deterministic order.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef APGRE_SERVE_PATH
+#error "APGRE_SERVE_PATH must be defined by the build"
+#endif
+
+namespace apgre {
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_serve(const std::string& args,
+                        const std::string& stdin_path = "") {
+  std::string command = std::string(APGRE_SERVE_PATH) + " " + args;
+  command += stdin_path.empty() ? " < /dev/null" : " < " + stdin_path;
+  command += " 2>&1";
+  std::array<char, 4096> buffer{};
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    transcript_path_ = ::testing::TempDir() + "/serve_requests_" +
+                       std::to_string(static_cast<long>(getpid())) + ".jsonl";
+  }
+
+  void TearDown() override { std::remove(transcript_path_.c_str()); }
+
+  /// Writes one request per line and runs the server over the file.
+  CommandResult serve(const std::vector<std::string>& requests,
+                      const std::string& args = "--workers 1") {
+    std::ofstream out(transcript_path_);
+    for (const std::string& line : requests) out << line << "\n";
+    out.close();
+    return run_serve(args, transcript_path_);
+  }
+
+  std::string transcript_path_;
+};
+
+// P4 path graph 0-1-2-3: serial BC is exactly [0, 4, 4, 0].
+const char kRegisterPath[] =
+    R"({"op":"register","graph":"p","edges":[[0,1],[1,2],[2,3]]})";
+
+TEST_F(ServeTest, HelpExitsZero) {
+  const CommandResult r = run_serve("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--capacity"), std::string::npos);
+  EXPECT_NE(r.output.find("--workers"), std::string::npos);
+}
+
+TEST_F(ServeTest, UnknownFlagFails) {
+  const CommandResult r = run_serve("--frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown flag"), std::string::npos);
+}
+
+TEST_F(ServeTest, PositionalArgumentFails) {
+  const CommandResult r = run_serve("graph.snap");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("no positional arguments"), std::string::npos);
+}
+
+TEST_F(ServeTest, EmptyInputExitsZero) {
+  const CommandResult r = run_serve("--workers 1");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST_F(ServeTest, RegisterSolveTopKGolden) {
+  const CommandResult r = serve({
+      kRegisterPath,
+      R"({"op":"solve","graph":"p","algorithm":"serial"})",
+      R"({"op":"solve","graph":"p","algorithm":"serial"})",
+      R"({"op":"top_k","graph":"p","algorithm":"serial","k":2})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(
+      r.output,
+      "{\"arcs\":6,\"graph\":\"p\",\"ok\":true,\"op\":\"register\","
+      "\"vertices\":4}\n"
+      "{\"graph\":\"p\",\"ok\":true,\"op\":\"solve\",\"scores\":[0,4,4,0],"
+      "\"session_hit\":false}\n"
+      "{\"graph\":\"p\",\"ok\":true,\"op\":\"solve\",\"scores\":[0,4,4,0],"
+      "\"session_hit\":true}\n"
+      "{\"graph\":\"p\",\"ok\":true,\"op\":\"top_k\",\"session_hit\":true,"
+      "\"top\":[{\"score\":4,\"vertex\":1},{\"score\":4,\"vertex\":2}]}\n");
+}
+
+TEST_F(ServeTest, ApgreAndSerialAgreeOnScores) {
+  const CommandResult serial = serve({
+      kRegisterPath,
+      R"({"op":"solve","graph":"p","algorithm":"serial"})",
+  });
+  const CommandResult apgre = serve({
+      kRegisterPath,
+      R"({"op":"solve","graph":"p","algorithm":"apgre"})",
+  });
+  ASSERT_EQ(serial.exit_code, 0);
+  ASSERT_EQ(apgre.exit_code, 0);
+  const std::string want = "\"scores\":[0,4,4,0]";
+  EXPECT_NE(serial.output.find(want), std::string::npos) << serial.output;
+  EXPECT_NE(apgre.output.find(want), std::string::npos) << apgre.output;
+}
+
+TEST_F(ServeTest, UpdateLocalityGolden) {
+  // C4 cycle: the chord 0-2 lands strictly inside the single block (no
+  // endpoint is an articulation point) -> local. Removing 1-2 afterwards is
+  // always structural. The post-update solve sees the mutated graph:
+  // edges {0,1},{0,2},{0,3},{2,3} give BC [4,0,0,0].
+  const CommandResult r = serve({
+      R"({"op":"register","graph":"c","edges":[[0,1],[1,2],[2,3],[3,0]]})",
+      R"({"op":"update","graph":"c","u":0,"v":2,"insert":true})",
+      R"({"op":"update","graph":"c","u":1,"v":2,"insert":false})",
+      R"({"op":"solve","graph":"c","algorithm":"serial"})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(
+      r.output.find("{\"affected_sources\":2,\"graph\":\"c\",\"locality\":"
+                    "\"local\",\"ok\":true,\"op\":\"update\"}"),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"locality\":\"structural\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"scores\":[4,0,0,0]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(ServeTest, BatchGolden) {
+  const CommandResult r = serve({
+      kRegisterPath,
+      R"({"op":"batch","requests":[)"
+      R"({"op":"solve","graph":"p","algorithm":"serial"},)"
+      R"({"op":"top_k","graph":"p","algorithm":"serial","k":1}]})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(
+      r.output.find(
+          "{\"ok\":true,\"op\":\"batch\",\"responses\":["
+          "{\"graph\":\"p\",\"ok\":true,\"op\":\"solve\","
+          "\"scores\":[0,4,4,0],\"session_hit\":false},"
+          "{\"graph\":\"p\",\"ok\":true,\"op\":\"top_k\","
+          "\"session_hit\":true,\"top\":[{\"score\":4,\"vertex\":1}]}]}"),
+      std::string::npos)
+      << r.output;
+}
+
+TEST_F(ServeTest, MalformedLineKeepsServing) {
+  const CommandResult r = serve({
+      "{not json at all",
+      R"({"op":"graphs"})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  // First reply is an error, second still succeeds.
+  const std::size_t newline = r.output.find('\n');
+  ASSERT_NE(newline, std::string::npos);
+  const std::string first = r.output.substr(0, newline);
+  EXPECT_NE(first.find("\"ok\":false"), std::string::npos) << first;
+  EXPECT_NE(r.output.find("{\"graphs\":[],\"ok\":true,\"op\":\"graphs\"}"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(ServeTest, UnknownOpAndUnknownGraphAreErrors) {
+  const CommandResult r = serve({
+      R"({"op":"bogus"})",
+      R"({"op":"solve","graph":"missing"})",
+      R"({"op":"update","graph":"missing","u":0,"v":1})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(
+      r.output.find("{\"error\":\"unknown op: bogus\",\"ok\":false}"),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("unknown graph: missing"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(ServeTest, InvalidUpdateReportsErrorAndKeepsState) {
+  // Inserting an edge that already exists must fail without wedging the
+  // graph: the follow-up solve still answers with the original scores.
+  const CommandResult r = serve({
+      kRegisterPath,
+      R"({"op":"update","graph":"p","u":0,"v":1,"insert":true})",
+      R"({"op":"solve","graph":"p","algorithm":"serial"})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("\"ok\":false"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"scores\":[0,4,4,0]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(ServeTest, RegistryOpsGolden) {
+  const CommandResult r = serve({
+      kRegisterPath,
+      R"({"op":"graphs"})",
+      R"({"op":"unregister","graph":"p"})",
+      R"({"op":"unregister","graph":"p"})",
+      R"({"op":"graphs"})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("{\"graphs\":[\"p\"],\"ok\":true,\"op\":\"graphs\"}"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find(
+                "{\"existed\":true,\"graph\":\"p\",\"ok\":true,"
+                "\"op\":\"unregister\"}"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find(
+                "{\"existed\":false,\"graph\":\"p\",\"ok\":true,"
+                "\"op\":\"unregister\"}"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("{\"graphs\":[],\"ok\":true,\"op\":\"graphs\"}"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(ServeTest, StatsAndEvictShape) {
+  const CommandResult r = serve({
+      kRegisterPath,
+      R"({"op":"solve","graph":"p","algorithm":"serial"})",
+      R"({"op":"evict"})",
+      R"({"op":"stats"})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("{\"dropped\":1,\"ok\":true,\"op\":\"evict\"}"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"op\":\"stats\""), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"hit_rate\":"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"sessions\":0"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"requests\":1"), std::string::npos) << r.output;
+}
+
+TEST_F(ServeTest, QuitStopsProcessing) {
+  const CommandResult r = serve({
+      R"({"op":"quit"})",
+      kRegisterPath,  // must never be processed
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "{\"ok\":true,\"op\":\"quit\"}\n");
+}
+
+TEST_F(ServeTest, TimingFlagAddsSeconds) {
+  const CommandResult r = serve(
+      {
+          kRegisterPath,
+          R"({"op":"solve","graph":"p","algorithm":"serial"})",
+      },
+      "--workers 1 --timing");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("\"seconds\":"), std::string::npos) << r.output;
+}
+
+}  // namespace
+}  // namespace apgre

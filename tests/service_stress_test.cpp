@@ -1,0 +1,199 @@
+// Concurrency stress tier for apgre::Service (runs under TSan in CI
+// alongside parallel_stress_test): 8 client threads × 100 mixed
+// solve/top_k/update requests against one Service. Each client owns a
+// private graph — nobody else mutates it, so the client's request stream
+// has deterministic results regardless of thread interleaving — and also
+// hammers a shared read-only graph to contend on the LRU cache and the
+// worker pool. After the concurrent run, every client's recorded stream is
+// replayed on a fresh single-threaded Service and each response must match
+// the replay within the harness tolerance.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bc/bc.hpp"
+#include "check/oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "service/service.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+using testing::expect_scores_near;
+
+constexpr int kClients = 8;
+constexpr int kRequestsPerClient = 100;
+
+CsrGraph private_graph(int client) {
+  // Small but non-trivial: cliques + pendants give APGRE real blocks and
+  // pendants to patch, and keep 800 requests fast enough for TSan.
+  return attach_pendants(caveman(3, 4, 100 + static_cast<unsigned>(client)),
+                         4, 200 + static_cast<unsigned>(client));
+}
+
+CsrGraph shared_graph() { return attach_pendants(caveman(4, 5, 55), 8, 56); }
+
+std::string private_name(int client) {
+  return "private_" + std::to_string(client);
+}
+
+/// One client's deterministic request stream. Updates draw a valid random
+/// mutation from the graph's current state, which only this client
+/// mutates, so the stream is reproducible in the replay.
+Request next_request(Service& service, std::mt19937_64& rng, int client) {
+  Request request;
+  const std::uint64_t roll = rng() % 10;
+  if (roll < 3) {
+    request.kind = RequestKind::kSolve;
+    request.graph = private_name(client);
+    request.options.algorithm =
+        (roll == 0) ? Algorithm::kBrandesSerial : Algorithm::kApgre;
+  } else if (roll < 5) {
+    request.kind = RequestKind::kTopK;
+    request.graph = private_name(client);
+    request.k = 4;
+    request.options.algorithm = Algorithm::kApgre;
+  } else if (roll < 7) {
+    request.kind = RequestKind::kUpdate;
+    request.graph = private_name(client);
+    const auto snap = service.snapshot(request.graph);
+    const std::vector<DynamicStep> steps =
+        snap == nullptr ? std::vector<DynamicStep>{}
+                        : random_dynamic_steps(*snap, 1, rng());
+    if (steps.empty()) {
+      request.kind = RequestKind::kSolve;  // degenerate graph: just solve
+      request.options.algorithm = Algorithm::kBrandesSerial;
+    } else {
+      request.u = steps[0].u;
+      request.v = steps[0].v;
+      request.inserting = steps[0].inserting;
+    }
+  } else {
+    // Shared read-only graph: contends on the session LRU across clients.
+    request.kind = roll < 9 ? RequestKind::kSolve : RequestKind::kTopK;
+    request.graph = "shared";
+    request.k = 6;
+    request.options.algorithm =
+        roll % 2 == 0 ? Algorithm::kBrandesSerial : Algorithm::kApgre;
+  }
+  return request;
+}
+
+void expect_responses_match(const Response& live, const Response& replayed,
+                            int client, int step) {
+  ASSERT_EQ(live.ok, replayed.ok)
+      << "client " << client << " step " << step << ": " << live.error
+      << " vs " << replayed.error;
+  if (!live.ok) return;
+  ASSERT_EQ(live.kind, replayed.kind);
+  switch (live.kind) {
+    case RequestKind::kSolve:
+      expect_scores_near(replayed.scores, live.scores);
+      break;
+    case RequestKind::kTopK: {
+      ASSERT_EQ(live.top.size(), replayed.top.size());
+      for (std::size_t i = 0; i < live.top.size(); ++i) {
+        EXPECT_EQ(live.top[i].vertex, replayed.top[i].vertex)
+            << "client " << client << " step " << step << " rank " << i;
+        EXPECT_NEAR(live.top[i].score, replayed.top[i].score, 1e-6);
+      }
+      break;
+    }
+    case RequestKind::kUpdate:
+      EXPECT_EQ(live.affected_sources, replayed.affected_sources)
+          << "client " << client << " step " << step;
+      EXPECT_EQ(live.locality, replayed.locality)
+          << "client " << client << " step " << step;
+      break;
+  }
+}
+
+TEST(ServiceStress, ConcurrentClientsMatchSingleThreadedReplay) {
+  ServiceOptions options;
+  options.workers = 4;
+  // Capacity below clients + shared: evictions and cold rebuilds happen
+  // constantly under contention, which is the point.
+  options.session_capacity = 4;
+  Service service(options);
+
+  service.register_graph("shared", shared_graph());
+  for (int c = 0; c < kClients; ++c) {
+    service.register_graph(private_name(c), private_graph(c));
+  }
+
+  std::vector<std::vector<Request>> requests(kClients);
+  std::vector<std::vector<Response>> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&service, &requests, &responses, c] {
+      std::mt19937_64 rng(0x5eedULL + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        Request request = next_request(service, rng, c);
+        requests[static_cast<std::size_t>(c)].push_back(request);
+        responses[static_cast<std::size_t>(c)].push_back(
+            service.submit(std::move(request)).get());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GT(stats.session_hits, 0u) << "warm sessions never reused";
+
+  // Single-threaded replay of each client's recorded stream on a fresh
+  // service: private-graph responses must match exactly (nobody else
+  // touched those graphs), shared-graph responses are read-only and match
+  // too.
+  for (int c = 0; c < kClients; ++c) {
+    ServiceOptions replay_options;
+    replay_options.workers = 1;
+    replay_options.session_capacity = 2;
+    Service replay(replay_options);
+    replay.register_graph("shared", shared_graph());
+    replay.register_graph(private_name(c), private_graph(c));
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      const Response replayed =
+          replay.handle(requests[static_cast<std::size_t>(c)]
+                            [static_cast<std::size_t>(i)]);
+      expect_responses_match(
+          responses[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)],
+          replayed, c, i);
+    }
+  }
+}
+
+// Shutdown with work still queued: the destructor must drain every queued
+// request (futures all become ready) without racing the worker pool.
+TEST(ServiceStress, DestructorDrainsQueuedRequests) {
+  std::vector<std::future<Response>> futures;
+  {
+    ServiceOptions options;
+    options.workers = 2;
+    Service service(options);
+    service.register_graph("g", caveman(3, 4, 9));
+    for (int i = 0; i < 32; ++i) {
+      Request request;
+      request.kind = RequestKind::kTopK;
+      request.graph = "g";
+      request.k = 3;
+      request.options.algorithm = Algorithm::kBrandesSerial;
+      futures.push_back(service.submit(std::move(request)));
+    }
+  }  // ~Service joins here
+  for (std::future<Response>& f : futures) {
+    const Response r = f.get();  // must not throw broken_promise
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+}
+
+}  // namespace
+}  // namespace apgre

@@ -26,11 +26,25 @@ std::uint64_t decompositions() {
   return metrics().counter("bcc.decompositions").value();
 }
 
+/// Options pinned to one OpenMP thread and one scheduler worker. The
+/// bitwise-equality tests below need a machine-independent accumulation
+/// order: with several workers, which tasks land on which worker (and so
+/// the FP merge order) depends on steal timing, and the flat path's
+/// per-thread buffers merge in omp-critical arrival order — either can
+/// differ between two runs under load.
+BcOptions pinned_options() {
+  BcOptions opts;
+  opts.threads = 1;
+  opts.scheduler.threads = 1;
+  return opts;
+}
+
 TEST(Solver, ScoresMatchOneShotBetweennessExactly) {
   const CsrGraph g = skewed_graph();
   Solver solver(g);
-  const BcResult session = solver.solve();
-  const BcResult oneshot = betweenness(g);
+  const BcOptions opts = pinned_options();
+  const BcResult session = solver.solve(opts);
+  const BcResult oneshot = betweenness(g, opts);
   ASSERT_TRUE(session.status.ok());
   ASSERT_TRUE(oneshot.status.ok());
   // Same code path, same accumulation order: bitwise equality, not
@@ -44,13 +58,14 @@ TEST(Solver, ReusesDecompositionAcrossSolves) {
   EXPECT_EQ(solver.decomposition(), nullptr);
 
   const std::uint64_t before = decompositions();
-  const BcResult first = solver.solve();
+  const BcOptions opts = pinned_options();  // bitwise comparison below
+  const BcResult first = solver.solve(opts);
   const Decomposition* dec = solver.decomposition();
   ASSERT_NE(dec, nullptr);
   EXPECT_EQ(decompositions(), before + 1);
   EXPECT_GT(first.apgre_stats.partition_seconds, 0.0);
 
-  const BcResult second = solver.solve();
+  const BcResult second = solver.solve(opts);
   EXPECT_EQ(decompositions(), before + 1) << "cache hit must not re-decompose";
   EXPECT_EQ(solver.decomposition(), dec) << "cached decomposition is stable";
   // The cache hit reports zero decomposition/reach time by contract.

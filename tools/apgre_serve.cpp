@@ -1,0 +1,289 @@
+// apgre_serve: line-oriented JSON front-end for apgre::Service.
+//
+// Reads one JSON request object per line from stdin and writes one JSON
+// response object per line to stdout, so recorded load can be replayed
+// from a file (`apgre_serve < transcript.jsonl`). Responses are emitted in
+// request order; objects serialize key-sorted (support/json), so a replay
+// is byte-stable — timing fields are only included under --timing.
+//
+// Protocol (docs/API.md "Serving requests"):
+//   {"op":"register","graph":"g","edges":[[0,1],...],"vertices":4,
+//    "directed":false}            or  {...,"path":"graph.snap"}
+//   {"op":"solve","graph":"g","algorithm":"apgre","threads":0,
+//    "undirected_halving":false,"samples":0,"seed":1}
+//   {"op":"top_k","graph":"g","k":5,...solve fields...}
+//   {"op":"update","graph":"g","u":0,"v":2,"insert":true}
+//   {"op":"batch","requests":[...solve/top_k/update objects...]}
+//   {"op":"unregister","graph":"g"} | {"op":"graphs"} | {"op":"stats"} |
+//   {"op":"evict"} | {"op":"quit"}
+//
+// Malformed lines and failed requests answer {"ok":false,"error":...} and
+// the server keeps reading. Exit codes: 0 on EOF or quit, 2 on usage
+// errors.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/io_snap.hpp"
+#include "service/service.hpp"
+#include "support/error.hpp"
+#include "support/flags.hpp"
+#include "support/json.hpp"
+
+namespace apgre {
+namespace {
+
+Vertex as_vertex(const JsonValue& value) {
+  const double d = value.as_double();
+  APGRE_REQUIRE(d >= 0.0, "vertex ids must be non-negative");
+  return static_cast<Vertex>(d);
+}
+
+JsonValue error_line(const std::string& why) {
+  JsonValue out;
+  out["ok"] = JsonValue(false);
+  out["error"] = JsonValue(why);
+  return out;
+}
+
+/// Parse the shared solve/top_k/update fields of one request object.
+Request parse_request(const JsonValue& obj, const std::string& op) {
+  APGRE_REQUIRE(op == "solve" || op == "top_k" || op == "update",
+                "expected a solve/top_k/update request, got op: " + op);
+  Request request;
+  request.graph = obj.at("graph").as_string();
+  if (op == "update") {
+    request.kind = RequestKind::kUpdate;
+    request.u = as_vertex(obj.at("u"));
+    request.v = as_vertex(obj.at("v"));
+    if (obj.contains("insert")) request.inserting = obj.at("insert").as_bool();
+    return request;
+  }
+  request.kind = op == "top_k" ? RequestKind::kTopK : RequestKind::kSolve;
+  if (obj.contains("algorithm")) {
+    request.options.algorithm =
+        algorithm_from_name(obj.at("algorithm").as_string());
+  }
+  request.options.threads = static_cast<int>(obj.get("threads", 0.0));
+  if (obj.contains("undirected_halving")) {
+    request.options.undirected_halving =
+        obj.at("undirected_halving").as_bool();
+  }
+  request.options.num_samples =
+      static_cast<Vertex>(obj.get("samples", 0.0));
+  request.options.seed = static_cast<std::uint64_t>(obj.get("seed", 1.0));
+  if (request.kind == RequestKind::kTopK) {
+    request.k = static_cast<Vertex>(obj.get("k", 10.0));
+  }
+  return request;
+}
+
+JsonValue render_response(const Request& request, const Response& response,
+                          bool timing) {
+  JsonValue out;
+  out["ok"] = JsonValue(response.ok);
+  out["graph"] = JsonValue(request.graph);
+  if (!response.ok) {
+    out["error"] = JsonValue(response.error);
+    return out;
+  }
+  switch (response.kind) {
+    case RequestKind::kSolve: {
+      out["op"] = JsonValue("solve");
+      out["session_hit"] = JsonValue(response.session_hit);
+      JsonValue scores;
+      for (double score : response.scores) scores.push_back(JsonValue(score));
+      out["scores"] = std::move(scores);
+      break;
+    }
+    case RequestKind::kTopK: {
+      out["op"] = JsonValue("top_k");
+      out["session_hit"] = JsonValue(response.session_hit);
+      JsonValue top;
+      for (const TopEntry& entry : response.top) {
+        JsonValue row;
+        row["vertex"] = JsonValue(static_cast<std::uint64_t>(entry.vertex));
+        row["score"] = JsonValue(entry.score);
+        top.push_back(std::move(row));
+      }
+      out["top"] = std::move(top);
+      break;
+    }
+    case RequestKind::kUpdate: {
+      out["op"] = JsonValue("update");
+      out["affected_sources"] =
+          JsonValue(static_cast<std::uint64_t>(response.affected_sources));
+      out["locality"] = JsonValue(
+          response.locality == UpdateLocality::kLocal ? "local" : "structural");
+      break;
+    }
+  }
+  if (timing) out["seconds"] = JsonValue(response.seconds);
+  return out;
+}
+
+JsonValue handle_register(Service& service, const JsonValue& obj) {
+  const std::string name = obj.at("graph").as_string();
+  const bool directed =
+      obj.contains("directed") && obj.at("directed").as_bool();
+  CsrGraph graph;
+  if (obj.contains("path")) {
+    graph = read_snap_file(obj.at("path").as_string(), directed).graph;
+  } else {
+    EdgeList edges;
+    Vertex max_vertex = 0;
+    for (const JsonValue& pair : obj.at("edges").as_array()) {
+      const auto& endpoints = pair.as_array();
+      APGRE_REQUIRE(endpoints.size() == 2, "edges must be [u, v] pairs");
+      const Edge e{as_vertex(endpoints[0]), as_vertex(endpoints[1])};
+      max_vertex = std::max({max_vertex, e.src, e.dst});
+      edges.push_back(e);
+    }
+    auto vertices = static_cast<Vertex>(obj.get("vertices", 0.0));
+    if (!edges.empty()) vertices = std::max(vertices, max_vertex + 1);
+    graph = directed
+                ? CsrGraph::from_edges(vertices, std::move(edges), true)
+                : CsrGraph::undirected_from_edges(vertices, std::move(edges));
+  }
+
+  JsonValue out;
+  out["ok"] = JsonValue(true);
+  out["op"] = JsonValue("register");
+  out["graph"] = JsonValue(name);
+  out["vertices"] = JsonValue(static_cast<std::uint64_t>(graph.num_vertices()));
+  out["arcs"] = JsonValue(graph.num_arcs());
+  service.register_graph(name, std::move(graph));
+  return out;
+}
+
+JsonValue render_stats(const Service& service) {
+  const ServiceStats stats = service.stats();
+  JsonValue s;
+  s["requests"] = JsonValue(stats.requests);
+  s["solves"] = JsonValue(stats.solves);
+  s["top_k"] = JsonValue(stats.top_k);
+  s["updates"] = JsonValue(stats.updates);
+  s["errors"] = JsonValue(stats.errors);
+  s["session_hits"] = JsonValue(stats.session_hits);
+  s["session_misses"] = JsonValue(stats.session_misses);
+  s["session_evictions"] = JsonValue(stats.session_evictions);
+  s["updates_local"] = JsonValue(stats.updates_local);
+  s["updates_structural"] = JsonValue(stats.updates_structural);
+  s["hit_rate"] = JsonValue(stats.hit_rate());
+  JsonValue out;
+  out["ok"] = JsonValue(true);
+  out["op"] = JsonValue("stats");
+  out["stats"] = std::move(s);
+  out["sessions"] = JsonValue(static_cast<std::uint64_t>(service.session_count()));
+  return out;
+}
+
+/// Returns false when the server should stop (quit).
+bool serve_line(Service& service, const std::string& line, bool timing,
+                std::ostream& out) {
+  JsonValue reply;
+  bool keep_going = true;
+  try {
+    const JsonValue obj = JsonValue::parse(line);
+    const std::string op = obj.at("op").as_string();
+    if (op == "quit") {
+      reply["ok"] = JsonValue(true);
+      reply["op"] = JsonValue("quit");
+      keep_going = false;
+    } else if (op == "register") {
+      reply = handle_register(service, obj);
+    } else if (op == "unregister") {
+      const std::string name = obj.at("graph").as_string();
+      reply["ok"] = JsonValue(true);
+      reply["op"] = JsonValue("unregister");
+      reply["graph"] = JsonValue(name);
+      reply["existed"] = JsonValue(service.unregister_graph(name));
+    } else if (op == "graphs") {
+      reply["ok"] = JsonValue(true);
+      reply["op"] = JsonValue("graphs");
+      JsonValue names{JsonValue::Array{}};  // explicit: [] even when empty
+      for (const std::string& name : service.graph_names()) {
+        names.push_back(JsonValue(name));
+      }
+      reply["graphs"] = std::move(names);
+    } else if (op == "stats") {
+      reply = render_stats(service);
+    } else if (op == "evict") {
+      reply["ok"] = JsonValue(true);
+      reply["op"] = JsonValue("evict");
+      reply["dropped"] =
+          JsonValue(static_cast<std::uint64_t>(service.evict_sessions()));
+    } else if (op == "batch") {
+      // Fan the sub-requests across the worker pool; responses come back
+      // in request order.
+      std::vector<Request> requests;
+      for (const JsonValue& sub : obj.at("requests").as_array()) {
+        requests.push_back(parse_request(sub, sub.at("op").as_string()));
+      }
+      const std::vector<Request> parsed = requests;  // run_batch consumes
+      std::vector<Response> responses = service.run_batch(std::move(requests));
+      reply["ok"] = JsonValue(true);
+      reply["op"] = JsonValue("batch");
+      JsonValue rendered;
+      for (std::size_t i = 0; i < responses.size(); ++i) {
+        rendered.push_back(render_response(parsed[i], responses[i], timing));
+      }
+      reply["responses"] = std::move(rendered);
+    } else if (op == "solve" || op == "top_k" || op == "update") {
+      const Request request = parse_request(obj, op);
+      reply = render_response(request, service.handle(request), timing);
+    } else {
+      reply = error_line("unknown op: " + op);
+    }
+  } catch (const Error& e) {
+    reply = error_line(e.what());
+  }
+  out << reply.dump() << "\n" << std::flush;
+  return keep_going;
+}
+
+int serve_main(int argc, char** argv) {
+  FlagParser flags(
+      "apgre_serve: line-oriented JSON BC query service on stdin/stdout");
+  flags.add_int("workers", 4, "worker threads draining the request queue");
+  flags.add_int("capacity", 8, "warm solver sessions kept in the LRU cache");
+  flags.add_bool("timing", false,
+                 "include wall-time fields in responses (off keeps replay "
+                 "output byte-stable)");
+
+  try {
+    const std::vector<std::string> positional = flags.parse(argc, argv);
+    if (flags.help_requested()) {
+      std::cout << flags.help();
+      return 0;
+    }
+    if (!positional.empty()) {
+      throw OptionError("apgre_serve takes no positional arguments");
+    }
+    ServiceOptions options;
+    options.workers = static_cast<int>(flags.get_int("workers"));
+    options.session_capacity =
+        static_cast<std::size_t>(flags.get_int("capacity"));
+    const bool timing = flags.get_bool("timing");
+
+    Service service(options);
+    for (std::string line; std::getline(std::cin, line);) {
+      if (line.empty()) continue;
+      if (!serve_line(service, line, timing, std::cout)) break;
+    }
+    return 0;
+  } catch (const Error& e) {
+    // FlagParser reports unknown flags as plain Error; both are usage.
+    std::cerr << "usage error: " << e.what() << "\n" << flags.help();
+    return 2;
+  }
+}
+
+}  // namespace
+}  // namespace apgre
+
+int main(int argc, char** argv) { return apgre::serve_main(argc, argv); }

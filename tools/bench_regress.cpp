@@ -16,21 +16,26 @@
 // malformed / schema-incompatible baseline. docs/OBSERVABILITY.md describes
 // the report format and how CI refreshes its baseline artifact.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bc/bc.hpp"
 #include "check/corpus.hpp"
+#include "service/service.hpp"
 #include "support/error.hpp"
 #include "support/flags.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
 #include "support/stats.hpp"
+#include "support/timer.hpp"
 #include "support/trace.hpp"
 #include "workloads.hpp"
 
@@ -172,6 +177,85 @@ JsonValue measure(const BenchGraph& bg, const MeasureSpec& spec, int repeat,
   return JsonValue(std::move(out));
 }
 
+/// --workload service: measure request throughput of an apgre::Service
+/// under `clients` concurrent client threads, each issuing `per_client`
+/// mixed solve / top_k / update requests (deterministic per-client request
+/// streams) over the tiny seeded corpus. Returns the report's "service"
+/// object: requests/sec, the warm-session hit rate, and the raw counters.
+JsonValue run_service_workload(std::uint64_t seed, int clients,
+                               int per_client, int threads) {
+  ServiceOptions options;
+  options.workers = threads > 0 ? threads : 4;
+  options.session_capacity = 4;
+  Service service(options);
+
+  std::vector<std::string> names;
+  for (CorpusCase& c : graph_corpus(seed, /*tiny=*/true)) {
+    names.push_back(c.name);
+    service.register_graph(c.name, std::move(c.graph));
+  }
+  APGRE_REQUIRE(!names.empty(), "service workload: empty corpus");
+
+  Timer timer;
+  std::atomic<std::uint64_t> issued{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      std::mt19937_64 rng(seed * 1000003 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < per_client; ++i) {
+        Request request;
+        request.graph = names[rng() % names.size()];
+        const std::uint64_t roll = rng() % 10;
+        if (roll < 5) {
+          request.kind = RequestKind::kTopK;
+          request.k = 8;
+          request.options.algorithm = Algorithm::kBrandesSerial;
+        } else if (roll < 8) {
+          request.kind = RequestKind::kSolve;
+          request.options.algorithm = Algorithm::kApgre;
+        } else {
+          request.kind = RequestKind::kUpdate;
+          const auto snap = service.snapshot(request.graph);
+          const Vertex n = snap == nullptr ? 0 : snap->num_vertices();
+          if (n < 2) continue;
+          request.u = static_cast<Vertex>(rng() % n);
+          request.v = static_cast<Vertex>(rng() % n);
+          // Duplicate inserts / self-loops come back as error responses;
+          // they still exercise the queue and are counted as requests.
+        }
+        service.submit(std::move(request)).get();
+        issued.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double elapsed = timer.seconds();
+
+  const ServiceStats stats = service.stats();
+  JsonValue::Object out;
+  out["clients"] = JsonValue(static_cast<std::int64_t>(clients));
+  out["requests_per_client"] = JsonValue(static_cast<std::int64_t>(per_client));
+  out["requests"] = JsonValue(issued.load());
+  out["elapsed_seconds"] = JsonValue(elapsed);
+  out["requests_per_second"] =
+      JsonValue(elapsed > 0.0 ? static_cast<double>(issued.load()) / elapsed
+                              : 0.0);
+  out["hit_rate"] = JsonValue(stats.hit_rate());
+  JsonValue::Object counters;
+  counters["solves"] = JsonValue(stats.solves);
+  counters["top_k"] = JsonValue(stats.top_k);
+  counters["updates"] = JsonValue(stats.updates);
+  counters["updates_local"] = JsonValue(stats.updates_local);
+  counters["updates_structural"] = JsonValue(stats.updates_structural);
+  counters["errors"] = JsonValue(stats.errors);
+  counters["session_hits"] = JsonValue(stats.session_hits);
+  counters["session_misses"] = JsonValue(stats.session_misses);
+  counters["session_evictions"] = JsonValue(stats.session_evictions);
+  out["counters"] = JsonValue(std::move(counters));
+  return JsonValue(std::move(out));
+}
+
 /// Throws Error on unreadable / malformed / schema-incompatible reports.
 JsonValue load_report(const std::string& path) {
   std::ifstream in(path);
@@ -261,10 +345,16 @@ int main(int argc, char** argv) {
                   "relative slowdown tolerated before the gate fails")
       .add_double("min-delta", 0.005,
                   "absolute slowdown (seconds) a regression must also exceed")
-      .add_string("revision", "unknown", "revision label stored in the report");
+      .add_string("revision", "unknown", "revision label stored in the report")
+      .add_string("workload", "kernels",
+                  "kernels (per-algorithm timings) or service (concurrent "
+                  "request throughput against apgre::Service)")
+      .add_int("clients", 8, "service workload: concurrent client threads")
+      .add_int("requests", 50, "service workload: requests per client");
 
   std::vector<MeasureSpec> algo_set;
   std::vector<BenchGraph> graph_list;
+  std::string workload;
   try {
     const auto positional = flags.parse(argc, argv);
     if (flags.help_requested()) {
@@ -276,10 +366,18 @@ int main(int argc, char** argv) {
     APGRE_REQUIRE(flags.get_int("warmup") >= 0, "--warmup must be >= 0");
     APGRE_REQUIRE(flags.get_double("threshold") >= 0.0,
                   "--threshold must be non-negative");
-    algo_set = parse_algo_set(flags.get_string("algo-set"));
-    graph_list = build_graph_list(flags.get_string("graphs"),
-                                  static_cast<std::uint64_t>(flags.get_int("seed")),
-                                  flags.get_double("scale"));
+    workload = flags.get_string("workload");
+    APGRE_REQUIRE(workload == "kernels" || workload == "service",
+                  "--workload must be kernels or service");
+    APGRE_REQUIRE(flags.get_int("clients") >= 1, "--clients must be >= 1");
+    APGRE_REQUIRE(flags.get_int("requests") >= 1, "--requests must be >= 1");
+    if (workload == "kernels") {
+      algo_set = parse_algo_set(flags.get_string("algo-set"));
+      graph_list = build_graph_list(
+          flags.get_string("graphs"),
+          static_cast<std::uint64_t>(flags.get_int("seed")),
+          flags.get_double("scale"));
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n%s", e.what(), flags.help().c_str());
     return 2;
@@ -288,6 +386,17 @@ int main(int argc, char** argv) {
   const int repeat = static_cast<int>(flags.get_int("repeat"));
   const int warmup = static_cast<int>(flags.get_int("warmup"));
   const int threads = static_cast<int>(flags.get_int("threads"));
+
+  JsonValue service_section;
+  if (workload == "service") {
+    service_section = run_service_workload(
+        static_cast<std::uint64_t>(flags.get_int("seed")),
+        static_cast<int>(flags.get_int("clients")),
+        static_cast<int>(flags.get_int("requests")), threads);
+    std::fprintf(stderr, "service workload: %.0f requests/sec, hit rate %.2f\n",
+                 service_section.at("requests_per_second").as_double(),
+                 service_section.at("hit_rate").as_double());
+  }
 
   JsonValue::Array results;
   for (const BenchGraph& bg : graph_list) {
@@ -323,9 +432,13 @@ int main(int argc, char** argv) {
     config["algo_set"] = JsonValue(flags.get_string("algo-set"));
     config["scale"] = JsonValue(flags.get_double("scale"));
     config["seed"] = JsonValue(flags.get_int("seed"));
+    config["workload"] = JsonValue(workload);
     report["config"] = JsonValue(std::move(config));
   }
   report["results"] = JsonValue(std::move(results));
+  if (!service_section.is_null()) {
+    report["service"] = std::move(service_section);
+  }
   const JsonValue head(std::move(report));
 
   if (const std::string out = flags.get_string("out"); !out.empty()) {
