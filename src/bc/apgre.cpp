@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <optional>
 #include <span>
 
 #include "bc/frontier.hpp"
@@ -431,6 +432,10 @@ void subgraph_source_parallel(const Subgraph& sg, Vertex s, ParallelScratch& st,
 }
 
 std::vector<double> subgraph_bc_parallel(const Subgraph& sg, bool hybrid_inner) {
+  // Region-context kernel: not reentrant, serialize whole invocations
+  // (support/parallel.hpp). The scheduler-native variant below has no such
+  // lock — that is the concurrent path.
+  std::lock_guard<std::recursive_mutex> lock(legacy_omp_kernel_mutex());
   std::vector<double> bc(sg.num_vertices(), 0.0);
   ParallelScratch scratch(sg.num_vertices());
   for (Vertex s : sg.roots) {
@@ -439,6 +444,248 @@ std::vector<double> subgraph_bc_parallel(const Subgraph& sg, bool hybrid_inner) 
   flush_kernel_tallies(scratch.sources, scratch.traversed_arcs,
                        scratch.cas_retries.load(std::memory_order_relaxed));
   return bc;
+}
+
+// --------------------------------------------------------------------------
+// Scheduler-native fine-grained kernel: the same level-synchronous
+// mathematics as subgraph_source_parallel, but the per-level loops run as
+// nested WorkStealingScheduler::parallel_for calls instead of OpenMP
+// regions. Plain lambdas capture the enclosing locals directly — the
+// scheduler synchronises with std::atomic operations TSan understands, so
+// neither the fence idiom nor the region-context pointer (nor the
+// process-wide serialization they force) applies. This is the kernel the
+// "dedicated" large/few-root sub-graphs dispatch from inside scheduler
+// tasks, which is what lets N service clients drive N parallel solves
+// concurrently.
+// --------------------------------------------------------------------------
+
+struct SchedScratch {
+  std::vector<std::atomic<std::int32_t>> dist;
+  std::vector<std::atomic<double>> sigma;
+  std::vector<double> d_i2i;
+  std::vector<double> d_i2o;
+  std::vector<double> d_o2o;
+  LevelBuckets levels;
+  SlotLocalFrontier next;
+  // Direction-optimising forward phase: unvisited list + per-slot splits.
+  std::vector<Vertex> candidates;
+  SlotLocalFrontier remaining;
+
+  std::uint64_t sources = 0;
+  std::uint64_t traversed_arcs = 0;
+  std::atomic<std::uint64_t> cas_retries{0};
+
+  SchedScratch(Vertex n, int slots)
+      : dist(n), sigma(n), d_i2i(n, 0.0), d_i2o(n, 0.0), d_o2o(n, 0.0),
+        next(slots), remaining(slots) {
+    for (Vertex v = 0; v < n; ++v) {
+      dist[v].store(kUnvisited, std::memory_order_relaxed);
+      sigma[v].store(0.0, std::memory_order_relaxed);
+    }
+  }
+};
+
+/// Chunk size for a level of `n` vertices: big enough to amortize the
+/// claim fetch_add, small enough to split a fat frontier across the pool.
+std::int64_t level_grain(std::size_t n, int workers) {
+  return std::max<std::int64_t>(
+      64, static_cast<std::int64_t>(n) / (8 * static_cast<std::int64_t>(workers)));
+}
+
+void subgraph_source_scheduled(const Subgraph& sg, Vertex s, SchedScratch& st,
+                               std::vector<double>& bc, bool hybrid_inner,
+                               WorkStealingScheduler& sched) {
+  const CsrGraph& g = sg.graph;
+  const int workers = sched.num_workers();
+  const bool s_is_ap = sg.is_boundary_ap[s] != 0;
+  const double size_o2i = s_is_ap ? static_cast<double>(sg.beta[s]) : 0.0;
+  const double gamma_s = static_cast<double>(sg.gamma[s]);
+
+  for (Vertex a : sg.boundary_aps) {
+    if (a == s) continue;
+    st.d_i2o[a] = static_cast<double>(sg.alpha[a]);
+    if (s_is_ap) st.d_o2o[a] = size_o2i * static_cast<double>(sg.alpha[a]);
+  }
+
+  st.dist[s].store(0, std::memory_order_relaxed);
+  st.sigma[s].store(1.0, std::memory_order_relaxed);
+  st.levels.push(s);
+  st.levels.finish_level();
+  const auto total_arcs = static_cast<double>(g.num_arcs());
+  std::uint64_t frontier_out_edges = g.out_degree(s);
+  double explored_arcs = 0.0;
+  bool candidates_valid = false;
+
+  for (std::size_t current = 0; !st.levels.level(current).empty(); ++current) {
+    const auto frontier = st.levels.level(current);
+    const auto depth = static_cast<std::int32_t>(current);
+    explored_arcs += static_cast<double>(frontier_out_edges);
+    // Beamer thresholds (alpha=15, beta=20), only when requested.
+    const bool bottom_up =
+        hybrid_inner &&
+        static_cast<double>(frontier_out_edges) >
+            (total_arcs - explored_arcs) / 15.0 &&
+        static_cast<double>(frontier.size()) >
+            static_cast<double>(g.num_vertices()) / 20.0;
+
+    if (bottom_up) {
+      if (!candidates_valid) {
+        st.candidates.clear();
+        for (Vertex v = 0; v < g.num_vertices(); ++v) {
+          if (st.dist[v].load(std::memory_order_relaxed) == kUnvisited) {
+            st.candidates.push_back(v);
+          }
+        }
+        candidates_valid = true;
+      }
+      sched.parallel_for(
+          0, static_cast<std::int64_t>(st.candidates.size()),
+          level_grain(st.candidates.size(), workers),
+          [&](std::int64_t lo, std::int64_t hi, int slot) {
+            auto& next = st.next.local(slot);
+            auto& remaining = st.remaining.local(slot);
+            for (std::int64_t i = lo; i < hi; ++i) {
+              const Vertex v = st.candidates[static_cast<std::size_t>(i)];
+              double paths = 0.0;
+              for (Vertex u : g.in_neighbors(v)) {
+                if (st.dist[u].load(std::memory_order_relaxed) == depth) {
+                  paths += st.sigma[u].load(std::memory_order_relaxed);
+                }
+              }
+              if (paths > 0.0) {
+                st.dist[v].store(depth + 1, std::memory_order_relaxed);
+                st.sigma[v].store(paths, std::memory_order_relaxed);
+                next.push_back(v);
+              } else {
+                remaining.push_back(v);
+              }
+            }
+          });
+      st.candidates.clear();
+      st.next.drain_into(st.levels);
+      {
+        // Re-collect the shrunken unvisited list from the split buffers.
+        LevelBuckets tmp;
+        st.remaining.drain_into(tmp);
+        st.candidates.assign(tmp.touched().begin(), tmp.touched().end());
+      }
+    } else {
+      sched.parallel_for(
+          0, static_cast<std::int64_t>(frontier.size()),
+          level_grain(frontier.size(), workers),
+          [&](std::int64_t lo, std::int64_t hi, int slot) {
+            auto& next = st.next.local(slot);
+            std::uint64_t lost_claims = 0;
+            for (std::int64_t i = lo; i < hi; ++i) {
+              const Vertex v = frontier[static_cast<std::size_t>(i)];
+              for (Vertex w : g.out_neighbors(v)) {
+                std::int32_t expected = kUnvisited;
+                if (st.dist[w].compare_exchange_strong(
+                        expected, depth + 1, std::memory_order_relaxed)) {
+                  next.push_back(w);
+                  expected = depth + 1;
+                } else if (expected == depth + 1) {
+                  ++lost_claims;
+                }
+                if (expected == depth + 1) {
+                  st.sigma[w].fetch_add(
+                      st.sigma[v].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+                }
+              }
+            }
+            if (lost_claims != 0) {
+              st.cas_retries.fetch_add(lost_claims, std::memory_order_relaxed);
+            }
+          });
+      st.next.drain_into(st.levels);
+      candidates_valid = false;  // stale after a push level
+    }
+    st.levels.finish_level();
+    const auto fresh = st.levels.level(current + 1);
+    if (fresh.empty()) break;
+    frontier_out_edges = 0;
+    for (Vertex v : fresh) frontier_out_edges += g.out_degree(v);
+  }
+
+  for (std::size_t lvl = st.levels.num_levels(); lvl-- > 0;) {
+    const auto level = st.levels.level(lvl);
+    sched.parallel_for(
+        0, static_cast<std::int64_t>(level.size()),
+        level_grain(level.size(), workers),
+        [&](std::int64_t lo, std::int64_t hi, int) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const Vertex v = level[static_cast<std::size_t>(i)];
+            const auto dv = st.dist[v].load(std::memory_order_relaxed);
+            const double sv = st.sigma[v].load(std::memory_order_relaxed);
+            double acc_i2i = 0.0;
+            double acc_i2o = st.d_i2o[v];
+            double acc_o2o = st.d_o2o[v];
+            for (Vertex w : g.out_neighbors(v)) {
+              if (st.dist[w].load(std::memory_order_relaxed) != dv + 1) continue;
+              const double coef =
+                  sv / st.sigma[w].load(std::memory_order_relaxed);
+              acc_i2i += coef * (1.0 + st.d_i2i[w]);
+              acc_i2o += coef * st.d_i2o[w];
+              if (s_is_ap) acc_o2o += coef * st.d_o2o[w];
+            }
+            st.d_i2i[v] = acc_i2i;
+            st.d_i2o[v] = acc_i2o;
+            st.d_o2o[v] = acc_o2o;
+            if (v != s) {
+              bc[v] += (1.0 + gamma_s) * (acc_i2i + acc_i2o) +
+                       size_o2i * acc_i2i + acc_o2o;
+            } else if (gamma_s > 0.0) {
+              double self = acc_i2i + acc_i2o;
+              if (!g.directed()) self -= 1.0;
+              if (s_is_ap) self += static_cast<double>(sg.alpha[s]);
+              bc[s] += gamma_s * self;
+            }
+          }
+        });
+  }
+
+  ++st.sources;
+  for (Vertex v : st.levels.touched()) {
+    st.traversed_arcs += g.out_degree(v);
+    st.dist[v].store(kUnvisited, std::memory_order_relaxed);
+    st.sigma[v].store(0.0, std::memory_order_relaxed);
+    st.d_i2i[v] = 0.0;
+    st.d_i2o[v] = 0.0;
+    st.d_o2o[v] = 0.0;
+  }
+  st.levels.clear();
+  for (Vertex a : sg.boundary_aps) {
+    st.d_i2o[a] = 0.0;
+    st.d_o2o[a] = 0.0;
+  }
+}
+
+std::vector<double> subgraph_bc_scheduled(const Subgraph& sg, bool hybrid_inner,
+                                          WorkStealingScheduler& sched) {
+  std::vector<double> bc(sg.num_vertices(), 0.0);
+  SchedScratch scratch(sg.num_vertices(), sched.num_slots());
+  for (Vertex s : sg.roots) {
+    subgraph_source_scheduled(sg, s, scratch, bc, hybrid_inner, sched);
+  }
+  flush_kernel_tallies(scratch.sources, scratch.traversed_arcs,
+                       scratch.cas_retries.load(std::memory_order_relaxed));
+  return bc;
+}
+
+/// Default pool options (threads == 0, random stealing) share the
+/// process-wide pool, so concurrent solves arbitrate the same cores
+/// instead of oversubscribing with private pools; anything pinned
+/// (explicit thread count, sequential stealing) gets a private scheduler
+/// with exactly those options.
+WorkStealingScheduler& select_scheduler(
+    const SchedulerOptions& sched,
+    std::optional<WorkStealingScheduler>& storage) {
+  if (sched.threads == 0 && sched.steal_policy == StealPolicy::kRandom) {
+    return WorkStealingScheduler::shared();
+  }
+  storage.emplace(sched);
+  return *storage;
 }
 
 /// Arc threshold above which a sub-graph is "large" (fine-grained tier).
@@ -457,6 +704,10 @@ EdgeId fine_grain_cutoff(const ApgreOptions& opts, EdgeId total_arcs) {
 
 std::vector<double> score_flat(const CsrGraph& g, const Decomposition& dec,
                                const ApgreOptions& opts, ApgreStats& stats) {
+  // The coarse loop below and subgraph_bc_parallel are region-context
+  // OpenMP kernels; serialize the whole invocation against concurrent
+  // callers (recursive: subgraph_bc_parallel re-locks).
+  std::lock_guard<std::recursive_mutex> lock(legacy_omp_kernel_mutex());
   const EdgeId fine_cutoff = fine_grain_cutoff(opts, g.num_arcs());
 
   std::vector<std::size_t> fine;
@@ -552,9 +803,11 @@ std::vector<double> score_flat(const CsrGraph& g, const Decomposition& dec,
 // --------------------------------------------------------------------------
 // Scheduled scoring path: every (sub-graph, root-batch) pair becomes a task
 // on the work-stealing scheduler (support/sched/scheduler.hpp). Sub-graphs
-// too large to split profitably run the level-synchronous OpenMP kernel
-// whole, *before* the scheduler run (task bodies must not open OpenMP
-// regions). The kernel per tier is chosen adaptively from size / root-count
+// too large to split profitably become *dedicated* tasks that run the
+// scheduler-native level-synchronous kernel, opening nested parallel_for
+// calls from inside their task body — the whole run is one scheduler
+// invocation, so concurrent solves interleave freely (no process-wide
+// lock). The kernel per tier is chosen adaptively from size / root-count
 // heuristics and the choice is recorded in ApgreStats.
 // --------------------------------------------------------------------------
 
@@ -562,10 +815,12 @@ std::vector<double> score_scheduled(const CsrGraph& g, const Decomposition& dec,
                                     const ApgreOptions& opts,
                                     const SchedulerOptions& sched,
                                     ApgreStats& stats) {
-  WorkStealingScheduler scheduler(sched);
+  std::optional<WorkStealingScheduler> private_sched;
+  WorkStealingScheduler& scheduler = select_scheduler(sched, private_sched);
   const int workers = scheduler.num_workers();
+  const int slots = scheduler.num_slots();
   const EdgeId fine_cutoff = fine_grain_cutoff(opts, g.num_arcs());
-  const bool inner_parallel_pays = num_threads() > 1;
+  const bool inner_parallel_pays = workers > 1;
 
   // Classify: `dedicated` sub-graphs are large but have too few roots to
   // split into enough batches to load-balance — fine-grained parallelism
@@ -611,10 +866,33 @@ std::vector<double> score_scheduled(const CsrGraph& g, const Decomposition& dec,
 
   std::vector<double> bc(g.num_vertices(), 0.0);
 
-  {
-    APGRE_TRACE_SPAN("apgre/top_bc");
-    ScopedTimer t(stats.top_bc_seconds);
-    for (std::size_t sgi : dedicated) {
+  // Per-slot accumulation state. Sub-graphs overlap only at articulation
+  // points, but giving each slot a private global-id buffer (lazily
+  // allocated on first use) makes every task body race-free without locks.
+  // Sized num_slots(): external participant threads get slots beyond the
+  // pool workers. Safe under nesting too — a dedicated task's nested
+  // parallel_for may pop another task of this run onto the same slot, but
+  // that task runs to completion before the wait loop resumes, and the
+  // dedicated task touches its WorkerBuf only after its kernel finishes.
+  struct WorkerBuf {
+    std::vector<double> bc;
+    SubgraphScratch scratch;
+    std::vector<double> local;
+  };
+  std::vector<WorkerBuf> bufs(static_cast<std::size_t>(slots));
+  const Vertex n_global = g.num_vertices();
+
+  // Dedicated sub-graphs run inside scheduler tasks like everything else;
+  // their wall time is summed here so the Figure-8 top/rest breakdown
+  // survives the move off the serial pre-pass.
+  std::atomic<double> dedicated_seconds{0.0};
+
+  std::vector<WorkStealingScheduler::Task> tasks;
+  tasks.reserve(dedicated.size() + pieces.size());
+  for (std::size_t sgi : dedicated) {
+    tasks.push_back([&dec, &bufs, &scheduler, &opts, &dedicated_seconds,
+                     n_global, sgi](int slot) {
+      Timer timer;
       const Subgraph& sg = dec.subgraphs[sgi];
       // Dense low-diameter sub-graphs flip to the direction-optimising
       // forward phase even when the caller left hybrid_inner off.
@@ -622,29 +900,19 @@ std::vector<double> score_scheduled(const CsrGraph& g, const Decomposition& dec,
           opts.hybrid_inner ||
           (sg.num_vertices() > 0 &&
            sg.num_arcs() / static_cast<EdgeId>(sg.num_vertices()) >= 16);
-      const std::vector<double> local = subgraph_bc_parallel(sg, hybrid);
+      const std::vector<double> local =
+          subgraph_bc_scheduled(sg, hybrid, scheduler);
+      WorkerBuf& wb = bufs[static_cast<std::size_t>(slot)];
+      if (wb.bc.empty()) wb.bc.assign(n_global, 0.0);
       for (Vertex v = 0; v < sg.num_vertices(); ++v) {
-        bc[sg.to_global[v]] += local[v];
+        wb.bc[sg.to_global[v]] += local[v];
       }
-    }
+      dedicated_seconds.fetch_add(timer.seconds(), std::memory_order_relaxed);
+    });
   }
-
-  // Per-worker accumulation state. Sub-graphs overlap only at articulation
-  // points, but giving each worker a private global-id buffer (lazily
-  // allocated on first use) makes every task body race-free without locks.
-  struct WorkerBuf {
-    std::vector<double> bc;
-    SubgraphScratch scratch;
-    std::vector<double> local;
-  };
-  std::vector<WorkerBuf> bufs(static_cast<std::size_t>(workers));
-  const Vertex n_global = g.num_vertices();
-
-  std::vector<WorkStealingScheduler::Task> tasks;
-  tasks.reserve(pieces.size());
   for (const Piece& p : pieces) {
-    tasks.push_back([&dec, &bufs, n_global, p](int worker) {
-      WorkerBuf& wb = bufs[static_cast<std::size_t>(worker)];
+    tasks.push_back([&dec, &bufs, n_global, p](int slot) {
+      WorkerBuf& wb = bufs[static_cast<std::size_t>(slot)];
       if (wb.bc.empty()) wb.bc.assign(n_global, 0.0);
       const Subgraph& sg = dec.subgraphs[p.sgi];
       wb.scratch.ensure(sg.num_vertices());
@@ -668,6 +936,7 @@ std::vector<double> score_scheduled(const CsrGraph& g, const Decomposition& dec,
       for (Vertex v = 0; v < n_global; ++v) bc[v] += wb.bc[v];
     }
   }
+  stats.top_bc_seconds += dedicated_seconds.load(std::memory_order_relaxed);
   for (const WorkerBuf& wb : bufs) {
     if (wb.scratch.sources != 0) {
       flush_kernel_tallies(wb.scratch.sources, wb.scratch.traversed_arcs);
@@ -694,6 +963,14 @@ std::vector<double> apgre_subgraph_bc(const Subgraph& sg, bool parallel_inner,
                                       bool hybrid_inner) {
   return parallel_inner ? subgraph_bc_parallel(sg, hybrid_inner)
                         : subgraph_bc_serial(sg);
+}
+
+std::vector<double> apgre_subgraph_bc_scheduled(const Subgraph& sg,
+                                                bool hybrid_inner,
+                                                const SchedulerOptions& sched) {
+  std::optional<WorkStealingScheduler> private_sched;
+  WorkStealingScheduler& scheduler = select_scheduler(sched, private_sched);
+  return subgraph_bc_scheduled(sg, hybrid_inner, scheduler);
 }
 
 std::vector<double> apgre_bc_with_decomposition(const CsrGraph& g,

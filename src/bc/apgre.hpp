@@ -66,9 +66,10 @@ struct ApgreStats {
 
   /// Two-level scheduler breakdown (zero when the flat loop ran). The
   /// adaptive kernel choice (SchedulerOptions::adaptive_kernel) is recorded
-  /// here: `num_fine_subgraphs` ran the level-synchronous OpenMP kernel
-  /// whole, `num_batch_tasks` + `num_subgraph_tasks` ran the serial kernel
-  /// on scheduler workers.
+  /// here: `num_fine_subgraphs` ran whole as dedicated tasks with the
+  /// scheduler-native level-synchronous kernel (nested parallel_for),
+  /// `num_batch_tasks` + `num_subgraph_tasks` ran the serial kernel on
+  /// scheduler workers.
   std::size_t num_fine_subgraphs = 0;  ///< dedicated level-synchronous runs
   std::size_t num_batch_tasks = 0;     ///< root-batch tasks of split sub-graphs
   std::size_t num_subgraph_tasks = 0;  ///< whole-sub-graph serial tasks
@@ -99,5 +100,15 @@ std::vector<double> apgre_bc_with_decomposition(
 /// phase (only meaningful with parallel_inner).
 std::vector<double> apgre_subgraph_bc(const Subgraph& sg, bool parallel_inner,
                                       bool hybrid_inner = false);
+
+/// Sub-graph BC with the scheduler-native level-synchronous kernel: the
+/// per-level loops run as WorkStealingScheduler::parallel_for calls instead
+/// of OpenMP regions, so concurrent invocations from different threads are
+/// safe (no process-wide kernel lock). Default pool options use the shared
+/// process-wide scheduler; explicit thread counts get a private one.
+/// Exposed for the differential tests against the serial oracle.
+std::vector<double> apgre_subgraph_bc_scheduled(const Subgraph& sg,
+                                                bool hybrid_inner = false,
+                                                const SchedulerOptions& sched = {});
 
 }  // namespace apgre

@@ -72,6 +72,36 @@ class LevelBuckets {
   std::vector<std::size_t> offsets_{0};
 };
 
+/// Per-slot append buffers for the scheduler-native kernels: like
+/// ThreadLocalFrontier, but indexed by the scheduler slot id a
+/// parallel_for body receives instead of the OpenMP thread id, and sized
+/// by WorkStealingScheduler::num_slots(). Buffers start empty and grow
+/// only on slots that actually execute chunks, so oversizing is free.
+class SlotLocalFrontier {
+ public:
+  explicit SlotLocalFrontier(int slots)
+      : buffers_(static_cast<std::size_t>(slots)) {}
+
+  std::vector<Vertex>& local(int slot) {
+    return buffers_[static_cast<std::size_t>(slot)].items;
+  }
+
+  /// Merge every slot's buffer; call only between parallel_for calls.
+  void drain_into(LevelBuckets& levels) {
+    for (auto& buffer : buffers_) {
+      if (buffer.items.empty()) continue;
+      levels.push_batch(buffer.items);
+      buffer.items.clear();
+    }
+  }
+
+ private:
+  struct alignas(64) Buffer {
+    std::vector<Vertex> items;
+  };
+  std::vector<Buffer> buffers_;
+};
+
 /// Per-thread append buffers merged into a LevelBuckets level at the end of
 /// a parallel region (reduction-bag substitute, see paper §5.1).
 class ThreadLocalFrontier {

@@ -43,6 +43,9 @@ RegionCtx* region_ctx = nullptr;
 }  // namespace
 
 std::vector<double> hybrid_bc(const CsrGraph& g, const HybridOptions& opts) {
+  // Region-context OpenMP kernel (support/parallel.hpp): not reentrant,
+  // serialize whole invocations against concurrent caller threads.
+  std::lock_guard<std::recursive_mutex> lock(legacy_omp_kernel_mutex());
   const Vertex n = g.num_vertices();
   std::vector<double> bc(n, 0.0);
 

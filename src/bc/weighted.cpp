@@ -262,6 +262,9 @@ std::vector<double> weighted_apgre_bc(const WeightedCsrGraph& g,
   std::vector<double> bc(g.num_vertices(), 0.0);
   {
     ScopedTimer t(local_stats.rest_bc_seconds);
+    // Region-context OpenMP kernel (support/parallel.hpp): not reentrant,
+    // serialize whole invocations against concurrent caller threads.
+    std::lock_guard<std::recursive_mutex> lock(legacy_omp_kernel_mutex());
     WeightedRegionCtx ctx;
     ctx.g = &g;
     ctx.dec = &dec;

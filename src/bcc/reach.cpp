@@ -53,6 +53,9 @@ std::uint64_t restricted_reach(const CsrGraph& g, Vertex start, bool forward,
 }
 
 void reach_by_bfs(const CsrGraph& g, Decomposition& dec) {
+  // Region-context OpenMP kernel (support/parallel.hpp): not reentrant,
+  // serialize whole invocations against concurrent caller threads.
+  std::lock_guard<std::recursive_mutex> lock(legacy_omp_kernel_mutex());
   ReachRegionCtx ctx{&g, &dec};
   reach_region_ctx = &ctx;
   omp_fork_fence();

@@ -18,26 +18,11 @@
 
 namespace apgre {
 
-namespace {
-
-/// The OpenMP kernels communicate through a file-scope region context
-/// (support/parallel.hpp) and are therefore not reentrant from concurrent
-/// caller threads. One process-wide mutex serializes every solve whose
-/// algorithm_info().parallel is set; serial kernels and DynamicBc updates
-/// bypass it and run fully concurrently.
-std::mutex& parallel_kernel_mutex() {
-  static std::mutex mu;
-  return mu;
-}
-
-bool uses_parallel_kernel(Algorithm algorithm) {
-  const auto index = static_cast<std::size_t>(algorithm);
-  const auto registry = algorithm_registry();
-  // Out-of-registry values are reported by validate_options downstream.
-  return index < registry.size() && registry[index].parallel;
-}
-
-}  // namespace
+// Parallel solves need no serialization here: the scheduler-native APGRE
+// path is reentrant (support/sched/scheduler.hpp), and the remaining
+// region-context OpenMP kernels serialize themselves behind
+// legacy_omp_kernel_mutex() (support/parallel.hpp). The service submits
+// every request directly.
 
 struct Service::Impl {
   /// Per-graph registry entry. `mu` serializes updates and snapshot swaps;
@@ -233,13 +218,7 @@ struct Service::Impl {
         .counter(hit ? "service.session_hits" : "service.session_misses")
         .add();
 
-    BcResult result;
-    if (uses_parallel_kernel(request.options.algorithm)) {
-      std::lock_guard<std::mutex> lk(parallel_kernel_mutex());
-      result = session->solver.solve(request.options);
-    } else {
-      result = session->solver.solve(request.options);
-    }
+    BcResult result = session->solver.solve(request.options);
     cache_put(request.graph, std::move(session));
 
     if (!result.status.ok()) {

@@ -17,11 +17,14 @@
 // provably survive — while anything structural drops it so the next solve
 // re-decomposes.
 //
-// Thread-safety: every public member is safe to call from any thread.
-// Internally, parallel kernels (algorithm_info().parallel) are serialized
-// behind one process-wide mutex because the OpenMP region-context idiom
-// (support/parallel.hpp) is not reentrant from concurrent caller threads;
-// serial kernels and DynamicBc updates run fully concurrently.
+// Thread-safety: every public member is safe to call from any thread, and
+// the service itself imposes no cross-request serialization. The APGRE
+// scheduler path is reentrant (support/sched/scheduler.hpp) — N workers can
+// drive N parallel solves concurrently, sharing the process-wide work-
+// stealing pool. Kernels still built on the OpenMP region-context idiom
+// serialize *themselves* behind legacy_omp_kernel_mutex()
+// (support/parallel.hpp), so they stay safe without the service knowing
+// which algorithms those are.
 //
 // Observability: service.* metrics (requests, session_hits/misses/
 // evictions, updates_local/structural, queue_depth gauge) plus per-Service

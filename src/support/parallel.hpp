@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #ifdef _OPENMP
@@ -91,6 +92,20 @@ inline void omp_critical_exit_fence() { detail::tsan_fence_release(); }
 // edge the capture block can never get. Consequence: such kernels are not
 // reentrant from concurrent caller threads — the same constraint libgomp's
 // shared worker pool already imposes.
+
+/// Serializes whole invocations of the region-context OpenMP kernels (the
+/// consequence above made concrete). Each such kernel locks this for its
+/// full duration — from publishing its context pointer to clearing it — so
+/// concurrent caller threads (the BC service's worker pool) can invoke any
+/// of them without racing on the file-scope pointers. Recursive because
+/// one legacy kernel may call another (apgre's flat path runs the
+/// fine-grained sub-graph kernel, which also locks). Scheduler-native
+/// kernels (support/sched/) never take this lock — that is the point of
+/// their existence; see DESIGN.md "Reentrant scheduler".
+inline std::recursive_mutex& legacy_omp_kernel_mutex() {
+  static std::recursive_mutex mu;
+  return mu;
+}
 
 /// Number of threads an upcoming parallel region will use.
 inline int num_threads() {

@@ -101,6 +101,39 @@ TEST(ApgreBc, SerialAndParallelKernelsAgree) {
   }
 }
 
+// Differential check for the scheduler-native level-synchronous kernel
+// (the one the dedicated large-sub-graph tasks dispatch): it must match the
+// serial oracle kernel on every sub-graph, with and without the
+// direction-optimising forward phase, on a real multi-worker scheduler.
+TEST(ApgreBc, ScheduledKernelMatchesSerialOracle) {
+  const CsrGraph g = attach_pendants(barabasi_albert(200, 3, 11), 50, 12);
+  const Decomposition dec = decompose(g);
+  SchedulerOptions sched;
+  sched.threads = 4;  // private multi-worker pool even on 1-core machines
+  for (const Subgraph& sg : dec.subgraphs) {
+    testing::expect_scores_near(
+        apgre_subgraph_bc(sg, /*parallel_inner=*/false),
+        apgre_subgraph_bc_scheduled(sg, /*hybrid_inner=*/false, sched));
+    testing::expect_scores_near(
+        apgre_subgraph_bc(sg, /*parallel_inner=*/false),
+        apgre_subgraph_bc_scheduled(sg, /*hybrid_inner=*/true, sched));
+  }
+}
+
+// Full APGRE with every sub-graph forced onto the dedicated scheduler-native
+// path (cutoffs zeroed, multi-worker pool) stays exact against Brandes.
+TEST(ApgreBc, ForcedScheduledKernelPathStillExact) {
+  ApgreOptions opts;
+  opts.fine_grain_min_arcs = 0;
+  opts.fine_grain_fraction = 0.0;
+  SchedulerOptions sched;
+  sched.threads = 4;
+  const CsrGraph g = attach_pendants(caveman(5, 6, 9), 15, 2);
+  const std::vector<double> expected = brandes_bc(g);
+  const std::vector<double> actual = apgre_bc(g, opts, nullptr, sched);
+  testing::expect_scores_near(expected, actual);
+}
+
 TEST(ApgreBc, StatsAreFilled) {
   const CsrGraph g = attach_pendants(caveman(6, 8, 3), 20, 4);
   ApgreStats stats;

@@ -157,6 +157,39 @@ TEST_F(BenchRegressTest, ServiceWorkloadFlagValidation) {
   EXPECT_EQ(run_tool("--workload service --requests 0").exit_code, 2);
 }
 
+TEST_F(BenchRegressTest, ServiceParallelWorkloadReportsLatencyPercentiles) {
+  const CommandResult r = run_tool(
+      "--workload service_parallel --clients 2 --requests 6 --seed 3 "
+      "--threads 2 --out " +
+      report_path_);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("service_parallel workload:"), std::string::npos)
+      << r.output;
+
+  const JsonValue report = read_report();
+  EXPECT_EQ(report.at("schema_version").as_double(), 1.0);
+  EXPECT_EQ(report.at("config").at("workload").as_string(), "service_parallel");
+
+  const JsonValue& service = report.at("service");
+  EXPECT_EQ(service.at("clients").as_double(), 2.0);
+  EXPECT_EQ(service.at("requests_per_client").as_double(), 6.0);
+  // Solves never fail on registered graphs; every request reports latency.
+  EXPECT_EQ(service.at("failed").as_double(), 0.0);
+  EXPECT_EQ(service.at("requests").as_double(), 12.0);
+  EXPECT_GT(service.at("requests_per_second").as_double(), 0.0);
+  EXPECT_GT(service.at("solve_seconds_p50").as_double(), 0.0);
+  EXPECT_GE(service.at("solve_seconds_p90").as_double(),
+            service.at("solve_seconds_p50").as_double());
+  // Per-algorithm breakdown carries the same percentile fields.
+  for (const auto& [name, entry] : service.at("algorithms").as_object()) {
+    EXPECT_GT(entry.at("requests").as_double(), 0.0) << name;
+    EXPECT_GE(entry.at("solve_seconds_p90").as_double(),
+              entry.at("solve_seconds_p50").as_double())
+        << name;
+  }
+  EXPECT_TRUE(report.at("results").as_array().empty());
+}
+
 TEST_F(BenchRegressTest, SelfBaselineComparesClean) {
   ASSERT_EQ(run_tool(fast_flags() + " --out " + report_path_).exit_code, 0);
   // Identical build, generous threshold: the gate must pass.

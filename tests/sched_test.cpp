@@ -222,5 +222,145 @@ TEST(WorkStealingScheduler, DefaultsFollowThreadBudget) {
   EXPECT_EQ(stats.tasks, 0u);
 }
 
+TEST(WorkStealingScheduler, SlotSpaceCoversExternalParticipants) {
+  SchedulerOptions opts;
+  opts.threads = 3;
+  WorkStealingScheduler sched(opts);
+  // Pool workers plus at least a few participant slots for caller threads.
+  EXPECT_GE(sched.num_slots(), sched.num_workers());
+}
+
+// The reentrancy guarantee the service relies on: several caller threads
+// drive run() on the SAME scheduler at once, each with its own task set and
+// its own join group. Every task of every group executes exactly once and
+// each run() returns its own group's count.
+TEST(WorkStealingScheduler, ConcurrentRunsFromDifferentThreadsAllComplete) {
+  SchedulerOptions opts;
+  opts.threads = 2;
+  WorkStealingScheduler sched(opts);
+
+  constexpr int kCallers = 4;
+  constexpr int kTasksPerCaller = 48;
+  std::vector<std::atomic<int>> hits(kCallers * kTasksPerCaller);
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&sched, &hits, &failures, c] {
+      std::vector<WorkStealingScheduler::Task> tasks;
+      for (int i = 0; i < kTasksPerCaller; ++i) {
+        const int id = c * kTasksPerCaller + i;
+        tasks.push_back([&hits, id](int) {
+          hits[static_cast<std::size_t>(id)].fetch_add(
+              1, std::memory_order_relaxed);
+        });
+      }
+      const SchedulerStats stats = sched.run(std::move(tasks));
+      if (stats.tasks != static_cast<std::uint64_t>(kTasksPerCaller)) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// parallel_for from several external threads at once, each summing its own
+// disjoint accumulator array: every index processed exactly once per caller.
+TEST(WorkStealingScheduler, ConcurrentParallelForsCoverTheirRanges) {
+  SchedulerOptions opts;
+  opts.threads = 2;
+  WorkStealingScheduler sched(opts);
+
+  constexpr int kCallers = 3;
+  constexpr std::int64_t kN = 10000;
+  std::vector<std::vector<std::atomic<int>>> counts(kCallers);
+  for (auto& c : counts) {
+    c = std::vector<std::atomic<int>>(static_cast<std::size_t>(kN));
+  }
+
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&sched, &counts, c] {
+      sched.parallel_for(0, kN, 64,
+                         [&counts, c](std::int64_t lo, std::int64_t hi, int) {
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                             counts[static_cast<std::size_t>(c)]
+                                   [static_cast<std::size_t>(i)]
+                                       .fetch_add(1, std::memory_order_relaxed);
+                           }
+                         });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+
+  for (const auto& caller : counts) {
+    for (const auto& h : caller) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+// A task body opens a nested parallel_for (the shape of APGRE's dedicated
+// sub-graph tasks): the loop completes from inside the task, slot ids stay
+// in [0, num_slots()), and every element is visited exactly once.
+TEST(WorkStealingScheduler, NestedParallelForInsideTasksCompletes) {
+  SchedulerOptions opts;
+  opts.threads = 2;
+  WorkStealingScheduler sched(opts);
+
+  constexpr int kTasks = 6;
+  constexpr std::int64_t kN = 4000;
+  std::vector<std::vector<std::atomic<int>>> counts(kTasks);
+  for (auto& c : counts) {
+    c = std::vector<std::atomic<int>>(static_cast<std::size_t>(kN));
+  }
+  std::atomic<int> bad_slots{0};
+  const int slots = sched.num_slots();
+
+  std::vector<WorkStealingScheduler::Task> tasks;
+  for (int t = 0; t < kTasks; ++t) {
+    tasks.push_back([&sched, &counts, &bad_slots, slots, t](int) {
+      sched.parallel_for(
+          0, kN, 128,
+          [&counts, &bad_slots, slots, t](std::int64_t lo, std::int64_t hi,
+                                          int slot) {
+            if (slot < 0 || slot >= slots) {
+              bad_slots.fetch_add(1, std::memory_order_relaxed);
+            }
+            for (std::int64_t i = lo; i < hi; ++i) {
+              counts[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]
+                  .fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+    });
+  }
+  sched.run(std::move(tasks));
+
+  EXPECT_EQ(bad_slots.load(), 0);
+  for (const auto& task : counts) {
+    for (const auto& h : task) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+// With one worker everything runs inline on the caller: parallel_for chunks
+// execute in ascending order, which is what makes 1-thread solver runs
+// bitwise deterministic.
+TEST(WorkStealingScheduler, SingleWorkerParallelForIsInlineAndOrdered) {
+  SchedulerOptions opts;
+  opts.threads = 1;
+  WorkStealingScheduler sched(opts);
+  std::vector<std::int64_t> visited;
+  sched.parallel_for(0, 100, 16,
+                     [&visited](std::int64_t lo, std::int64_t hi, int slot) {
+                       EXPECT_EQ(slot, 0);
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         visited.push_back(i);
+                       }
+                     });
+  ASSERT_EQ(visited.size(), 100u);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(visited[i], i);
+}
+
 }  // namespace
 }  // namespace apgre

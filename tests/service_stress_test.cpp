@@ -9,6 +9,8 @@
 // the replay within the harness tolerance.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <random>
 #include <string>
 #include <thread>
@@ -42,9 +44,22 @@ std::string private_name(int client) {
   return "private_" + std::to_string(client);
 }
 
+/// CI matrix knob: APGRE_STRESS_SCHEDULER=off routes every APGRE request
+/// through the flat OpenMP path (SchedulerOptions::enabled = false), so the
+/// TSan tier exercises both the reentrant scheduler kernels and the
+/// legacy_omp_kernel_mutex self-serialization under the same 8-client load.
+bool scheduler_enabled_for_stress() {
+  const char* env = std::getenv("APGRE_STRESS_SCHEDULER");
+  return env == nullptr || std::strcmp(env, "off") != 0;
+}
+
 /// One client's deterministic request stream. Updates draw a valid random
 /// mutation from the graph's current state, which only this client
-/// mutates, so the stream is reproducible in the replay.
+/// mutates, so the stream is reproducible in the replay. The solve mix
+/// deliberately includes the parallel kernels (hybrid, lock-free, APGRE's
+/// fine-grained paths) — before the scheduler went reentrant these were
+/// serialized behind a process-wide service mutex, and this sweep is what
+/// demonstrates they no longer need it.
 Request next_request(Service& service, std::mt19937_64& rng, int client) {
   Request request;
   const std::uint64_t roll = rng() % 10;
@@ -53,6 +68,7 @@ Request next_request(Service& service, std::mt19937_64& rng, int client) {
     request.graph = private_name(client);
     request.options.algorithm =
         (roll == 0) ? Algorithm::kBrandesSerial : Algorithm::kApgre;
+    request.options.scheduler.enabled = scheduler_enabled_for_stress();
   } else if (roll < 5) {
     request.kind = RequestKind::kTopK;
     request.graph = private_name(client);
@@ -74,12 +90,21 @@ Request next_request(Service& service, std::mt19937_64& rng, int client) {
       request.inserting = steps[0].inserting;
     }
   } else {
-    // Shared read-only graph: contends on the session LRU across clients.
+    // Shared read-only graph: contends on the session LRU across clients,
+    // rotating through the parallel kernels so concurrent parallel solves
+    // genuinely overlap.
     request.kind = roll < 9 ? RequestKind::kSolve : RequestKind::kTopK;
     request.graph = "shared";
     request.k = 6;
-    request.options.algorithm =
-        roll % 2 == 0 ? Algorithm::kBrandesSerial : Algorithm::kApgre;
+    switch (rng() % 4) {
+      case 0: request.options.algorithm = Algorithm::kBrandesSerial; break;
+      case 1: request.options.algorithm = Algorithm::kHybrid; break;
+      case 2: request.options.algorithm = Algorithm::kLockFree; break;
+      default:
+        request.options.algorithm = Algorithm::kApgre;
+        request.options.scheduler.enabled = scheduler_enabled_for_stress();
+        break;
+    }
   }
   return request;
 }

@@ -256,6 +256,112 @@ JsonValue run_service_workload(std::uint64_t seed, int clients,
   return JsonValue(std::move(out));
 }
 
+/// --workload service_parallel: the reentrancy benchmark. Every request is
+/// a full solve with a *parallel* kernel (scheduled APGRE, flat APGRE,
+/// hybrid, lock-free), issued synchronously by `clients` concurrent
+/// threads. Before the scheduler went reentrant these solves serialized
+/// behind one process-wide mutex, so aggregate requests/sec stayed flat as
+/// clients grew; now they overlap, and this workload records the scaling
+/// (aggregate requests/sec + per-solve latency percentiles, per algorithm
+/// and overall) in the same schema-v1 report.
+JsonValue run_service_parallel_workload(std::uint64_t seed, int clients,
+                                        int per_client, int threads) {
+  ServiceOptions options;
+  options.workers = threads > 0 ? threads : std::max(clients, 1);
+  options.session_capacity = 4;
+  Service service(options);
+
+  std::vector<std::string> names;
+  for (CorpusCase& c : graph_corpus(seed, /*tiny=*/true)) {
+    names.push_back(c.name);
+    service.register_graph(c.name, std::move(c.graph));
+  }
+  APGRE_REQUIRE(!names.empty(), "service_parallel workload: empty corpus");
+
+  struct AlgoSpec {
+    const char* label;
+    Algorithm algorithm;
+    bool scheduler_enabled;
+  };
+  const AlgoSpec algos[] = {
+      {"apgre", Algorithm::kApgre, true},
+      {"apgre_flat", Algorithm::kApgre, false},
+      {"hybrid", Algorithm::kHybrid, true},
+      {"lockfree", Algorithm::kLockFree, true},
+  };
+  constexpr std::size_t kAlgos = sizeof(algos) / sizeof(algos[0]);
+
+  // Per-client latency samples, merged after the join (no shared mutable
+  // state on the hot path).
+  std::vector<std::vector<std::pair<std::size_t, double>>> samples(
+      static_cast<std::size_t>(clients));
+  std::atomic<std::uint64_t> failed{0};
+
+  Timer timer;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      std::mt19937_64 rng(seed * 1000003 + static_cast<std::uint64_t>(c));
+      auto& local = samples[static_cast<std::size_t>(c)];
+      local.reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        const std::size_t a = rng() % kAlgos;
+        Request request;
+        request.kind = RequestKind::kSolve;
+        request.graph = names[rng() % names.size()];
+        request.options.algorithm = algos[a].algorithm;
+        request.options.scheduler.enabled = algos[a].scheduler_enabled;
+        Timer solve_timer;
+        const Response r = service.submit(std::move(request)).get();
+        if (!r.ok) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        local.emplace_back(a, solve_timer.seconds());
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  const double elapsed = timer.seconds();
+
+  std::vector<double> all_latencies;
+  std::vector<std::vector<double>> per_algo(kAlgos);
+  for (const auto& client : samples) {
+    for (const auto& [a, secs] : client) {
+      all_latencies.push_back(secs);
+      per_algo[a].push_back(secs);
+    }
+  }
+  APGRE_REQUIRE(!all_latencies.empty(),
+                "service_parallel workload: every request failed");
+
+  JsonValue::Object out;
+  out["clients"] = JsonValue(static_cast<std::int64_t>(clients));
+  out["requests_per_client"] = JsonValue(static_cast<std::int64_t>(per_client));
+  out["requests"] =
+      JsonValue(static_cast<std::int64_t>(all_latencies.size()));
+  out["failed"] = JsonValue(failed.load());
+  out["elapsed_seconds"] = JsonValue(elapsed);
+  out["requests_per_second"] = JsonValue(
+      elapsed > 0.0 ? static_cast<double>(all_latencies.size()) / elapsed
+                    : 0.0);
+  out["solve_seconds_p50"] = JsonValue(percentile(all_latencies, 50.0));
+  out["solve_seconds_p90"] = JsonValue(percentile(all_latencies, 90.0));
+  JsonValue::Object by_algo;
+  for (std::size_t a = 0; a < kAlgos; ++a) {
+    if (per_algo[a].empty()) continue;
+    JsonValue::Object entry;
+    entry["requests"] =
+        JsonValue(static_cast<std::int64_t>(per_algo[a].size()));
+    entry["solve_seconds_p50"] = JsonValue(percentile(per_algo[a], 50.0));
+    entry["solve_seconds_p90"] = JsonValue(percentile(per_algo[a], 90.0));
+    by_algo[algos[a].label] = JsonValue(std::move(entry));
+  }
+  out["algorithms"] = JsonValue(std::move(by_algo));
+  return JsonValue(std::move(out));
+}
+
 /// Throws Error on unreadable / malformed / schema-incompatible reports.
 JsonValue load_report(const std::string& path) {
   std::ifstream in(path);
@@ -347,8 +453,11 @@ int main(int argc, char** argv) {
                   "absolute slowdown (seconds) a regression must also exceed")
       .add_string("revision", "unknown", "revision label stored in the report")
       .add_string("workload", "kernels",
-                  "kernels (per-algorithm timings) or service (concurrent "
-                  "request throughput against apgre::Service)")
+                  "kernels (per-algorithm timings), service (concurrent "
+                  "mixed-request throughput against apgre::Service) or "
+                  "service_parallel (concurrent clients all running "
+                  "parallel-kernel solves; aggregate requests/sec + "
+                  "per-solve latency percentiles)")
       .add_int("clients", 8, "service workload: concurrent client threads")
       .add_int("requests", 50, "service workload: requests per client");
 
@@ -367,8 +476,9 @@ int main(int argc, char** argv) {
     APGRE_REQUIRE(flags.get_double("threshold") >= 0.0,
                   "--threshold must be non-negative");
     workload = flags.get_string("workload");
-    APGRE_REQUIRE(workload == "kernels" || workload == "service",
-                  "--workload must be kernels or service");
+    APGRE_REQUIRE(workload == "kernels" || workload == "service" ||
+                      workload == "service_parallel",
+                  "--workload must be kernels, service or service_parallel");
     APGRE_REQUIRE(flags.get_int("clients") >= 1, "--clients must be >= 1");
     APGRE_REQUIRE(flags.get_int("requests") >= 1, "--requests must be >= 1");
     if (workload == "kernels") {
@@ -396,6 +506,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "service workload: %.0f requests/sec, hit rate %.2f\n",
                  service_section.at("requests_per_second").as_double(),
                  service_section.at("hit_rate").as_double());
+  } else if (workload == "service_parallel") {
+    service_section = run_service_parallel_workload(
+        static_cast<std::uint64_t>(flags.get_int("seed")),
+        static_cast<int>(flags.get_int("clients")),
+        static_cast<int>(flags.get_int("requests")), threads);
+    std::fprintf(stderr,
+                 "service_parallel workload: %d clients, %.0f requests/sec, "
+                 "solve p90 %.4fs\n",
+                 static_cast<int>(flags.get_int("clients")),
+                 service_section.at("requests_per_second").as_double(),
+                 service_section.at("solve_seconds_p90").as_double());
   }
 
   JsonValue::Array results;
