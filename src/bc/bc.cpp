@@ -1,6 +1,7 @@
 #include "bc/bc.hpp"
 
 #include <array>
+#include <cmath>
 
 #include "bc/algebraic.hpp"
 #include "bc/brandes.hpp"
@@ -12,6 +13,7 @@
 #include "bc/parallel_succs.hpp"
 #include "bc/sampling.hpp"
 #include "bcc/reach.hpp"
+#include "graph/mutate.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -190,6 +192,7 @@ BcResult Solver::solve(const BcOptions& opts) {
     ApgreStats stats;  // partition/reach seconds stay zero on a cache hit
     if (dec_ == nullptr || !(dec_key_ == key)) {
       dec_ = std::make_unique<Decomposition>();
+      store_valid_ = false;
       {
         APGRE_TRACE_SPAN("apgre/decompose");
         ScopedTimer t(stats.partition_seconds);
@@ -202,8 +205,20 @@ BcResult Solver::solve(const BcOptions& opts) {
       }
       dec_key_ = key;
     }
-    result.scores = apgre_bc_with_decomposition(g, *dec_, opts.apgre, &stats,
-                                                opts.scheduler);
+    if (track_) {
+      if (store_valid_) {
+        metrics().counter("bc.solver.score_reuses").add();
+      } else {
+        APGRE_TRACE_SPAN("apgre/build_store");
+        ScopedTimer t(stats.rest_bc_seconds);
+        build_store();
+      }
+      result.scores = tracked_scores_;
+      stats.num_subgraphs = dec_->subgraphs.size();
+    } else {
+      result.scores = apgre_bc_with_decomposition(g, *dec_, opts.apgre, &stats,
+                                                  opts.scheduler);
+    }
     result.apgre_stats = stats;
   } else {
     result.scores = info.kernel(g, opts, result);
@@ -226,9 +241,110 @@ void Solver::rebind(const CsrGraph& g) {
   g_ = &g;
   dec_.reset();
   dec_key_ = PartitionOptions{};
+  store_valid_ = false;
+  contrib_.clear();
+  tracked_scores_.clear();
+}
+
+void Solver::enable_contribution_tracking() {
+  track_ = true;
+  // Any scores computed before opting in have no per-sub-graph breakdown;
+  // the next APGRE solve builds the store from scratch.
+  store_valid_ = false;
+}
+
+void Solver::build_store() {
+  const Decomposition& dec = *dec_;
+  contrib_.assign(dec.subgraphs.size(), {});
+  tracked_scores_.assign(g_->num_vertices(), 0.0);
+  for (std::size_t sgi = 0; sgi < dec.subgraphs.size(); ++sgi) {
+    const Subgraph& sg = dec.subgraphs[sgi];
+    contrib_[sgi] = apgre_subgraph_bc(sg, /*parallel_inner=*/false);
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      tracked_scores_[sg.to_global[local]] += contrib_[sgi][local];
+    }
+  }
+  store_valid_ = true;
+}
+
+void Solver::refresh_top_subgraph() {
+  // Same criterion as decompose() (arcs, then vertices, first maximum);
+  // a full rescan because a deletion can demote the current top.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < dec_->subgraphs.size(); ++i) {
+    const Subgraph& sg = dec_->subgraphs[i];
+    const Subgraph& cur = dec_->subgraphs[best];
+    if (sg.num_arcs() > cur.num_arcs() ||
+        (sg.num_arcs() == cur.num_arcs() &&
+         sg.num_vertices() > cur.num_vertices())) {
+      best = i;
+    }
+  }
+  dec_->top_subgraph = best;
+}
+
+bool Solver::apply_local_update(const CsrGraph& g, Vertex u, Vertex v,
+                                bool inserting) {
+  if (dec_ == nullptr || !track_ || !store_valid_) {
+    rebind(g);
+    return false;
+  }
+  APGRE_ASSERT(!g.directed() && g.num_vertices() == dec_->num_vertices);
+
+  for (std::size_t sgi = 0; sgi < dec_->subgraphs.size(); ++sgi) {
+    Subgraph& sg = dec_->subgraphs[sgi];
+    Vertex lu = kInvalidVertex;
+    Vertex lv = kInvalidVertex;
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      if (sg.to_global[local] == u) lu = local;
+      if (sg.to_global[local] == v) lv = local;
+    }
+    if (lu == kInvalidVertex || lv == kInvalidVertex) continue;
+    // Articulation endpoints belong to several sub-graph groups, but every
+    // block's edges materialise in exactly one of them — a deletion must
+    // patch the group that actually stores the arc. (Insert endpoints are
+    // non-APs by the kLocalInsert contract, so the first group wins.)
+    if (!inserting && !has_arc(sg.graph, lu, lv)) continue;
+
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      tracked_scores_[sg.to_global[local]] -= contrib_[sgi][local];
+    }
+    EdgeList arcs = sg.graph.arcs();
+    if (inserting) {
+      arcs.push_back(Edge{lu, lv});
+      arcs.push_back(Edge{lv, lu});
+    } else {
+      std::erase_if(arcs, [&](const Edge& e) {
+        return (e.src == lu && e.dst == lv) || (e.src == lv && e.dst == lu);
+      });
+    }
+    sg.graph = CsrGraph::from_edges(sg.num_vertices(), std::move(arcs),
+                                    /*directed=*/false);
+    contrib_[sgi] = apgre_subgraph_bc(sg, /*parallel_inner=*/false);
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      double& score = tracked_scores_[sg.to_global[local]];
+      score += contrib_[sgi][local];
+      // Clamp subtract/re-add cancellation noise on exact zeros.
+      if (std::abs(score) < 1e-9) score = std::max(score, 0.0);
+    }
+    refresh_top_subgraph();
+    g_ = &g;
+    metrics().counter("bc.solver.local_recomputes").add();
+    return true;
+  }
+  // Endpoints outside every cached sub-graph contradict the locality
+  // precondition; re-decompose rather than score a stale cache.
+  rebind(g);
+  return false;
 }
 
 void Solver::rebind_local_insert(const CsrGraph& g, Vertex u, Vertex v) {
+  if (track_ && store_valid_) {
+    // A plain patch would leave the contribution store stale; route through
+    // the store-maintaining path instead.
+    apply_local_update(g, u, v, /*inserting=*/true);
+    return;
+  }
   if (dec_ == nullptr) {
     rebind(g);
     return;

@@ -153,7 +153,7 @@ class Solver {
   void rebind(const CsrGraph& g);
 
   /// Rebind to `g`, which must equal the previous graph plus exactly one
-  /// undirected edge {u, v} (global ids) classified kLocal by
+  /// undirected edge {u, v} (global ids) classified kLocalInsert by
   /// BlockCutQueries::classify_update on the previous graph — an insert
   /// strictly inside one biconnected component between two
   /// non-articulation vertices, symmetric graphs only. Such a chord leaves
@@ -165,10 +165,54 @@ class Solver {
   /// later APGRE scores — callers must classify first.
   void rebind_local_insert(const CsrGraph& g, Vertex u, Vertex v);
 
+  /// Opt in to the per-sub-graph contribution store. The next APGRE solve
+  /// additionally records each sub-graph's local score vector (serial
+  /// kernel, so contributions are deterministic) and their scatter-sum over
+  /// `to_global` — which equals the APGRE scores, since sub-graphs compose
+  /// additively. While the store is valid, repeat APGRE solves with the
+  /// same partition options serve the cached scores without re-scoring
+  /// (counter "bc.solver.score_reuses"), and apply_local_update() can
+  /// re-score a single block in place. Tracked scores match the untracked
+  /// scoring phase up to floating-point accumulation order.
+  void enable_contribution_tracking();
+
+  /// The store's unhalved full-graph APGRE scores, or nullptr while no
+  /// valid store exists (tracking disabled, no APGRE solve yet, or
+  /// invalidated by rebind / changed partition options).
+  const std::vector<double>* tracked_scores() const {
+    return store_valid_ ? &tracked_scores_ : nullptr;
+  }
+
+  /// Localized dynamic update (iCentral-style): `g` must equal the previous
+  /// graph with exactly the undirected edge {u, v} inserted (inserting) or
+  /// removed, and the update must have been classified kLocalInsert /
+  /// kLocalDelete against the previous graph — so the block-cut tree, the
+  /// grouping, and every reach count survive by construction. Subtracts the
+  /// affected sub-graph's old contribution from the tracked scores, rebuilds
+  /// only that sub-graph's induced arcs, re-scores it with the serial
+  /// kernel, and adds the new contribution back (counter
+  /// "bc.solver.local_recomputes"). Returns true on the localized path;
+  /// falls back to a plain rebind() — full re-decomposition on the next
+  /// solve — and returns false when no valid store exists. Violating the
+  /// locality precondition silently corrupts later scores — classify first.
+  bool apply_local_update(const CsrGraph& g, Vertex u, Vertex v,
+                          bool inserting);
+
  private:
+  void build_store();
+  void refresh_top_subgraph();
+
   const CsrGraph* g_;
   std::unique_ptr<Decomposition> dec_;
   PartitionOptions dec_key_;
+  // Contribution store (enable_contribution_tracking): per-sub-graph local
+  // score vectors and their scatter-sum. Invariant while store_valid_:
+  // tracked_scores_[w] == sum over sub-graphs i containing w of
+  // contrib_[i][local id of w], computed on the *current* sub-graph arcs.
+  bool track_ = false;
+  bool store_valid_ = false;
+  std::vector<std::vector<double>> contrib_;
+  std::vector<double> tracked_scores_;
 };
 
 /// One-shot betweenness centrality: a thin wrapper constructing a Solver

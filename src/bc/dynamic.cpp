@@ -5,6 +5,7 @@
 
 #include "bc/brandes.hpp"
 #include "bc/brandes_kernel.hpp"
+#include "graph/mutate.hpp"
 #include "support/error.hpp"
 
 namespace apgre {
@@ -27,11 +28,6 @@ std::vector<std::uint32_t> distances_to(const CsrGraph& g, Vertex target) {
     }
   }
   return dist;
-}
-
-bool has_arc(const CsrGraph& g, Vertex u, Vertex v) {
-  const auto neighbors = g.out_neighbors(u);
-  return std::binary_search(neighbors.begin(), neighbors.end(), v);
 }
 
 }  // namespace
@@ -75,15 +71,10 @@ std::vector<Vertex> DynamicBc::affected_sources(const CsrGraph& reference,
 
 Vertex DynamicBc::apply_update(Vertex u, Vertex v, bool inserting) {
   APGRE_ASSERT(u < graph_.num_vertices() && v < graph_.num_vertices());
-  APGRE_REQUIRE(u != v, "self-loops do not affect betweenness");
-  if (inserting) {
-    APGRE_REQUIRE(!has_arc(graph_, u, v), "arc already present");
-  } else {
-    APGRE_REQUIRE(has_arc(graph_, u, v), "arc not present");
-    if (!graph_.directed()) {
-      APGRE_REQUIRE(has_arc(graph_, v, u), "symmetric arc missing");
-    }
-  }
+  // The mutate helper validates (and throws) before constructing the
+  // successor, so nothing here changes on an illegal update.
+  CsrGraph next = inserting ? with_edge_inserted(graph_, u, v)
+                            : with_edge_removed(graph_, u, v);
 
   // The affected set is evaluated on the graph that *contains* the arc's
   // shortest-path structure change potential: the old graph works for both
@@ -95,18 +86,7 @@ Vertex DynamicBc::apply_update(Vertex u, Vertex v, bool inserting) {
     detail::brandes_iteration(graph_, s, -1.0, scratch, bc_);
   }
 
-  EdgeList arcs = graph_.arcs();
-  if (inserting) {
-    arcs.push_back(Edge{u, v});
-    if (!graph_.directed()) arcs.push_back(Edge{v, u});
-  } else {
-    std::erase_if(arcs, [&](const Edge& e) {
-      return (e.src == u && e.dst == v) ||
-             (!graph_.directed() && e.src == v && e.dst == u);
-    });
-  }
-  graph_ = CsrGraph::from_edges(graph_.num_vertices(), std::move(arcs),
-                                graph_.directed());
+  graph_ = std::move(next);
 
   for (Vertex s : affected) {
     detail::brandes_iteration(graph_, s, 1.0, scratch, bc_);

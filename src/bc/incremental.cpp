@@ -1,0 +1,141 @@
+#include "bc/incremental.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "bc/brandes.hpp"
+#include "graph/bfs.hpp"
+#include "graph/mutate.hpp"
+#include "support/error.hpp"
+
+namespace apgre {
+
+namespace {
+
+/// Clamp subtract/re-add cancellation noise on exact zeros (the DynamicBc
+/// idiom): closed-form deltas cancel to ~1e-13 where the true score is 0.
+void clamp_zeros(std::vector<double>& scores) {
+  for (double& score : scores) {
+    if (std::abs(score) < 1e-9) score = std::max(score, 0.0);
+  }
+}
+
+}  // namespace
+
+IncrementalBc::IncrementalBc(CsrGraph graph, BcOptions opts)
+    : graph_(std::move(graph)), opts_(std::move(opts)), solver_(graph_) {
+  opts_.algorithm = Algorithm::kApgre;
+  opts_.undirected_halving = false;
+  solver_.enable_contribution_tracking();
+  BcResult result = solver_.solve(opts_);
+  APGRE_REQUIRE(result.status.ok(), result.status.message);
+  scores_ = std::move(result.scores);
+}
+
+void IncrementalBc::ensure_queries() {
+  if (queries_ == nullptr) {
+    queries_ = std::make_unique<BlockCutQueries>(graph_);
+  }
+}
+
+void IncrementalBc::resolve_full() {
+  solver_.rebind(graph_);
+  queries_.reset();
+  BcResult result = solver_.solve(opts_);
+  APGRE_ASSERT(result.status.ok());
+  scores_ = std::move(result.scores);
+  ++stats_.structural_resolves;
+}
+
+UpdateLocality IncrementalBc::apply_edge(CsrGraph next, Vertex u, Vertex v,
+                                         bool inserting) {
+  ensure_queries();
+  const UpdateLocality grade = queries_->classify_update(u, v, inserting);
+  graph_ = std::move(next);
+  if (grade == UpdateLocality::kStructural) {
+    resolve_full();
+    return grade;
+  }
+  // The block-cut tree survives; keep the classifier exact by patching the
+  // affected block's edge multiset instead of rebuilding.
+  queries_->apply_local_update(u, v, inserting);
+  if (solver_.apply_local_update(graph_, u, v, inserting)) {
+    scores_ = *solver_.tracked_scores();
+    (inserting ? stats_.local_inserts : stats_.local_deletes) += 1;
+  } else {
+    // No valid contribution store to patch — cannot happen after the
+    // constructor's tracked solve, but re-solve rather than trust it.
+    resolve_full();
+  }
+  return grade;
+}
+
+UpdateLocality IncrementalBc::insert_edge(Vertex u, Vertex v) {
+  // Validates (and throws) before any member changes.
+  return apply_edge(with_edge_inserted(graph_, u, v), u, v,
+                    /*inserting=*/true);
+}
+
+UpdateLocality IncrementalBc::remove_edge(Vertex u, Vertex v) {
+  return apply_edge(with_edge_removed(graph_, u, v), u, v,
+                    /*inserting=*/false);
+}
+
+Vertex IncrementalBc::attach_pendant(Vertex host) {
+  APGRE_ASSERT(host < graph_.num_vertices());
+  const Vertex pendant = graph_.num_vertices();
+  // Closed form (the static pendant metamorphic rule as a delta, evaluated
+  // on the pre-attach graph): every vertex gains sides * delta_host(v), the
+  // host additionally gains sides * reach(host), the pendant scores 0 —
+  // `sides` counting source- and target-side ordered pairs for undirected
+  // graphs, source-side only for directed (the arc is pendant -> host).
+  const double sides = graph_.directed() ? 1.0 : 2.0;
+  const std::vector<double> dependency =
+      brandes_bc_from_sources(graph_, {host}, sides);
+  const auto host_reach = static_cast<double>(reachable_count(graph_, host));
+  for (Vertex v = 0; v < graph_.num_vertices(); ++v) {
+    scores_[v] += dependency[v];
+  }
+  scores_[host] += sides * host_reach;
+  scores_.push_back(0.0);
+  graph_ = with_pendant_attached(graph_, host);
+  // The tree gained a vertex and a bridge block — caches are stale even
+  // though the scores are already exact.
+  solver_.rebind(graph_);
+  queries_.reset();
+  ++stats_.pendant_attaches;
+  return pendant;
+}
+
+void IncrementalBc::detach_vertex(Vertex v) {
+  APGRE_ASSERT(v < graph_.num_vertices());
+  const auto out = graph_.out_neighbors(v);
+  const bool isolated =
+      out.empty() && (!graph_.directed() || graph_.in_neighbors(v).empty());
+  if (isolated) return;
+  if (!graph_.directed() && out.size() == 1) {
+    // Undirected pendant: the exact inverse of attach_pendant, evaluated on
+    // the post-detach graph (the isolated id contributes nothing there).
+    const Vertex host = out[0];
+    graph_ = with_vertex_isolated(graph_, v);
+    const std::vector<double> dependency =
+        brandes_bc_from_sources(graph_, {host}, -2.0);
+    const auto host_reach = static_cast<double>(reachable_count(graph_, host));
+    for (Vertex w = 0; w < graph_.num_vertices(); ++w) {
+      scores_[w] += dependency[w];
+    }
+    scores_[host] -= 2.0 * host_reach;
+    scores_[v] = 0.0;
+    clamp_zeros(scores_);
+    solver_.rebind(graph_);
+    queries_.reset();
+    ++stats_.pendant_detaches;
+    return;
+  }
+  // Interior (or directed) vertex: removing its arcs can reshape shortest
+  // paths arbitrarily far away — full re-solve.
+  graph_ = with_vertex_isolated(graph_, v);
+  resolve_full();
+}
+
+}  // namespace apgre

@@ -1,0 +1,92 @@
+// iCentral-style incremental betweenness over one evolving graph.
+//
+// IncrementalBc owns a graph and keeps exact BC scores current across edge
+// inserts/deletes and pendant vertex attach/detach. Each edge update is
+// graded against the cached block-cut tree (BlockCutQueries):
+//
+//   kLocalInsert / kLocalDelete — the update is provably confined to one
+//     biconnected component; the Solver's contribution store subtracts that
+//     block's old scores, re-runs Brandes inside the block only (with the
+//     cached alpha/beta peripheral weights), and adds the new scores back.
+//     No re-decomposition happens ("bcc.decompositions" does not move).
+//   kStructural — the block-cut tree changes shape (or the graph is
+//     directed, where classification is conservative); fall back to a full
+//     re-decomposition + solve.
+//
+// Pendant attach/detach use the closed-form score delta of the static
+// pendant metamorphic rule (src/check/metamorphic.cpp): one Brandes
+// iteration from the host instead of a full solve.
+//
+// Scores follow the ordered-pair convention (no undirected halving), the
+// same as brandes_bc() — callers wanting conventional undirected BC halve
+// them. Failed updates (duplicate insert, absent delete, self-loop) throw
+// apgre::Error *before* any state changes. Not thread-safe; wrap in a
+// mutex (the service layer does) to share across threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bc/bc.hpp"
+#include "bcc/queries.hpp"
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+/// How each update was routed; the localized-path counters are the whole
+/// point, so tests pin them.
+struct IncrementalStats {
+  std::uint64_t local_inserts = 0;
+  std::uint64_t local_deletes = 0;
+  std::uint64_t pendant_attaches = 0;
+  std::uint64_t pendant_detaches = 0;
+  /// Full re-decomposition + solve fallbacks (structural updates).
+  std::uint64_t structural_resolves = 0;
+};
+
+class IncrementalBc {
+ public:
+  /// Takes ownership of `graph` and solves once (not counted in stats()).
+  /// `opts` tunes the APGRE solves (partition options, threads); the
+  /// algorithm is forced to kApgre and halving to off. Throws Error on
+  /// invalid options.
+  explicit IncrementalBc(CsrGraph graph, BcOptions opts = {});
+
+  const CsrGraph& graph() const { return graph_; }
+  /// Current exact scores, ordered-pair convention, length num_vertices().
+  const std::vector<double>& scores() const { return scores_; }
+  const IncrementalStats& stats() const { return stats_; }
+
+  /// Insert / remove the edge (u, v) (both arcs for undirected graphs) and
+  /// bring scores current; returns how the update was routed. Throws Error
+  /// ("arc already present", "arc not present", ...) before any state
+  /// change on an illegal update.
+  UpdateLocality insert_edge(Vertex u, Vertex v);
+  UpdateLocality remove_edge(Vertex u, Vertex v);
+
+  /// Attach a fresh degree-1 vertex to `host` (arc pendant -> host for
+  /// directed graphs); returns the new vertex id (= old num_vertices()).
+  /// Closed-form score delta — no solve.
+  Vertex attach_pendant(Vertex host);
+
+  /// Remove every arc incident to `v`. The vertex stays as an isolated id
+  /// with score 0. Undirected degree-1 vertices use the closed-form
+  /// inverse of attach_pendant; anything else re-solves. No-op when
+  /// already isolated.
+  void detach_vertex(Vertex v);
+
+ private:
+  UpdateLocality apply_edge(CsrGraph next, Vertex u, Vertex v, bool inserting);
+  void resolve_full();
+  void ensure_queries();
+
+  CsrGraph graph_;  // member, so the Solver's pointer survives reassignment
+  BcOptions opts_;
+  Solver solver_;
+  std::unique_ptr<BlockCutQueries> queries_;
+  std::vector<double> scores_;
+  IncrementalStats stats_;
+};
+
+}  // namespace apgre

@@ -8,7 +8,8 @@ namespace apgre {
 
 BlockCutQueries::BlockCutQueries(const CsrGraph& g)
     : bcc_(biconnected_components(g)),
-      tree_(block_cut_tree(bcc_, g.num_vertices())) {
+      tree_(block_cut_tree(bcc_, g.num_vertices())),
+      directed_(g.directed()) {
   const Vertex blocks = tree_.num_blocks();
   const Vertex nodes = blocks + tree_.num_aps();
   parent_.assign(nodes, kInvalidVertex);
@@ -79,11 +80,20 @@ bool BlockCutQueries::on_path(Vertex node, Vertex x, Vertex y) const {
 bool BlockCutQueries::same_block(Vertex u, Vertex v) const {
   APGRE_ASSERT(u < tree_.ap_index.size() && v < tree_.ap_index.size());
   if (u == v) return true;
+  return common_block(u, v) != kInvalidVertex;
+}
+
+Vertex BlockCutQueries::common_block(Vertex u, Vertex v) const {
+  APGRE_ASSERT(u < tree_.ap_index.size() && v < tree_.ap_index.size());
+  APGRE_ASSERT(u != v);
   const Vertex au = tree_.ap_index[u];
   const Vertex av = tree_.ap_index[v];
   if (au == kInvalidVertex && av == kInvalidVertex) {
-    return bcc_.any_component[u] != kInvalidVertex &&
-           bcc_.any_component[u] == bcc_.any_component[v];
+    const Vertex block = bcc_.any_component[u];
+    if (block == kInvalidVertex || block != bcc_.any_component[v]) {
+      return kInvalidVertex;
+    }
+    return block;
   }
   if (au != kInvalidVertex && av != kInvalidVertex) {
     // Intersect the two sorted block lists.
@@ -92,37 +102,96 @@ bool BlockCutQueries::same_block(Vertex u, Vertex v) const {
     std::size_t i = 0;
     std::size_t j = 0;
     while (i < bu.size() && j < bv.size()) {
-      if (bu[i] == bv[j]) return true;
+      if (bu[i] == bv[j]) return bu[i];
       bu[i] < bv[j] ? ++i : ++j;
     }
-    return false;
+    return kInvalidVertex;
   }
   // One AP, one plain vertex: check the plain vertex's unique block.
   const Vertex plain = au == kInvalidVertex ? u : v;
   const Vertex ap = au == kInvalidVertex ? av : au;
   const Vertex block = bcc_.any_component[plain];
-  if (block == kInvalidVertex) return false;
+  if (block == kInvalidVertex) return kInvalidVertex;
   const auto& blocks = tree_.ap_blocks[ap];
-  return std::binary_search(blocks.begin(), blocks.end(), block);
+  return std::binary_search(blocks.begin(), blocks.end(), block)
+             ? block
+             : kInvalidVertex;
+}
+
+bool BlockCutQueries::block_survives_deletion(Vertex b, Vertex u,
+                                              Vertex v) const {
+  const auto& members = bcc_.component_vertices[b];
+  // A two-vertex block is a bridge: deleting its edge disconnects it.
+  if (members.size() < 3) return false;
+  const Vertex lo = std::min(u, v);
+  const Vertex hi = std::max(u, v);
+  auto local_id = [&](Vertex global) {
+    const auto it = std::lower_bound(members.begin(), members.end(), global);
+    APGRE_ASSERT(it != members.end() && *it == global);
+    return static_cast<Vertex>(it - members.begin());
+  };
+  EdgeList local_edges;
+  local_edges.reserve(bcc_.component_edges[b].size());
+  for (const Edge& e : bcc_.component_edges[b]) {
+    if (e.src == lo && e.dst == hi) continue;  // the candidate deletion
+    local_edges.push_back(Edge{local_id(e.src), local_id(e.dst)});
+  }
+  const CsrGraph block_graph = CsrGraph::undirected_from_edges(
+      static_cast<Vertex>(members.size()), std::move(local_edges));
+  // The block survives iff what remains is one biconnected component that
+  // still spans every member (a vertex dropped to degree < 2 — or isolated
+  // entirely — would fall outside the single surviving component).
+  const BiconnectedComponents after = biconnected_components(block_graph);
+  return after.num_components == 1 &&
+         after.component_vertices[0].size() == members.size();
 }
 
 UpdateLocality BlockCutQueries::classify_update(Vertex u, Vertex v,
                                                bool inserting) const {
   APGRE_ASSERT(u < tree_.ap_index.size() && v < tree_.ap_index.size());
-  // Removals are always structural: deleting any cycle edge can split its
-  // block (C4 minus an edge is a path with two fresh articulation points).
-  if (!inserting) return UpdateLocality::kStructural;
+  // Directed graphs: conservative. The undirected projection's block
+  // structure can survive an update whose directed reachability (and thus
+  // the alpha/beta reach counts the localized path reuses) changes.
+  if (directed_) return UpdateLocality::kStructural;
   if (u == v) return UpdateLocality::kStructural;
-  // An endpoint that is an articulation point may stop being one once the
-  // new edge adds a bypass, which merges blocks.
-  if (tree_.ap_index[u] != kInvalidVertex ||
-      tree_.ap_index[v] != kInvalidVertex) {
-    return UpdateLocality::kStructural;
+  if (inserting) {
+    // An endpoint that is an articulation point may stop being one once
+    // the new edge adds a bypass, which merges blocks.
+    if (tree_.ap_index[u] != kInvalidVertex ||
+        tree_.ap_index[v] != kInvalidVertex) {
+      return UpdateLocality::kStructural;
+    }
+    // Two non-AP vertices inside one biconnected component: the inserted
+    // edge is a chord, every block and every articulation point survives.
+    return same_block(u, v) ? UpdateLocality::kLocalInsert
+                            : UpdateLocality::kStructural;
   }
-  // Two non-AP vertices inside one biconnected component: the inserted
-  // edge is a chord, every block and every articulation point survives.
-  return same_block(u, v) ? UpdateLocality::kLocal
-                          : UpdateLocality::kStructural;
+  // Deletion. Articulation endpoints are fine here: as long as the block
+  // minus the edge stays biconnected, the edge partition — and with it the
+  // whole block-cut tree — is unchanged, so no vertex gains or loses
+  // articulation status.
+  const Vertex block = common_block(u, v);
+  if (block == kInvalidVertex) return UpdateLocality::kStructural;
+  return block_survives_deletion(block, u, v) ? UpdateLocality::kLocalDelete
+                                              : UpdateLocality::kStructural;
+}
+
+void BlockCutQueries::apply_local_update(Vertex u, Vertex v, bool inserting) {
+  APGRE_ASSERT(u != v);
+  const Vertex block = common_block(u, v);
+  APGRE_ASSERT_MSG(block != kInvalidVertex,
+                   "apply_local_update on a non-local update");
+  auto& edges = bcc_.component_edges[block];
+  const Edge canonical{std::min(u, v), std::max(u, v)};
+  const auto pos = std::lower_bound(edges.begin(), edges.end(), canonical);
+  const bool present = pos != edges.end() && *pos == canonical;
+  if (inserting) {
+    APGRE_ASSERT_MSG(!present, "apply_local_update: chord already recorded");
+    edges.insert(pos, canonical);
+  } else {
+    APGRE_ASSERT_MSG(present, "apply_local_update: edge not in block");
+    edges.erase(pos);
+  }
 }
 
 bool BlockCutQueries::connected(Vertex u, Vertex v) const {

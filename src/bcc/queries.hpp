@@ -13,17 +13,26 @@
 namespace apgre {
 
 /// How a single edge update relates to the block-cut tree (the service
-/// layer's invalidation decision, docs/API.md "Serving requests").
+/// layer's invalidation decision, docs/API.md "Update lifecycle").
 enum class UpdateLocality {
-  /// The block-cut tree provably survives the update: an insertion whose
-  /// endpoints already share a biconnected component and neither of which
-  /// is an articulation point cannot create, destroy or merge blocks, so a
-  /// cached decomposition stays structurally valid (only the affected
-  /// block's induced arcs change).
-  kLocal,
+  /// The block-cut tree provably survives the insertion: the endpoints
+  /// already share a biconnected component and neither is an articulation
+  /// point, so the new edge is a chord of one block — it cannot create,
+  /// destroy or merge blocks, and a cached decomposition stays structurally
+  /// valid (only the affected block's induced arcs change).
+  kLocalInsert,
+  /// The block-cut tree provably survives the deletion: the edge is
+  /// interior to one biconnected component with >= 3 vertices and that
+  /// block minus the edge is still biconnected, so no block splits, no
+  /// vertex gains or loses articulation status, and every alpha/beta reach
+  /// count (which depend only on the tree shape and block vertex sets)
+  /// survives. Only the affected block's induced arcs change.
+  kLocalDelete,
   /// Anything else — the update touches an articulation point, bridges two
-  /// biconnected components, or is a removal (deleting an edge can split
-  /// its block, e.g. any cycle edge) — so the tree must be recomputed.
+  /// biconnected components, splits its block (e.g. any cycle edge), or the
+  /// graph is directed (an intra-block directed arc can change directed
+  /// reachability counts, so classification is conservative until the
+  /// localized path learns directed blocks) — the tree must be recomputed.
   kStructural,
 };
 
@@ -34,15 +43,31 @@ class BlockCutQueries {
   explicit BlockCutQueries(const CsrGraph& g);
 
   /// Classify the update "insert (inserting = true) or remove the edge
-  /// (u, v)" against the tree this structure was built from. The verdict is
-  /// purely structural (undirected projection); callers that reuse a cached
-  /// *decomposition* must additionally require a symmetric graph, because
-  /// a directed intra-block arc can still change reachability counts.
+  /// (u, v)" against the tree this structure was built from. Directed
+  /// graphs always classify kStructural (conservative: the block structure
+  /// of the projection can survive while directed reachability changes).
+  /// For undirected graphs the verdict is exact: kLocalInsert for a chord
+  /// between two non-articulation vertices of one block, kLocalDelete for
+  /// an edge whose block stays biconnected without it.
   UpdateLocality classify_update(Vertex u, Vertex v, bool inserting) const;
 
   /// True iff u and v share a biconnected component (equivalently: at
   /// least two vertex-disjoint paths join them, or they share an edge).
   bool same_block(Vertex u, Vertex v) const;
+
+  /// The unique biconnected component containing both u and v, or
+  /// kInvalidVertex when they share none. Unique because two distinct
+  /// blocks intersect in at most one vertex — so two distinct vertices
+  /// can share at most one block. Requires u != v.
+  Vertex common_block(Vertex u, Vertex v) const;
+
+  /// Patch the stored block edge multiset after the caller applied an edge
+  /// update previously classified kLocalInsert / kLocalDelete to the graph.
+  /// The block-cut tree survives such updates by construction, so only the
+  /// affected block's edge list changes; patching it keeps later
+  /// classify_update verdicts exact without a rebuild. Calling this for a
+  /// structural update is a contract violation (assert).
+  void apply_local_update(Vertex u, Vertex v, bool inserting);
 
   /// True iff removing `a` disconnects u from v. False whenever u and v
   /// are already in different components, or a is not an articulation
@@ -62,9 +87,12 @@ class BlockCutQueries {
   /// Walk-up LCA on the rooted bipartite tree.
   Vertex lca(Vertex x, Vertex y) const;
   bool on_path(Vertex node, Vertex x, Vertex y) const;
+  /// Is block `b` minus the edge {u, v} still biconnected?
+  bool block_survives_deletion(Vertex b, Vertex u, Vertex v) const;
 
   BiconnectedComponents bcc_;
   BlockCutTree tree_;
+  bool directed_ = false;
   // Rooted bipartite forest: blocks [0, B), APs [B, B + A).
   std::vector<Vertex> parent_;
   std::vector<Vertex> depth_;

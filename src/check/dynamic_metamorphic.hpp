@@ -1,0 +1,61 @@
+// Dynamic metamorphic rules: exact score predictions that survive a graph
+// *mutation*, checked against the incremental engine (bc/incremental.hpp)
+// after it applies the update — so the localized update path is proven
+// against closed forms derived independently of any BC implementation, on
+// top of the static-oracle diff the dynamic differential harness already
+// does.
+//
+//   * dynamic_pendant         attaching a pendant p to host h must shift
+//                             every score by the gamma-derivation delta
+//                             (+sides*delta_h(v), +sides*reach(h) at the
+//                             host, 0 at the pendant), and the engine's
+//                             scores must also match a fresh static solve
+//   * dynamic_bridge_delete   deleting a bridge (a,b) splitting sides A/B
+//                             zeroes exactly the cross-component pairs:
+//                             BC'(v) = BC(v) - 2|B|*delta'_a(v)
+//                                            - 2|A|*delta'_b(v),
+//                             BC'(a) = BC(a) - 2(|A|-1)|B| (and b
+//                             symmetrically), delta' on the post-delete
+//                             graph (undirected only)
+//   * dynamic_chord_roundtrip inserting a chord between two non-AP
+//                             vertices of one block must classify
+//                             kLocalInsert and match a fresh static solve;
+//                             deleting it again must classify kLocalDelete
+//                             and restore the original scores exactly
+//
+// Results reuse MetamorphicResult (applied=false when the precondition
+// fails: no bridge, no chord candidate, directed input, ...).
+#pragma once
+
+#include <cstdint>
+
+#include "bc/bc.hpp"
+#include "check/metamorphic.hpp"
+#include "graph/csr.hpp"
+
+namespace apgre {
+
+MetamorphicResult check_dynamic_pendant_attach(const CsrGraph& g,
+                                               const BcOptions& opts,
+                                               std::uint64_t seed,
+                                               double rel = 1e-7,
+                                               double abs = 1e-6);
+
+MetamorphicResult check_dynamic_bridge_delete(const CsrGraph& g,
+                                              const BcOptions& opts,
+                                              std::uint64_t seed,
+                                              double rel = 1e-7,
+                                              double abs = 1e-6);
+
+MetamorphicResult check_dynamic_chord_roundtrip(const CsrGraph& g,
+                                                const BcOptions& opts,
+                                                std::uint64_t seed,
+                                                double rel = 1e-7,
+                                                double abs = 1e-6);
+
+/// Run every applicable dynamic rule on `g`.
+std::vector<MetamorphicResult> run_dynamic_metamorphic_rules(
+    const CsrGraph& g, const BcOptions& opts, std::uint64_t seed,
+    double rel = 1e-7, double abs = 1e-6);
+
+}  // namespace apgre

@@ -90,6 +90,12 @@ class CsrGraph {
 
   friend bool operator==(const CsrGraph&, const CsrGraph&) = default;
 
+  // CSR-splicing mutators (graph/mutate.hpp): clone the adjacency arrays
+  // and splice one edge in or out in place — no EdgeList round-trip, no
+  // re-sort. They need the private arrays, hence friendship.
+  friend CsrGraph with_edge_inserted(const CsrGraph& g, Vertex u, Vertex v);
+  friend CsrGraph with_edge_removed(const CsrGraph& g, Vertex u, Vertex v);
+
  private:
   Vertex num_vertices_ = 0;
   bool directed_ = false;

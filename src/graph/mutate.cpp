@@ -1,0 +1,86 @@
+#include "graph/mutate.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace apgre {
+
+namespace {
+
+/// Splice `dst` into (or out of) `src`'s sorted neighbour block, shifting
+/// the suffix of the arc array and bumping every later offset. O(n + m)
+/// element moves — the fast path that makes sustained edge updates cheap
+/// compared to an EdgeList materialise / re-sort / rebuild round-trip.
+void splice_arc(std::vector<EdgeId>& offsets, std::vector<Vertex>& targets,
+                Vertex src, Vertex dst, bool insert) {
+  const auto begin = targets.begin() + static_cast<std::ptrdiff_t>(offsets[src]);
+  const auto end = targets.begin() + static_cast<std::ptrdiff_t>(offsets[src + 1]);
+  const auto pos = std::lower_bound(begin, end, dst);
+  if (insert) {
+    APGRE_ASSERT(pos == end || *pos != dst);
+    targets.insert(pos, dst);
+  } else {
+    APGRE_ASSERT(pos != end && *pos == dst);
+    targets.erase(pos);
+  }
+  const EdgeId delta = insert ? 1 : static_cast<EdgeId>(-1);
+  for (std::size_t w = src + 1; w < offsets.size(); ++w) offsets[w] += delta;
+}
+
+}  // namespace
+
+bool has_arc(const CsrGraph& g, Vertex u, Vertex v) {
+  const auto neighbors = g.out_neighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+CsrGraph with_edge_inserted(const CsrGraph& g, Vertex u, Vertex v) {
+  APGRE_ASSERT(u < g.num_vertices() && v < g.num_vertices());
+  APGRE_REQUIRE(u != v, "self-loops do not affect betweenness");
+  APGRE_REQUIRE(!has_arc(g, u, v), "arc already present");
+  CsrGraph next = g;
+  splice_arc(next.out_offsets_, next.out_targets_, u, v, /*insert=*/true);
+  if (g.directed()) {
+    splice_arc(next.in_offsets_, next.in_targets_, v, u, /*insert=*/true);
+  } else {
+    splice_arc(next.out_offsets_, next.out_targets_, v, u, /*insert=*/true);
+  }
+  return next;
+}
+
+CsrGraph with_edge_removed(const CsrGraph& g, Vertex u, Vertex v) {
+  APGRE_ASSERT(u < g.num_vertices() && v < g.num_vertices());
+  APGRE_REQUIRE(u != v, "self-loops do not affect betweenness");
+  APGRE_REQUIRE(has_arc(g, u, v), "arc not present");
+  if (!g.directed()) {
+    APGRE_REQUIRE(has_arc(g, v, u), "symmetric arc missing");
+  }
+  CsrGraph next = g;
+  splice_arc(next.out_offsets_, next.out_targets_, u, v, /*insert=*/false);
+  if (g.directed()) {
+    splice_arc(next.in_offsets_, next.in_targets_, v, u, /*insert=*/false);
+  } else {
+    splice_arc(next.out_offsets_, next.out_targets_, v, u, /*insert=*/false);
+  }
+  return next;
+}
+
+CsrGraph with_pendant_attached(const CsrGraph& g, Vertex host) {
+  APGRE_ASSERT(host < g.num_vertices());
+  const Vertex pendant = g.num_vertices();
+  EdgeList arcs = g.arcs();
+  arcs.push_back(Edge{pendant, host});
+  if (!g.directed()) arcs.push_back(Edge{host, pendant});
+  return CsrGraph::from_edges(pendant + 1, std::move(arcs), g.directed());
+}
+
+CsrGraph with_vertex_isolated(const CsrGraph& g, Vertex v) {
+  APGRE_ASSERT(v < g.num_vertices());
+  EdgeList arcs = g.arcs();
+  std::erase_if(arcs, [&](const Edge& e) { return e.src == v || e.dst == v; });
+  return CsrGraph::from_edges(g.num_vertices(), std::move(arcs), g.directed());
+}
+
+}  // namespace apgre

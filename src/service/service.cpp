@@ -11,7 +11,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "bc/dynamic.hpp"
+#include "graph/mutate.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
@@ -32,23 +32,26 @@ struct Service::Impl {
   struct GraphEntry {
     std::mutex mu;
     std::shared_ptr<const CsrGraph> graph;
-    /// Authoritative mutable copy once the first update arrives.
-    std::unique_ptr<DynamicBc> dynamic;
-    /// Block-cut classification cache; a kLocal insert provably leaves the
-    /// tree unchanged, so it survives local updates and is only rebuilt
-    /// after structural ones.
+    /// Block-cut classification cache; a local update provably leaves the
+    /// tree unchanged (only one block's edge multiset moves, which
+    /// apply_local_update patches), so it survives kLocalInsert /
+    /// kLocalDelete and is only rebuilt after structural ones.
     std::unique_ptr<BlockCutQueries> locality;
   };
 
   /// A warm Solver bound to one immutable snapshot. The pin keeps the
   /// snapshot alive (and its address un-reusable), so pointer equality
   /// against the entry's current snapshot is a sound freshness test.
+  /// Contribution tracking is on so local updates can re-score one block
+  /// in place instead of invalidating the session.
   struct Session {
     std::shared_ptr<const CsrGraph> pin;
     Solver solver;
 
     explicit Session(std::shared_ptr<const CsrGraph> snap)
-        : pin(std::move(snap)), solver(*pin) {}
+        : pin(std::move(snap)), solver(*pin) {
+      solver.enable_contribution_tracking();
+    }
   };
 
   struct Stats {
@@ -62,6 +65,8 @@ struct Service::Impl {
     std::atomic<std::uint64_t> session_evictions{0};
     std::atomic<std::uint64_t> updates_local{0};
     std::atomic<std::uint64_t> updates_structural{0};
+    std::atomic<std::uint64_t> local_recomputes{0};
+    std::atomic<std::uint64_t> full_invalidations{0};
   };
 
   explicit Impl(ServiceOptions opts) : options(opts) {
@@ -269,36 +274,48 @@ struct Service::Impl {
     if (request.u >= prev->num_vertices() || request.v >= prev->num_vertices()) {
       return fail(std::move(response), "update endpoint out of range");
     }
-    if (entry->dynamic == nullptr) {
-      entry->dynamic = std::make_unique<DynamicBc>(*prev);
-    }
 
-    // Classify against the pre-update block-cut tree. Directed graphs are
-    // always structural for caching purposes: an intra-block directed arc
-    // can still change directed reachability (alpha/beta) elsewhere.
+    // Classify against the pre-update block-cut tree. classify_update
+    // grades directed graphs structural itself, so don't even build the
+    // query structure for them.
     response.locality = UpdateLocality::kStructural;
-    if (!prev->directed() && request.inserting) {
+    if (!prev->directed()) {
       if (entry->locality == nullptr) {
         entry->locality = std::make_unique<BlockCutQueries>(*prev);
       }
-      response.locality =
-          entry->locality->classify_update(request.u, request.v, true);
+      response.locality = entry->locality->classify_update(
+          request.u, request.v, request.inserting);
     }
+    const bool local = response.locality != UpdateLocality::kStructural;
 
+    std::shared_ptr<const CsrGraph> snap;
     try {
-      response.affected_sources =
+      // The mutate helpers validate before building, so a throw here means
+      // nothing changed.
+      snap = std::make_shared<const CsrGraph>(
           request.inserting
-              ? entry->dynamic->insert_edge(request.u, request.v)
-              : entry->dynamic->remove_edge(request.u, request.v);
+              ? with_edge_inserted(*prev, request.u, request.v)
+              : with_edge_removed(*prev, request.u, request.v));
     } catch (const Error& e) {
-      // DynamicBc validates before mutating, so no state changed.
       return fail(std::move(response), e.what());
     }
-
-    const auto snap = std::make_shared<const CsrGraph>(entry->dynamic->graph());
     entry->graph = snap;
-    const bool local = response.locality == UpdateLocality::kLocal;
-    if (!local) entry->locality.reset();
+
+    if (local) {
+      // Blast radius: the one biconnected component the update is confined
+      // to. Deterministic from graph state (unlike any recompute count,
+      // which would depend on what happened to be cached).
+      const Vertex block =
+          entry->locality->common_block(request.u, request.v);
+      response.affected_sources = static_cast<Vertex>(
+          entry->locality->bcc().component_vertices[block].size());
+      // Keep later classifications exact: the tree survives, but the
+      // block's edge multiset changed.
+      entry->locality->apply_local_update(request.u, request.v,
+                                          request.inserting);
+    } else {
+      entry->locality.reset();
+    }
     (local ? stats.updates_local : stats.updates_structural)
         .fetch_add(1, std::memory_order_relaxed);
     metrics()
@@ -314,12 +331,22 @@ struct Service::Impl {
       const auto it = lru_index.find(request.graph);
       if (it != lru_index.end()) {
         Session& session = *it->second->second;
-        if (local && session.pin == prev) {
-          session.solver.rebind_local_insert(*snap, request.u, request.v);
-        } else {
+        const bool patched =
+            local && session.pin == prev &&
+            session.solver.apply_local_update(*snap, request.u, request.v,
+                                              request.inserting);
+        if (!patched && !(local && session.pin == prev)) {
+          // apply_local_update already rebound on its false path; only the
+          // cases that never entered it still need the explicit rebind.
           session.solver.rebind(*snap);
         }
         session.pin = snap;
+        (patched ? stats.local_recomputes : stats.full_invalidations)
+            .fetch_add(1, std::memory_order_relaxed);
+        metrics()
+            .counter(patched ? "service.local_recomputes"
+                             : "service.full_invalidations")
+            .add();
       }
     }
 
@@ -443,6 +470,9 @@ ServiceStats Service::stats() const {
   out.session_evictions = s.session_evictions.load(std::memory_order_relaxed);
   out.updates_local = s.updates_local.load(std::memory_order_relaxed);
   out.updates_structural = s.updates_structural.load(std::memory_order_relaxed);
+  out.local_recomputes = s.local_recomputes.load(std::memory_order_relaxed);
+  out.full_invalidations =
+      s.full_invalidations.load(std::memory_order_relaxed);
   return out;
 }
 

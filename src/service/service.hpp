@@ -9,13 +9,14 @@
 //
 // Three request kinds: `solve` (full score vector, any registered
 // algorithm), `top_k` (partial-sort over the scores), and `update` (edge
-// insert/remove routed through DynamicBc). Updates are AP-aware: an
-// insertion strictly inside one biconnected component between two
-// non-articulation vertices (BlockCutQueries::classify_update ==
-// UpdateLocality::kLocal) patches the cached decomposition in place
-// (Solver::rebind_local_insert) — the block-cut tree and all reach counts
-// provably survive — while anything structural drops it so the next solve
-// re-decomposes.
+// insert/remove). Updates are AP-aware (docs/API.md "Update lifecycle"):
+// BlockCutQueries::classify_update grades each one, and a kLocalInsert /
+// kLocalDelete — an update provably confined to one biconnected component —
+// routes through the warm session's contribution store
+// (Solver::apply_local_update): subtract the affected block's old scores,
+// re-run Brandes inside the block only, add the new scores back. Anything
+// structural drops the cached decomposition so the next solve re-decomposes.
+// The split is observable as local_recomputes vs full_invalidations.
 //
 // Thread-safety: every public member is safe to call from any thread, and
 // the service itself imposes no cross-request serialization. The APGRE
@@ -86,7 +87,10 @@ struct Response {
   /// kSolve / kTopK: whether a warm session (graph snapshot still current)
   /// was reused.
   bool session_hit = false;
-  /// kUpdate: sources DynamicBc recomputed, and the invalidation verdict.
+  /// kUpdate: blast radius of the update — the vertex count of the single
+  /// affected biconnected component for local updates, 0 for structural
+  /// ones (the whole graph re-solves lazily). A function of graph state
+  /// alone, deterministic regardless of session-cache state.
   Vertex affected_sources = 0;
   UpdateLocality locality = UpdateLocality::kStructural;
   /// kSolve / kTopK: scoring wall time (BcResult::seconds).
@@ -106,6 +110,13 @@ struct ServiceStats {
   std::uint64_t session_evictions = 0;
   std::uint64_t updates_local = 0;
   std::uint64_t updates_structural = 0;
+  /// Warm sessions patched in place by the localized path (one per update
+  /// whose contribution store re-scored a single block)...
+  std::uint64_t local_recomputes = 0;
+  /// ...vs warm sessions that had to drop their decomposition (structural
+  /// update, stale pin, or no contribution store yet). Updates with no
+  /// cached session increment neither.
+  std::uint64_t full_invalidations = 0;
 
   /// Warm-session fraction of solve/top_k requests; 0 when none ran.
   double hit_rate() const {

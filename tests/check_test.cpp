@@ -12,6 +12,7 @@
 #include "bc/bc.hpp"
 #include "bc/brandes.hpp"
 #include "check/corpus.hpp"
+#include "check/dynamic_metamorphic.hpp"
 #include "check/invariants.hpp"
 #include "check/metamorphic.hpp"
 #include "check/oracle.hpp"
@@ -146,6 +147,62 @@ TEST(CheckSweep, MetamorphicRulesHoldForEveryExactAlgorithm) {
   // 4 rules always apply (relabel, pendant, isolated, union); subdivision
   // needs an undirected graph with a bridge.
   EXPECT_GE(applied, graphs * 4);
+}
+
+// ---- Dynamic metamorphic rules -------------------------------------------
+// Closed-form score predictions across a graph *mutation*, checked against
+// the incremental engine (check/dynamic_metamorphic.hpp).
+
+TEST(CheckSweep, DynamicMetamorphicRulesHoldOnTheCorpus) {
+  std::size_t applied = 0;
+  for (std::uint64_t seed = 1; seed <= kMetamorphicSeeds; ++seed) {
+    for (const CorpusCase& c : graph_corpus(seed, /*tiny=*/true)) {
+      if (c.graph.num_vertices() == 0) continue;
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " + c.name);
+      BcOptions opts;
+      for (const MetamorphicResult& r :
+           run_dynamic_metamorphic_rules(c.graph, opts, seed)) {
+        if (!r.applied) continue;
+        ++applied;
+        EXPECT_TRUE(r.ok) << r.rule << ": " << r.detail;
+      }
+    }
+  }
+  EXPECT_GT(applied, 0u) << "no dynamic rule ever applied";
+}
+
+TEST(CheckDynamicMetamorphic, PendantAttachAppliesEverywhere) {
+  BcOptions opts;
+  const MetamorphicResult r =
+      check_dynamic_pendant_attach(caveman(3, 4, 5), opts, /*seed=*/5);
+  EXPECT_TRUE(r.applied);
+  EXPECT_TRUE(r.ok) << r.detail;
+}
+
+TEST(CheckDynamicMetamorphic, BridgeDeleteNeedsABridge) {
+  BcOptions opts;
+  const MetamorphicResult r =
+      check_dynamic_bridge_delete(caveman(3, 4, 5), opts, /*seed=*/5);
+  EXPECT_TRUE(r.applied) << "caveman bridges exist";
+  EXPECT_TRUE(r.ok) << r.detail;
+  const MetamorphicResult none =
+      check_dynamic_bridge_delete(complete(5), opts, /*seed=*/5);
+  EXPECT_FALSE(none.applied);  // biconnected: no bridge
+}
+
+TEST(CheckDynamicMetamorphic, ChordRoundtripStaysLocal) {
+  BcOptions opts;
+  // Two cycles sharing an articulation point: plenty of chord candidates.
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      9, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+          {0, 6}, {6, 7}, {7, 8}, {8, 0}});
+  const MetamorphicResult r =
+      check_dynamic_chord_roundtrip(g, opts, /*seed=*/3);
+  EXPECT_TRUE(r.applied);
+  EXPECT_TRUE(r.ok) << r.detail;
+  const MetamorphicResult directed = check_dynamic_chord_roundtrip(
+      erdos_renyi(8, 16, true, 2), opts, /*seed=*/3);
+  EXPECT_FALSE(directed.applied);  // directed graphs never classify local
 }
 
 TEST(CheckMetamorphic, SubdivisionAppliesOnBridgeHeavyGraphs) {

@@ -1,0 +1,200 @@
+// IncrementalBc (bc/incremental.hpp): the iCentral-style localized update
+// path. The tests pin the routing (local updates must NOT re-decompose;
+// "bcc.decompositions" is the witness), check the pendant closed forms,
+// and replay randomized insert/delete/attach/detach trajectories over the
+// seeded corpus, diffing against a fresh static Brandes solve after EVERY
+// step — whatever path an update took, the scores must be exact.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bc/brandes.hpp"
+#include "bc/incremental.hpp"
+#include "check/oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/mutate.hpp"
+#include "support/metrics.hpp"
+#include "support/prng.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+using testing::expect_scores_near;
+
+std::uint64_t decompositions() {
+  return metrics().counter("bcc.decompositions").value();
+}
+
+/// K5 on {0..4} sharing articulation point 0 with the triangle {0,5,6}:
+/// two blocks, one dense enough that chord deletes stay biconnected.
+CsrGraph k5_plus_triangle() {
+  return CsrGraph::undirected_from_edges(
+      7, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4},
+          {2, 3}, {2, 4}, {3, 4}, {0, 5}, {5, 6}, {6, 0}});
+}
+
+/// One sub-graph per block, so "localized" demonstrably means one block.
+BcOptions per_block_options() {
+  BcOptions opts;
+  opts.apgre.partition.merge_threshold = 2;
+  return opts;
+}
+
+// The acceptance criterion: an intra-block biconnectivity-preserving
+// delete completes without incrementing bcc.decompositions, and the
+// incremental scores still match a fresh static solve.
+TEST(IncrementalBc, LocalDeleteAvoidsRedecomposition) {
+  IncrementalBc engine(k5_plus_triangle(), per_block_options());
+  const std::uint64_t after_init = decompositions();
+
+  // K5 minus {1,2} is still one biconnected component.
+  EXPECT_EQ(engine.remove_edge(1, 2), UpdateLocality::kLocalDelete);
+  EXPECT_EQ(decompositions(), after_init)
+      << "a biconnectivity-preserving delete must not re-decompose";
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+
+  // Restoring the edge is a chord insert — also local.
+  EXPECT_EQ(engine.insert_edge(1, 2), UpdateLocality::kLocalInsert);
+  EXPECT_EQ(decompositions(), after_init);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+
+  EXPECT_EQ(engine.stats().local_deletes, 1u);
+  EXPECT_EQ(engine.stats().local_inserts, 1u);
+  EXPECT_EQ(engine.stats().structural_resolves, 0u);
+}
+
+TEST(IncrementalBc, StructuralUpdatesFallBackToFullSolve) {
+  IncrementalBc engine(k5_plus_triangle(), per_block_options());
+  const std::uint64_t after_init = decompositions();
+
+  // Deleting a triangle edge dissolves the {0,5,6} block into bridges.
+  EXPECT_EQ(engine.remove_edge(5, 6), UpdateLocality::kStructural);
+  EXPECT_EQ(engine.stats().structural_resolves, 1u);
+  EXPECT_EQ(decompositions(), after_init + 1);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+
+  // Re-inserting it has an articulation-point endpoint on each side of the
+  // now-split tree — structural again.
+  EXPECT_EQ(engine.insert_edge(5, 6), UpdateLocality::kStructural);
+  EXPECT_EQ(engine.stats().structural_resolves, 2u);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+}
+
+TEST(IncrementalBc, PendantAttachDetachUsesClosedFormOnly) {
+  IncrementalBc engine(k5_plus_triangle(), per_block_options());
+  const std::uint64_t after_init = decompositions();
+
+  const Vertex pendant = engine.attach_pendant(3);
+  EXPECT_EQ(pendant, 7u);
+  EXPECT_EQ(engine.graph().num_vertices(), 8u);
+  EXPECT_EQ(decompositions(), after_init)
+      << "pendant attach is a closed-form delta, not a solve";
+  EXPECT_DOUBLE_EQ(engine.scores()[pendant], 0.0);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+
+  engine.detach_vertex(pendant);
+  EXPECT_EQ(decompositions(), after_init)
+      << "pendant detach is the closed-form inverse";
+  EXPECT_DOUBLE_EQ(engine.scores()[pendant], 0.0);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+
+  EXPECT_EQ(engine.stats().pendant_attaches, 1u);
+  EXPECT_EQ(engine.stats().pendant_detaches, 1u);
+  EXPECT_EQ(engine.stats().structural_resolves, 0u);
+
+  // Detaching an interior vertex reshapes shortest paths — full re-solve.
+  engine.detach_vertex(1);
+  EXPECT_EQ(engine.stats().structural_resolves, 1u);
+  EXPECT_DOUBLE_EQ(engine.scores()[1], 0.0);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+  // Detaching it again is a no-op.
+  engine.detach_vertex(1);
+  EXPECT_EQ(engine.stats().structural_resolves, 1u);
+}
+
+// Satellite regression: directed graphs route every edge update through
+// the conservative structural path (the block-cut machinery is
+// undirected), and the scores still come out exact.
+TEST(IncrementalBc, DirectedUpdatesAreConservativelyStructural) {
+  const CsrGraph g =
+      CsrGraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}, true);
+  IncrementalBc engine(g);
+  EXPECT_EQ(engine.insert_edge(0, 2), UpdateLocality::kStructural);
+  EXPECT_EQ(engine.remove_edge(0, 2), UpdateLocality::kStructural);
+  EXPECT_EQ(engine.stats().structural_resolves, 2u);
+  EXPECT_EQ(engine.stats().local_inserts, 0u);
+  EXPECT_EQ(engine.stats().local_deletes, 0u);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+}
+
+TEST(IncrementalBc, IllegalUpdatesThrowBeforeAnyStateChange) {
+  IncrementalBc engine(k5_plus_triangle(), per_block_options());
+  const std::vector<double> before = engine.scores();
+  const CsrGraph graph_before = engine.graph();
+
+  EXPECT_THROW(engine.insert_edge(0, 1), Error) << "edge already present";
+  EXPECT_THROW(engine.remove_edge(1, 5), Error) << "edge not present";
+  EXPECT_THROW(engine.insert_edge(2, 2), Error) << "self-loop";
+
+  EXPECT_EQ(engine.graph(), graph_before);
+  EXPECT_EQ(engine.scores(), before);
+  EXPECT_EQ(engine.stats().structural_resolves, 0u);
+}
+
+// Randomized trajectories over the seeded corpus: mixed inserts, deletes,
+// pendant attaches and detaches, scores diffed against a fresh static
+// solve after EVERY step. Also pins the routing invariant: the engine
+// re-decomposes exactly once per structural resolve, never for local
+// updates or pendant closed forms.
+class IncrementalTrajectory : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalTrajectory, MatchesStaticOracleAfterEveryStep) {
+  const std::uint64_t seed = GetParam();
+  for (const auto& gc : testing::graph_family(seed, /*tiny=*/true)) {
+    if (gc.graph.num_vertices() < 4) continue;
+    SCOPED_TRACE(gc.name);
+    IncrementalBc engine(gc.graph);
+    const std::uint64_t after_init = decompositions();
+
+    Xoshiro256 rng(hash_combine64(seed, 0x7a7e));
+    constexpr int kSteps = 10;
+    for (int step = 0; step < kSteps; ++step) {
+      switch (rng.bounded(8)) {
+        case 0: {  // pendant attach
+          const auto host =
+              static_cast<Vertex>(rng.bounded(engine.graph().num_vertices()));
+          engine.attach_pendant(host);
+          break;
+        }
+        case 1: {  // detach (pendant closed form or interior re-solve)
+          const auto v =
+              static_cast<Vertex>(rng.bounded(engine.graph().num_vertices()));
+          engine.detach_vertex(v);
+          break;
+        }
+        default: {  // edge insert or delete, whatever is currently valid
+          const std::vector<DynamicStep> steps =
+              random_dynamic_steps(engine.graph(), 1, rng());
+          if (steps.empty()) continue;
+          if (steps[0].inserting) {
+            engine.insert_edge(steps[0].u, steps[0].v);
+          } else {
+            engine.remove_edge(steps[0].u, steps[0].v);
+          }
+          break;
+        }
+      }
+      expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+    }
+    EXPECT_EQ(decompositions() - after_init,
+              engine.stats().structural_resolves)
+        << "only structural resolves may re-decompose";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalTrajectory,
+                         ::testing::Values(7, 17, 27));
+
+}  // namespace
+}  // namespace apgre

@@ -67,6 +67,78 @@ TEST(BlockCutQueries, NonArticulationNeverSeparates) {
   }
 }
 
+TEST(ClassifyUpdate, ChordInsertBetweenNonApVerticesIsLocal) {
+  // Barbell cliques are blocks; 0..3 is one K4. A chord cannot exist in a
+  // clique, so use two cycles sharing AP 0 instead.
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      9, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+          {0, 6}, {6, 7}, {7, 8}, {8, 0}});
+  const BlockCutQueries q(g);
+  EXPECT_EQ(q.classify_update(1, 3, true), UpdateLocality::kLocalInsert);
+  EXPECT_EQ(q.classify_update(6, 8, true), UpdateLocality::kLocalInsert);
+  // AP endpoint: the insert may merge blocks -> structural.
+  EXPECT_EQ(q.classify_update(0, 2, true), UpdateLocality::kStructural);
+  // Endpoints in different blocks -> structural.
+  EXPECT_EQ(q.classify_update(1, 7, true), UpdateLocality::kStructural);
+}
+
+TEST(ClassifyUpdate, DenseBlockDeleteIsLocalCycleDeleteIsNot) {
+  // K5 on {0..4} sharing AP 0 with cycle {0,5,6}.
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      7, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4},
+          {2, 3}, {2, 4}, {3, 4}, {0, 5}, {5, 6}, {6, 0}});
+  const BlockCutQueries q(g);
+  // K5 minus any edge stays one biconnected component — AP endpoints are
+  // fine for deletes (the edge partition is unchanged).
+  EXPECT_EQ(q.classify_update(1, 2, false), UpdateLocality::kLocalDelete);
+  EXPECT_EQ(q.classify_update(0, 3, false), UpdateLocality::kLocalDelete);
+  // The triangle {0,5,6} minus an edge is a path: block dissolves.
+  EXPECT_EQ(q.classify_update(5, 6, false), UpdateLocality::kStructural);
+}
+
+TEST(ClassifyUpdate, BridgeDeleteIsStructural) {
+  const BlockCutQueries q(path(4));
+  EXPECT_EQ(q.classify_update(1, 2, false), UpdateLocality::kStructural);
+}
+
+// Satellite regression: the block-cut machinery reasons about undirected
+// biconnectivity, so directed graphs must classify conservatively —
+// every insert AND delete is structural, never a misrouted local patch.
+TEST(ClassifyUpdate, DirectedGraphsAreAlwaysStructural) {
+  const CsrGraph g =
+      CsrGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}, true);
+  const BlockCutQueries q(g);
+  EXPECT_EQ(q.classify_update(0, 2, true), UpdateLocality::kStructural);
+  EXPECT_EQ(q.classify_update(0, 1, false), UpdateLocality::kStructural);
+  EXPECT_EQ(q.classify_update(1, 3, true), UpdateLocality::kStructural);
+}
+
+// Without patching the block's edge multiset after a local delete, a later
+// delete would be classified against stale edges: in K4, after removing
+// {0,1}, removing {0,2} leaves vertex 0 with a single neighbour — the
+// block dissolves, and only a patched classifier can see that.
+TEST(ClassifyUpdate, ApplyLocalUpdateKeepsLaterClassificationsExact) {
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  BlockCutQueries q(g);
+  ASSERT_EQ(q.classify_update(0, 1, false), UpdateLocality::kLocalDelete);
+  q.apply_local_update(0, 1, /*inserting=*/false);
+  // Stale edges would still say K4 minus {0,2} is biconnected.
+  EXPECT_EQ(q.classify_update(0, 2, false), UpdateLocality::kStructural);
+  EXPECT_EQ(q.classify_update(2, 3, false), UpdateLocality::kLocalDelete);
+  // Re-inserting {0,1} restores the original multiset and verdicts.
+  q.apply_local_update(0, 1, /*inserting=*/true);
+  EXPECT_EQ(q.classify_update(0, 2, false), UpdateLocality::kLocalDelete);
+}
+
+TEST(ClassifyUpdate, CommonBlockOnBarbell) {
+  const BlockCutQueries q(barbell(4, 1));
+  EXPECT_NE(q.common_block(0, 3), kInvalidVertex);   // same clique
+  EXPECT_EQ(q.common_block(0, 5), kInvalidVertex);   // opposite cliques
+  EXPECT_NE(q.common_block(3, 4), kInvalidVertex);   // bridge block, two APs
+  EXPECT_EQ(q.common_block(3, 5), kInvalidVertex);   // different bridges
+}
+
 class QueriesSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(QueriesSweep, SeparationMatchesBruteForceOnSampledTriples) {

@@ -133,9 +133,10 @@ TEST_F(ServeTest, ApgreAndSerialAgreeOnScores) {
 
 TEST_F(ServeTest, UpdateLocalityGolden) {
   // C4 cycle: the chord 0-2 lands strictly inside the single block (no
-  // endpoint is an articulation point) -> local. Removing 1-2 afterwards is
-  // always structural. The post-update solve sees the mutated graph:
-  // edges {0,1},{0,2},{0,3},{2,3} give BC [4,0,0,0].
+  // endpoint is an articulation point) -> local insert, affecting the whole
+  // 4-vertex block. Removing 1-2 afterwards strips vertex 1 to degree one,
+  // dissolving the block -> structural. The post-update solve sees the
+  // mutated graph: edges {0,1},{0,2},{0,3},{2,3} give BC [4,0,0,0].
   const CommandResult r = serve({
       R"({"op":"register","graph":"c","edges":[[0,1],[1,2],[2,3],[3,0]]})",
       R"({"op":"update","graph":"c","u":0,"v":2,"insert":true})",
@@ -144,8 +145,8 @@ TEST_F(ServeTest, UpdateLocalityGolden) {
   });
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_NE(
-      r.output.find("{\"affected_sources\":2,\"graph\":\"c\",\"locality\":"
-                    "\"local\",\"ok\":true,\"op\":\"update\"}"),
+      r.output.find("{\"affected_sources\":4,\"graph\":\"c\",\"locality\":"
+                    "\"local_insert\",\"ok\":true,\"op\":\"update\"}"),
       std::string::npos)
       << r.output;
   EXPECT_NE(r.output.find("\"locality\":\"structural\""), std::string::npos)

@@ -9,6 +9,7 @@
 // the replay within the harness tolerance.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <random>
@@ -194,6 +195,84 @@ TEST(ServiceStress, ConcurrentClientsMatchSingleThreadedReplay) {
           replayed, c, i);
     }
   }
+}
+
+// Adversarial update contention: every client hammers ONE shared mutable
+// graph with interleaved updates and solves. Unlike the private-graph
+// sweep above there is no per-client determinism — concurrent updates
+// race, so some fail validation ("arc already present" / "arc not
+// present"); those error responses are expected and tolerated. What must
+// hold under TSan and after the dust settles:
+//   * no data race, crash, or deadlock while sessions are patched
+//     (Solver::apply_local_update) and invalidated concurrently,
+//   * every response is either ok or a clean validation error,
+//   * the service's final served scores match a fresh static solve of the
+//     final snapshot — whatever interleaving of local patches and full
+//     invalidations happened, the cache may never serve stale scores.
+TEST(ServiceStress, AdversarialUpdatesOnSharedGraphStayConsistent) {
+  constexpr int kUpdateClients = 6;
+  constexpr int kStepsPerClient = 60;
+
+  ServiceOptions options;
+  options.workers = 4;
+  options.session_capacity = 2;
+  Service service(options);
+  // Dense blocks chained by articulation points: chord inserts and
+  // biconnectivity-preserving deletes both occur, so the localized and
+  // structural paths genuinely race.
+  service.register_graph("shared", caveman(4, 6, 77));
+
+  std::vector<std::thread> clients;
+  clients.reserve(kUpdateClients);
+  std::atomic<std::uint64_t> validation_errors{0};
+  for (int c = 0; c < kUpdateClients; ++c) {
+    clients.emplace_back([&service, &validation_errors, c] {
+      std::mt19937_64 rng(0xadccULL + static_cast<std::uint64_t>(c));
+      const auto initial = service.snapshot("shared");
+      ASSERT_NE(initial, nullptr);
+      const Vertex n = initial->num_vertices();
+      for (int i = 0; i < kStepsPerClient; ++i) {
+        Request request;
+        if (i % 3 == 2) {
+          request.kind = RequestKind::kSolve;
+          request.graph = "shared";
+          request.options.algorithm = Algorithm::kApgre;
+        } else {
+          request.kind = RequestKind::kUpdate;
+          request.graph = "shared";
+          request.u = static_cast<Vertex>(rng() % n);
+          request.v = static_cast<Vertex>(rng() % n);
+          request.inserting = rng() % 2 == 0;
+        }
+        const Response r = service.handle(request);
+        if (!r.ok) {
+          // Racing updates legitimately fail validation; anything else
+          // (scores for a missing graph, internal errors) is a bug.
+          EXPECT_EQ(r.kind, RequestKind::kUpdate) << r.error;
+          validation_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kUpdateClients *
+                                                       kStepsPerClient));
+  EXPECT_EQ(stats.errors, validation_errors.load());
+
+  // Final consistency: whatever the cache did, served == fresh solve.
+  Request solve;
+  solve.kind = RequestKind::kSolve;
+  solve.graph = "shared";
+  solve.options.algorithm = Algorithm::kApgre;
+  const Response served = service.handle(solve);
+  ASSERT_TRUE(served.ok) << served.error;
+  const auto snap = service.snapshot("shared");
+  ASSERT_NE(snap, nullptr);
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  expect_scores_near(betweenness(*snap, serial).scores, served.scores);
 }
 
 // Shutdown with work still queued: the destructor must drain every queued

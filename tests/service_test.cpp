@@ -148,7 +148,8 @@ TEST(Service, LocalUpdateKeepsCachedDecomposition) {
   // Chord 1-3 inside the C6 block: both endpoints non-AP, same block.
   const Response update = service.handle(update_request("g", 1, 3, true));
   ASSERT_TRUE(update.ok) << update.error;
-  EXPECT_EQ(update.locality, UpdateLocality::kLocal);
+  EXPECT_EQ(update.locality, UpdateLocality::kLocalInsert);
+  EXPECT_EQ(update.affected_sources, 6u) << "the C6 block has six vertices";
 
   const Response solved = service.handle(solve_request("g"));
   ASSERT_TRUE(solved.ok) << solved.error;
@@ -156,6 +157,40 @@ TEST(Service, LocalUpdateKeepsCachedDecomposition) {
   EXPECT_EQ(decompositions(), after_first)
       << "local update must not re-decompose";
   expect_scores_near(oracle_scores(service, "g"), solved.scores);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.local_recomputes, 1u)
+      << "the cached session must have been patched in place";
+  EXPECT_EQ(stats.full_invalidations, 0u);
+}
+
+// The delete-side acceptance criterion: removing an edge whose block stays
+// one biconnected component (a chord of a dense block) must patch the
+// cached session in place — no re-decomposition, no full invalidation —
+// and still serve scores matching a fresh solve.
+TEST(Service, LocalDeletePatchesSessionWithoutRedecomposition) {
+  Service service(unit_options());
+  // K5 on {0..4} sharing articulation point 0 with cycle {0,5,6}.
+  EdgeList edges{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4},
+                 {2, 3}, {2, 4}, {3, 4}, {0, 5}, {5, 6}, {6, 0}};
+  service.register_graph("g", CsrGraph::undirected_from_edges(7, edges));
+
+  ASSERT_TRUE(service.handle(solve_request("g")).ok);
+  const std::uint64_t after_first = decompositions();
+
+  // K5 minus the edge 1-2 is still one biconnected component.
+  const Response update = service.handle(update_request("g", 1, 2, false));
+  ASSERT_TRUE(update.ok) << update.error;
+  EXPECT_EQ(update.locality, UpdateLocality::kLocalDelete);
+  EXPECT_EQ(update.affected_sources, 5u) << "the K5 block has five vertices";
+
+  const Response solved = service.handle(solve_request("g"));
+  ASSERT_TRUE(solved.ok) << solved.error;
+  EXPECT_TRUE(solved.session_hit);
+  EXPECT_EQ(decompositions(), after_first)
+      << "a biconnectivity-preserving delete must not re-decompose";
+  expect_scores_near(oracle_scores(service, "g"), solved.scores);
+  EXPECT_EQ(service.stats().local_recomputes, 1u);
+  EXPECT_EQ(service.stats().full_invalidations, 0u);
 }
 
 TEST(Service, StructuralUpdateRedecomposes) {
@@ -178,7 +213,10 @@ TEST(Service, StructuralUpdateRedecomposes) {
   expect_scores_near(oracle_scores(service, "g"), solved.scores);
 }
 
-TEST(Service, RemovalIsAlwaysStructural) {
+// Deleting a cycle edge leaves a path — the block dissolves into bridges,
+// so the classifier must go structural (unlike a chord delete, which stays
+// local; see LocalDeletePatchesSessionWithoutRedecomposition).
+TEST(Service, BlockDissolvingRemovalIsStructural) {
   Service service(unit_options());
   service.register_graph("g", cycle(6));
   ASSERT_TRUE(service.handle(solve_request("g")).ok);
@@ -189,6 +227,31 @@ TEST(Service, RemovalIsAlwaysStructural) {
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.updates_structural, 1u);
   EXPECT_EQ(stats.updates_local, 0u);
+  EXPECT_EQ(stats.full_invalidations, 1u);
+
+  const Response solved = service.handle(solve_request("g"));
+  ASSERT_TRUE(solved.ok);
+  expect_scores_near(oracle_scores(service, "g"), solved.scores);
+}
+
+// Satellite regression: directed graphs never take the localized path —
+// the block-cut machinery is undirected, so every directed update must be
+// conservatively structural regardless of where the edge lands.
+TEST(Service, DirectedUpdatesAreConservativelyStructural) {
+  Service service(unit_options());
+  // A directed 4-cycle: 0 -> 1 -> 2 -> 3 -> 0.
+  EdgeList arcs{{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  service.register_graph("g", CsrGraph::from_edges(4, arcs, /*directed=*/true));
+  ASSERT_TRUE(service.handle(solve_request("g")).ok);
+
+  const Response insert = service.handle(update_request("g", 0, 2, true));
+  ASSERT_TRUE(insert.ok) << insert.error;
+  EXPECT_EQ(insert.locality, UpdateLocality::kStructural);
+  const Response remove = service.handle(update_request("g", 0, 2, false));
+  ASSERT_TRUE(remove.ok) << remove.error;
+  EXPECT_EQ(remove.locality, UpdateLocality::kStructural);
+  EXPECT_EQ(service.stats().updates_structural, 2u);
+  EXPECT_EQ(service.stats().updates_local, 0u);
 
   const Response solved = service.handle(solve_request("g"));
   ASSERT_TRUE(solved.ok);

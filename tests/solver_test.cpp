@@ -10,6 +10,7 @@
 #include "check/corpus.hpp"
 #include "check/oracle.hpp"
 #include "graph/generators.hpp"
+#include "graph/mutate.hpp"
 #include "graph/transform.hpp"
 #include "support/metrics.hpp"
 
@@ -136,6 +137,98 @@ TEST(Solver, SchedulerAndFlatPathsAgree) {
                         << " flat " << cmp.expected_score << " scheduled "
                         << cmp.actual_score;
   }
+}
+
+TEST(Solver, TrackedSolveMatchesUntrackedScores) {
+  const CsrGraph g = skewed_graph();
+  Solver tracked(g);
+  tracked.enable_contribution_tracking();
+  const BcResult r = tracked.solve(pinned_options());
+  ASSERT_TRUE(r.status.ok());
+
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  const ScoreComparison cmp =
+      compare_scores(betweenness(g, serial).scores, r.scores);
+  EXPECT_TRUE(cmp.ok) << "worst vertex " << cmp.worst_vertex << " expected "
+                      << cmp.expected_score << " actual " << cmp.actual_score;
+}
+
+TEST(Solver, TrackedResolveServesStoredScores) {
+  const CsrGraph g = skewed_graph();
+  Solver solver(g);
+  solver.enable_contribution_tracking();
+  const BcOptions opts = pinned_options();
+  const BcResult first = solver.solve(opts);
+  ASSERT_TRUE(first.status.ok());
+
+  const std::uint64_t reuses_before =
+      metrics().counter("bc.solver.score_reuses").value();
+  const std::uint64_t dec_before = decompositions();
+  const BcResult second = solver.solve(opts);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(metrics().counter("bc.solver.score_reuses").value(),
+            reuses_before + 1)
+      << "a warm tracked solve must serve the contribution store";
+  EXPECT_EQ(decompositions(), dec_before);
+  EXPECT_EQ(first.scores, second.scores);
+}
+
+TEST(Solver, ApplyLocalUpdateMatchesFreshSolve) {
+  // Two cycles sharing AP 0: C6 {0..5} and C4 {0,6,7,8}.
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      9, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+          {0, 6}, {6, 7}, {7, 8}, {8, 0}});
+  Solver solver(g);
+  solver.enable_contribution_tracking();
+  const BcOptions opts = pinned_options();
+  ASSERT_TRUE(solver.solve(opts).status.ok());
+  const std::uint64_t dec_before = decompositions();
+  const std::uint64_t patches_before =
+      metrics().counter("bc.solver.local_recomputes").value();
+
+  // Chord 1-3 inside the C6 block, then delete it again: both directions
+  // of the localized patch, each checked against a fresh static solve.
+  // The oracle runs the serial kernel so it cannot itself decompose and
+  // muddy the counter pin below.
+  BcOptions oracle = opts;
+  oracle.algorithm = Algorithm::kBrandesSerial;
+  const CsrGraph with_chord = with_edge_inserted(g, 1, 3);
+  ASSERT_TRUE(solver.apply_local_update(with_chord, 1, 3, /*inserting=*/true));
+  const BcResult after_insert = solver.solve(opts);
+  ASSERT_TRUE(after_insert.status.ok());
+  ScoreComparison cmp = compare_scores(betweenness(with_chord, oracle).scores,
+                                       after_insert.scores);
+  EXPECT_TRUE(cmp.ok) << "insert: worst vertex " << cmp.worst_vertex;
+
+  const CsrGraph restored = with_edge_removed(with_chord, 1, 3);
+  ASSERT_TRUE(solver.apply_local_update(restored, 1, 3, /*inserting=*/false));
+  const BcResult after_delete = solver.solve(opts);
+  ASSERT_TRUE(after_delete.status.ok());
+  cmp = compare_scores(betweenness(restored, oracle).scores,
+                       after_delete.scores);
+  EXPECT_TRUE(cmp.ok) << "delete: worst vertex " << cmp.worst_vertex;
+
+  EXPECT_EQ(decompositions(), dec_before)
+      << "localized patches must not re-decompose";
+  EXPECT_EQ(metrics().counter("bc.solver.local_recomputes").value(),
+            patches_before + 2);
+}
+
+TEST(Solver, ApplyLocalUpdateWithoutStoreFallsBackToRebind) {
+  const CsrGraph g = cycle(6);
+  Solver solver(g);  // tracking never enabled
+  ASSERT_TRUE(solver.solve().status.ok());
+  const CsrGraph with_chord = with_edge_inserted(g, 0, 2);
+  EXPECT_FALSE(solver.apply_local_update(with_chord, 0, 2, /*inserting=*/true));
+  // The fallback rebinds, so the next solve is correct on the new graph.
+  const BcResult r = solver.solve();
+  ASSERT_TRUE(r.status.ok());
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  const ScoreComparison cmp =
+      compare_scores(betweenness(with_chord, serial).scores, r.scores);
+  EXPECT_TRUE(cmp.ok) << "worst vertex " << cmp.worst_vertex;
 }
 
 TEST(Registry, RoundTripsEveryAlgorithm) {

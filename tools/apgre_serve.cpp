@@ -118,7 +118,10 @@ JsonValue render_response(const Request& request, const Response& response,
       out["affected_sources"] =
           JsonValue(static_cast<std::uint64_t>(response.affected_sources));
       out["locality"] = JsonValue(
-          response.locality == UpdateLocality::kLocal ? "local" : "structural");
+          response.locality == UpdateLocality::kLocalInsert ? "local_insert"
+          : response.locality == UpdateLocality::kLocalDelete
+              ? "local_delete"
+              : "structural");
       break;
     }
   }
@@ -173,6 +176,8 @@ JsonValue render_stats(const Service& service) {
   s["session_evictions"] = JsonValue(stats.session_evictions);
   s["updates_local"] = JsonValue(stats.updates_local);
   s["updates_structural"] = JsonValue(stats.updates_structural);
+  s["local_recomputes"] = JsonValue(stats.local_recomputes);
+  s["full_invalidations"] = JsonValue(stats.full_invalidations);
   s["hit_rate"] = JsonValue(stats.hit_rate());
   JsonValue out;
   out["ok"] = JsonValue(true);

@@ -17,6 +17,7 @@
 // the report format and how CI refreshes its baseline artifact.
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -27,7 +28,11 @@
 #include <vector>
 
 #include "bc/bc.hpp"
+#include "bc/incremental.hpp"
+#include "bcc/queries.hpp"
 #include "check/corpus.hpp"
+#include "graph/generators.hpp"
+#include "graph/mutate.hpp"
 #include "service/service.hpp"
 #include "support/error.hpp"
 #include "support/flags.hpp"
@@ -362,6 +367,139 @@ JsonValue run_service_parallel_workload(std::uint64_t seed, int clients,
   return JsonValue(std::move(out));
 }
 
+/// --workload updates: sustained updates/sec of the BCC-localized
+/// incremental path (bc/incremental.hpp) vs a full re-solve per update, on
+/// a many-block caveman graph (>= 10 biconnected components chained by
+/// articulation points). merge_threshold drops to 2 so every clique is its
+/// own sub-graph — the geometry the localized path exists for. The
+/// trajectory alternates delete / re-insert over intra-clique edges whose
+/// endpoints are non-articulation vertices, so every step classifies
+/// kLocalDelete / kLocalInsert; the workload asserts the localized run
+/// never re-decomposed ("bcc.decompositions" stays flat) and that the
+/// final incremental scores match a fresh serial solve.
+JsonValue run_updates_workload(std::uint64_t seed, int updates, double scale) {
+  const Vertex cliques = 32;
+  const Vertex clique_size =
+      std::max<Vertex>(6, static_cast<Vertex>(32.0 * scale));
+  const CsrGraph graph = caveman(cliques, clique_size, seed);
+
+  BcOptions opts;
+  opts.algorithm = Algorithm::kApgre;
+  // Default grouping would merge the small cliques into few sub-graphs and
+  // re-score most of the graph per update; one block per sub-graph is the
+  // honest localized-update geometry.
+  opts.apgre.partition.merge_threshold = 2;
+
+  // Candidate edges: intra-clique, both endpoints non-AP, so delete AND
+  // re-insert stay local and the trajectory can loop forever.
+  const BlockCutQueries queries(graph);
+  std::vector<Edge> candidates;
+  for (Vertex u = 0; u < graph.num_vertices(); ++u) {
+    for (Vertex v : graph.out_neighbors(u)) {
+      if (u >= v) continue;
+      // Non-AP endpoints guarantee the re-insert also classifies
+      // kLocalInsert, so the alternating trajectory never goes structural.
+      if (queries.classify_update(u, v, /*inserting=*/false) ==
+              UpdateLocality::kLocalDelete &&
+          !queries.bcc().is_articulation[u] &&
+          !queries.bcc().is_articulation[v]) {
+        candidates.push_back(Edge{u, v});
+      }
+    }
+  }
+  APGRE_REQUIRE(!candidates.empty(), "updates workload: no local candidates");
+
+  // Localized path.
+  IncrementalBc engine(graph, opts);
+  const std::size_t blocks = engine.graph().num_vertices() == 0
+                                 ? 0
+                                 : queries.bcc().num_components;
+  const std::uint64_t decompositions_before =
+      metrics().counter("bcc.decompositions").value();
+  // Delete then immediately re-insert each candidate (round-robin): the
+  // graph never strays more than one edge from the original, so every
+  // delete sees a still-biconnected block and every step stays local.
+  // Deleting many edges before re-inserting would genuinely reshape the
+  // block-cut tree (a vertex stripped to degree one goes pendant) and the
+  // classifier would — correctly — go structural.
+  Timer local_timer;
+  for (int i = 0; i < updates; ++i) {
+    const Edge e =
+        candidates[static_cast<std::size_t>(i / 2) % candidates.size()];
+    if (i % 2 == 0) {
+      engine.remove_edge(e.src, e.dst);
+    } else {
+      engine.insert_edge(e.src, e.dst);
+    }
+  }
+  const double local_elapsed = local_timer.seconds();
+  const std::uint64_t decompositions =
+      metrics().counter("bcc.decompositions").value() - decompositions_before;
+  APGRE_REQUIRE(engine.stats().structural_resolves == 0,
+                "updates workload: localized path fell back to a full solve "
+                "(" + std::to_string(engine.stats().structural_resolves) +
+                    " of " + std::to_string(updates) + " steps)");
+  APGRE_REQUIRE(decompositions == 0,
+                "updates workload: localized path re-decomposed");
+
+  // Full-re-solve baseline: mutate + fresh decomposition + solve per
+  // update, over the same trajectory prefix (capped — it is the slow side).
+  const int full_updates = std::min(updates, 16);
+  CsrGraph full_graph = graph;
+  Timer full_timer;
+  for (int i = 0; i < full_updates; ++i) {
+    const Edge e =
+        candidates[static_cast<std::size_t>(i / 2) % candidates.size()];
+    full_graph = i % 2 == 0 ? with_edge_removed(full_graph, e.src, e.dst)
+                            : with_edge_inserted(full_graph, e.src, e.dst);
+    const BcResult r = betweenness(full_graph, opts);
+    APGRE_REQUIRE(r.status.ok(), "updates workload: " + r.status.message);
+  }
+  const double full_elapsed = full_timer.seconds();
+
+  // Exactness: the incremental scores must match a fresh static solve of
+  // the final graph (the bench's own oracle diff, oracle tolerance).
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  const std::vector<double> expected =
+      betweenness(engine.graph(), serial).scores;
+  for (Vertex v = 0; v < engine.graph().num_vertices(); ++v) {
+    const double a = expected[v];
+    const double b = engine.scores()[v];
+    APGRE_REQUIRE(
+        std::abs(a - b) <= 1e-6 + 1e-7 * std::max(std::abs(a), std::abs(b)),
+        "updates workload: incremental scores diverged from static solve");
+  }
+
+  const double local_ups =
+      local_elapsed > 0.0 ? static_cast<double>(updates) / local_elapsed : 0.0;
+  const double full_ups = full_elapsed > 0.0
+                              ? static_cast<double>(full_updates) / full_elapsed
+                              : 0.0;
+  JsonValue::Object out;
+  out["graph_vertices"] =
+      JsonValue(static_cast<std::uint64_t>(graph.num_vertices()));
+  out["graph_arcs"] = JsonValue(static_cast<std::uint64_t>(graph.num_arcs()));
+  out["blocks"] = JsonValue(static_cast<std::uint64_t>(blocks));
+  out["candidate_edges"] =
+      JsonValue(static_cast<std::int64_t>(candidates.size()));
+  out["updates"] = JsonValue(static_cast<std::int64_t>(updates));
+  out["localized_elapsed_seconds"] = JsonValue(local_elapsed);
+  out["localized_updates_per_second"] = JsonValue(local_ups);
+  out["full_resolve_updates"] = JsonValue(static_cast<std::int64_t>(full_updates));
+  out["full_resolve_elapsed_seconds"] = JsonValue(full_elapsed);
+  out["full_resolve_updates_per_second"] = JsonValue(full_ups);
+  out["speedup"] = JsonValue(full_ups > 0.0 ? local_ups / full_ups : 0.0);
+  out["decompositions_during_trajectory"] = JsonValue(decompositions);
+  JsonValue::Object counters;
+  counters["local_inserts"] = JsonValue(engine.stats().local_inserts);
+  counters["local_deletes"] = JsonValue(engine.stats().local_deletes);
+  counters["structural_resolves"] =
+      JsonValue(engine.stats().structural_resolves);
+  out["engine"] = JsonValue(std::move(counters));
+  return JsonValue(std::move(out));
+}
+
 /// Throws Error on unreadable / malformed / schema-incompatible reports.
 JsonValue load_report(const std::string& path) {
   std::ifstream in(path);
@@ -457,9 +595,11 @@ int main(int argc, char** argv) {
                   "mixed-request throughput against apgre::Service) or "
                   "service_parallel (concurrent clients all running "
                   "parallel-kernel solves; aggregate requests/sec + "
-                  "per-solve latency percentiles)")
+                  "per-solve latency percentiles) or updates (sustained "
+                  "localized incremental updates/sec vs full re-solve)")
       .add_int("clients", 8, "service workload: concurrent client threads")
-      .add_int("requests", 50, "service workload: requests per client");
+      .add_int("requests", 50, "service workload: requests per client")
+      .add_int("updates", 200, "updates workload: trajectory length");
 
   std::vector<MeasureSpec> algo_set;
   std::vector<BenchGraph> graph_list;
@@ -477,10 +617,12 @@ int main(int argc, char** argv) {
                   "--threshold must be non-negative");
     workload = flags.get_string("workload");
     APGRE_REQUIRE(workload == "kernels" || workload == "service" ||
-                      workload == "service_parallel",
-                  "--workload must be kernels, service or service_parallel");
+                      workload == "service_parallel" || workload == "updates",
+                  "--workload must be kernels, service, service_parallel or "
+                  "updates");
     APGRE_REQUIRE(flags.get_int("clients") >= 1, "--clients must be >= 1");
     APGRE_REQUIRE(flags.get_int("requests") >= 1, "--requests must be >= 1");
+    APGRE_REQUIRE(flags.get_int("updates") >= 1, "--updates must be >= 1");
     if (workload == "kernels") {
       algo_set = parse_algo_set(flags.get_string("algo-set"));
       graph_list = build_graph_list(
@@ -517,6 +659,21 @@ int main(int argc, char** argv) {
                  static_cast<int>(flags.get_int("clients")),
                  service_section.at("requests_per_second").as_double(),
                  service_section.at("solve_seconds_p90").as_double());
+  }
+
+  JsonValue updates_section;
+  if (workload == "updates") {
+    updates_section = run_updates_workload(
+        static_cast<std::uint64_t>(flags.get_int("seed")),
+        static_cast<int>(flags.get_int("updates")), flags.get_double("scale"));
+    std::fprintf(stderr,
+                 "updates workload: %.0f localized updates/sec vs %.1f full "
+                 "re-solves/sec (%.1fx) over %.0f blocks\n",
+                 updates_section.at("localized_updates_per_second").as_double(),
+                 updates_section.at("full_resolve_updates_per_second")
+                     .as_double(),
+                 updates_section.at("speedup").as_double(),
+                 updates_section.at("blocks").as_double());
   }
 
   JsonValue::Array results;
@@ -559,6 +716,9 @@ int main(int argc, char** argv) {
   report["results"] = JsonValue(std::move(results));
   if (!service_section.is_null()) {
     report["service"] = std::move(service_section);
+  }
+  if (!updates_section.is_null()) {
+    report["updates"] = std::move(updates_section);
   }
   const JsonValue head(std::move(report));
 
