@@ -9,6 +9,7 @@
 
 #include "bc/frontier.hpp"
 #include "bcc/reach.hpp"
+#include "graph/transform.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
 #include "support/parallel.hpp"
@@ -86,6 +87,11 @@ void subgraph_source_serial(const Subgraph& sg, Vertex s, SubgraphScratch& scrat
   const bool s_is_ap = sg.is_boundary_ap[s] != 0;
   const double size_o2i = s_is_ap ? static_cast<double>(sg.beta[s]) : 0.0;
   const double gamma_s = static_cast<double>(sg.gamma[s]);
+  // Phantom-pendant multiplicities (2-core peel): pw[v] leaf children hang
+  // off v at dist[v]+1 with sigma equal to v's, contributing pw[v] to the
+  // i2i recursion exactly as the flat reduction's in-graph pendants would.
+  const double* pw =
+      sg.pendant_weight.empty() ? nullptr : sg.pendant_weight.data();
 
   // Phase 0: dependency seeds at boundary articulation points (other than
   // the source; paths ending at the source's own sub-DAG are accounted in
@@ -123,7 +129,7 @@ void subgraph_source_serial(const Subgraph& sg, Vertex s, SubgraphScratch& scrat
   // v == s (Theorem 3).
   for (std::size_t lvl = levels.num_levels(); lvl-- > 0;) {
     for (Vertex v : levels.level(lvl)) {
-      double acc_i2i = 0.0;
+      double acc_i2i = pw != nullptr ? pw[v] : 0.0;
       double acc_i2o = d_i2o[v];
       double acc_o2o = d_o2o[v];
       for (Vertex w : g.out_neighbors(v)) {
@@ -381,12 +387,16 @@ void subgraph_source_parallel(const Subgraph& sg, Vertex s, ParallelScratch& st,
       const FineRegionCtx& C = *fine_region_ctx;
       ParallelScratch& ps = *C.st;
       const CsrGraph& cg = C.sg->graph;
+      // Phantom-pendant seed; see subgraph_source_serial.
+      const double* pw = C.sg->pendant_weight.empty()
+                             ? nullptr
+                             : C.sg->pendant_weight.data();
 #pragma omp for schedule(dynamic, 64) nowait
       for (std::int64_t i = 0; i < static_cast<std::int64_t>(C.level.size()); ++i) {
         const Vertex v = C.level[static_cast<std::size_t>(i)];
         const auto dv = ps.dist[v].load(std::memory_order_relaxed);
         const double sv = ps.sigma[v].load(std::memory_order_relaxed);
-        double acc_i2i = 0.0;
+        double acc_i2i = pw != nullptr ? pw[v] : 0.0;
         double acc_i2o = ps.d_i2o[v];
         double acc_o2o = ps.d_o2o[v];
         for (Vertex w : cg.out_neighbors(v)) {
@@ -608,6 +618,9 @@ void subgraph_source_scheduled(const Subgraph& sg, Vertex s, SchedScratch& st,
     for (Vertex v : fresh) frontier_out_edges += g.out_degree(v);
   }
 
+  // Phantom-pendant seed; see subgraph_source_serial.
+  const double* pw =
+      sg.pendant_weight.empty() ? nullptr : sg.pendant_weight.data();
   for (std::size_t lvl = st.levels.num_levels(); lvl-- > 0;) {
     const auto level = st.levels.level(lvl);
     sched.parallel_for(
@@ -618,7 +631,7 @@ void subgraph_source_scheduled(const Subgraph& sg, Vertex s, SchedScratch& st,
             const Vertex v = level[static_cast<std::size_t>(i)];
             const auto dv = st.dist[v].load(std::memory_order_relaxed);
             const double sv = st.sigma[v].load(std::memory_order_relaxed);
-            double acc_i2i = 0.0;
+            double acc_i2i = pw != nullptr ? pw[v] : 0.0;
             double acc_i2o = st.d_i2o[v];
             double acc_o2o = st.d_o2o[v];
             for (Vertex w : g.out_neighbors(v)) {
@@ -981,18 +994,21 @@ std::vector<double> apgre_bc_with_decomposition(const CsrGraph& g,
   APGRE_TRACE_SPAN("apgre/score");
   ApgreStats local;
   if (stats != nullptr) {
-    // The caller reports what it spent on decompose + reach; a Solver cache
-    // hit legitimately reports zero here.
+    // The caller reports what it spent on decompose + reach + peel; a
+    // Solver cache hit legitimately reports zero here.
     local.partition_seconds = stats->partition_seconds;
     local.reach_seconds = stats->reach_seconds;
+    local.peel_seconds = stats->peel_seconds;
+    local.peeled_vertices = stats->peeled_vertices;
+    local.core_fraction = stats->core_fraction;
   }
 
   Timer score_timer;
   std::vector<double> bc = sched.enabled
                                ? score_scheduled(g, dec, opts, sched, local)
                                : score_flat(g, dec, opts, local);
-  local.total_seconds =
-      local.partition_seconds + local.reach_seconds + score_timer.seconds();
+  local.total_seconds = local.peel_seconds + local.partition_seconds +
+                        local.reach_seconds + score_timer.seconds();
 
   local.num_subgraphs = dec.subgraphs.size();
   local.num_articulation_points = dec.num_articulation_points;
@@ -1032,6 +1048,56 @@ std::vector<double> apgre_bc(const CsrGraph& g, const ApgreOptions& opts,
                              ApgreStats* stats, const SchedulerOptions& sched) {
   APGRE_TRACE_SPAN("apgre/total");
   ApgreStats local;
+
+  // Step 0 (optional): peel the tree fringe down to the 2-core and solve
+  // the core-only reduction. Each anchor absorbs its peeled subtrees as a
+  // derived pendant multiplicity — a gamma weight plus weighted alpha/beta
+  // reach counts — so the core-side Brandes runs never traverse the fringe
+  // yet produce the same core totals as the unpeeled graph; the peeled
+  // vertices' own scores are closed-form. Directed graphs bypass inside
+  // two_core_peel.
+  if (opts.partition.peel_two_core && !g.directed()) {
+    double peel_seconds = 0.0;
+    PeelResult peel;
+    {
+      ScopedTimer t(peel_seconds);
+      peel = two_core_peel(g);
+    }
+    if (peel.num_peeled > 0) {
+      CsrGraph core;
+      {
+        ScopedTimer t(peel_seconds);
+        core = peeled_core_reduction(g, peel);
+      }
+      PartitionOptions popts = opts.partition;
+      popts.peel_two_core = false;
+      popts.compute_reach = false;
+      Decomposition dec;
+      {
+        APGRE_TRACE_SPAN("apgre/decompose");
+        ScopedTimer t(local.partition_seconds);
+        dec = decompose(core, popts);
+        inject_pendant_weights(dec, peel.anchor_weight);
+      }
+      {
+        APGRE_TRACE_SPAN("apgre/reach");
+        ScopedTimer t(local.reach_seconds);
+        compute_reach_counts(core, dec, opts.partition.reach,
+                             &peel.anchor_weight);
+      }
+      ApgreOptions inner = opts;
+      inner.partition = popts;
+      local.peel_seconds = peel_seconds;
+      local.peeled_vertices = peel.num_peeled;
+      local.core_fraction = peel.core_fraction();
+      std::vector<double> bc =
+          apgre_bc_with_decomposition(core, dec, inner, &local, sched);
+      expand_peeled_scores(peel, bc);
+      metrics().gauge("graph.peel.seconds").set(peel_seconds);
+      if (stats != nullptr) *stats = local;
+      return bc;
+    }
+  }
 
   // Step 1: decomposition (timed separately from reach counting so the
   // Figure-8 breakdown can report both).

@@ -46,6 +46,12 @@ struct ApgreOptions {
 struct ApgreStats {
   double partition_seconds = 0.0;  ///< biconnected decomposition + grouping
   double reach_seconds = 0.0;      ///< alpha/beta counting
+  /// 2-core peel preprocessing (PartitionOptions::peel_two_core): time
+  /// spent peeling + building the reduction, vertices removed, and the
+  /// surviving core fraction (1.0 when peeling was off or removed nothing).
+  double peel_seconds = 0.0;
+  Vertex peeled_vertices = 0;
+  double core_fraction = 1.0;
   /// BC of the sub-graphs processed with the fine-grained level-synchronous
   /// kernel (flat mode: the large "top" tier; scheduler mode: the dedicated
   /// sub-graphs too large to root-split).

@@ -189,21 +189,47 @@ BcResult Solver::solve(const BcOptions& opts) {
     // Session fast path: decompose + count reach once, score per solve.
     PartitionOptions key = opts.apgre.partition;
     key.compute_reach = false;
+    const bool want_peel = key.peel_two_core && !g.directed();
     ApgreStats stats;  // partition/reach seconds stay zero on a cache hit
     if (dec_ == nullptr || !(dec_key_ == key)) {
       dec_ = std::make_unique<Decomposition>();
       store_valid_ = false;
+      reduced_.reset();
+      if (want_peel) {
+        // Peel once per snapshot; an adopted peel (service) is reused.
+        ScopedTimer t(stats.peel_seconds);
+        if (peel_ == nullptr || peel_->num_vertices != g.num_vertices()) {
+          peel_ = std::make_shared<const PeelResult>(two_core_peel(g));
+        }
+        if (peel_->num_peeled > 0) {
+          reduced_ =
+              std::make_unique<CsrGraph>(peeled_core_reduction(g, *peel_));
+        }
+      }
+      const CsrGraph& base = reduced_ != nullptr ? *reduced_ : g;
       {
         APGRE_TRACE_SPAN("apgre/decompose");
         ScopedTimer t(stats.partition_seconds);
-        *dec_ = decompose(g, key);
+        *dec_ = decompose(base, key);
+        // Weighted core solve: anchors absorb their peeled subtrees as
+        // derived pendant multiplicities (gamma + weighted reach), so the
+        // kernels never traverse the fringe.
+        if (reduced_ != nullptr) {
+          inject_pendant_weights(*dec_, peel_->anchor_weight);
+        }
       }
       {
         APGRE_TRACE_SPAN("apgre/reach");
         ScopedTimer t(stats.reach_seconds);
-        compute_reach_counts(g, *dec_, key.reach);
+        compute_reach_counts(base, *dec_, key.reach,
+                             reduced_ != nullptr ? &peel_->anchor_weight
+                                                 : nullptr);
       }
       dec_key_ = key;
+    }
+    if (want_peel && peel_ != nullptr) {
+      stats.peeled_vertices = peel_->num_peeled;
+      stats.core_fraction = peel_->core_fraction();
     }
     if (track_) {
       if (store_valid_) {
@@ -216,8 +242,10 @@ BcResult Solver::solve(const BcOptions& opts) {
       result.scores = tracked_scores_;
       stats.num_subgraphs = dec_->subgraphs.size();
     } else {
-      result.scores = apgre_bc_with_decomposition(g, *dec_, opts.apgre, &stats,
-                                                  opts.scheduler);
+      const CsrGraph& base = reduced_ != nullptr ? *reduced_ : g;
+      result.scores = apgre_bc_with_decomposition(base, *dec_, opts.apgre,
+                                                  &stats, opts.scheduler);
+      if (reduced_ != nullptr) expand_peeled_scores(*peel_, result.scores);
     }
     result.apgre_stats = stats;
   } else {
@@ -241,9 +269,21 @@ void Solver::rebind(const CsrGraph& g) {
   g_ = &g;
   dec_.reset();
   dec_key_ = PartitionOptions{};
+  peel_.reset();
+  reduced_.reset();
   store_valid_ = false;
   contrib_.clear();
   tracked_scores_.clear();
+}
+
+void Solver::adopt_peel(std::shared_ptr<const PeelResult> peel) {
+  if (peel == peel_) return;
+  peel_ = std::move(peel);
+  // The cached decomposition (if any) was built on a different reduction.
+  dec_.reset();
+  dec_key_ = PartitionOptions{};
+  reduced_.reset();
+  store_valid_ = false;
 }
 
 void Solver::enable_contribution_tracking() {
@@ -264,6 +304,10 @@ void Solver::build_store() {
       tracked_scores_[sg.to_global[local]] += contrib_[sgi][local];
     }
   }
+  // Peeled sessions keep the store expanded (see the tracked_scores_
+  // invariant in the header): the expansion commutes with the per-block
+  // subtract/re-add arithmetic of apply_local_update.
+  if (reduced_ != nullptr) expand_peeled_scores(*peel_, tracked_scores_);
   store_valid_ = true;
 }
 
@@ -290,6 +334,13 @@ bool Solver::apply_local_update(const CsrGraph& g, Vertex u, Vertex v,
     return false;
   }
   APGRE_ASSERT(!g.directed() && g.num_vertices() == dec_->num_vertices);
+  if (reduced_ != nullptr &&
+      (!peel_->in_core[u] || !peel_->in_core[v])) {
+    // An update incident to the peeled forest invalidates the peel analysis
+    // (classify_update routes these kStructural; this is defence in depth).
+    rebind(g);
+    return false;
+  }
 
   for (std::size_t sgi = 0; sgi < dec_->subgraphs.size(); ++sgi) {
     Subgraph& sg = dec_->subgraphs[sgi];
@@ -327,6 +378,13 @@ bool Solver::apply_local_update(const CsrGraph& g, Vertex u, Vertex v,
       // Clamp subtract/re-add cancellation noise on exact zeros.
       if (std::abs(score) < 1e-9) score = std::max(score, 0.0);
     }
+    if (reduced_ != nullptr) {
+      // Both endpoints are 2-core (guard above) and kLocal updates leave
+      // the peel cascade untouched, so the reduction tracks g by the same
+      // one-edge splice.
+      *reduced_ = inserting ? with_edge_inserted(*reduced_, u, v)
+                            : with_edge_removed(*reduced_, u, v);
+    }
     refresh_top_subgraph();
     g_ = &g;
     metrics().counter("bc.solver.local_recomputes").add();
@@ -350,6 +408,11 @@ void Solver::rebind_local_insert(const CsrGraph& g, Vertex u, Vertex v) {
     return;
   }
   APGRE_ASSERT(!g.directed() && g.num_vertices() == dec_->num_vertices);
+  if (reduced_ != nullptr &&
+      (!peel_->in_core[u] || !peel_->in_core[v])) {
+    rebind(g);
+    return;
+  }
   g_ = &g;
 
   // A non-articulation vertex lives in exactly one sub-graph; find u's and
@@ -378,6 +441,7 @@ void Solver::rebind_local_insert(const CsrGraph& g, Vertex u, Vertex v) {
          sg.num_vertices() > best.num_vertices())) {
       dec_->top_subgraph = sgi;
     }
+    if (reduced_ != nullptr) *reduced_ = with_edge_inserted(*reduced_, u, v);
     metrics().counter("bc.solver.local_rebinds").add();
     return;
   }

@@ -33,6 +33,7 @@
 #include "bc/apgre.hpp"
 #include "bcc/partition.hpp"
 #include "graph/csr.hpp"
+#include "graph/transform.hpp"
 #include "support/error.hpp"
 
 namespace apgre {
@@ -144,7 +145,22 @@ class Solver {
 
   /// The cached decomposition, or nullptr before the first APGRE solve.
   /// The pointer is stable across cache-hit solves (tests key on this).
+  /// With PartitionOptions::peel_two_core the decomposition covers the
+  /// core-only reduction — anchors carrying their peeled subtrees as
+  /// derived pendant multiplicities — not the full graph (same vertex-id
+  /// space).
   const Decomposition* decomposition() const { return dec_.get(); }
+
+  /// The cached 2-core peel, or nullptr when peeling is off / not solved
+  /// yet. Shared so the service can hand one snapshot-wide peel to every
+  /// warm session (adopt_peel).
+  std::shared_ptr<const PeelResult> peel() const { return peel_; }
+
+  /// Inject a precomputed peel of the *current* graph (the service stores
+  /// one per snapshot so warm sessions skip re-peeling). Adopting the
+  /// pointer already held is a no-op; a different one invalidates the
+  /// cached decomposition, which was built on a different reduction.
+  void adopt_peel(std::shared_ptr<const PeelResult> peel);
 
   /// Point the session at a different graph snapshot (the service layer
   /// calls this after a structural dynamic update). Drops the cached
@@ -178,7 +194,10 @@ class Solver {
 
   /// The store's unhalved full-graph APGRE scores, or nullptr while no
   /// valid store exists (tracking disabled, no APGRE solve yet, or
-  /// invalidated by rebind / changed partition options).
+  /// invalidated by rebind / changed partition options). When the session
+  /// peels, these are already re-expanded to full-graph scores (the
+  /// closed-form corrections are constant under local updates, so the
+  /// per-block subtract/re-add arithmetic preserves them).
   const std::vector<double>* tracked_scores() const {
     return store_valid_ ? &tracked_scores_ : nullptr;
   }
@@ -193,8 +212,12 @@ class Solver {
   /// kernel, and adds the new contribution back (counter
   /// "bc.solver.local_recomputes"). Returns true on the localized path;
   /// falls back to a plain rebind() — full re-decomposition on the next
-  /// solve — and returns false when no valid store exists. Violating the
-  /// locality precondition silently corrupts later scores — classify first.
+  /// solve — and returns false when no valid store exists, or when a
+  /// peeled session sees an update incident to a peeled-forest vertex
+  /// (the peel analysis is invalidated; classify_update routes such
+  /// updates kStructural anyway, so this guard is defence in depth).
+  /// Violating the locality precondition silently corrupts later scores —
+  /// classify first.
   bool apply_local_update(const CsrGraph& g, Vertex u, Vertex v,
                           bool inserting);
 
@@ -205,10 +228,19 @@ class Solver {
   const CsrGraph* g_;
   std::unique_ptr<Decomposition> dec_;
   PartitionOptions dec_key_;
+  // 2-core peel state (dec_key_.peel_two_core): the peel of the current
+  // graph and the flat reduction the decomposition was built on. reduced_
+  // is null when peeling is off, bypassed (directed), or removed nothing —
+  // scoring then runs on *g_ directly.
+  std::shared_ptr<const PeelResult> peel_;
+  std::unique_ptr<CsrGraph> reduced_;
   // Contribution store (enable_contribution_tracking): per-sub-graph local
   // score vectors and their scatter-sum. Invariant while store_valid_:
   // tracked_scores_[w] == sum over sub-graphs i containing w of
-  // contrib_[i][local id of w], computed on the *current* sub-graph arcs.
+  // contrib_[i][local id of w], computed on the *current* sub-graph arcs —
+  // plus, when the session peels, the constant closed-form expansion
+  // (corrections at anchors, overwritten scores at peeled vertices, whose
+  // per-block contributions are exactly zero).
   bool track_ = false;
   bool store_valid_ = false;
   std::vector<std::vector<double>> contrib_;

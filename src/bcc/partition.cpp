@@ -318,4 +318,26 @@ Decomposition decompose(const CsrGraph& g, const PartitionOptions& opts) {
   return dec;
 }
 
+void inject_pendant_weights(Decomposition& dec,
+                            const std::vector<Vertex>& multiplicity) {
+  APGRE_ASSERT_MSG(multiplicity.size() == dec.num_vertices,
+                   "pendant multiplicities must cover the decomposed graph");
+  // A vertex can sit in several sub-graphs (boundary AP); home the phantom
+  // pendants in the first one encountered, mirroring how a real pendant
+  // block lands in exactly one group.
+  std::vector<std::uint8_t> homed(multiplicity.size(), 0);
+  for (Subgraph& sg : dec.subgraphs) {
+    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+      const Vertex global = sg.to_global[local];
+      const Vertex m = multiplicity[global];
+      if (m == 0 || homed[global]) continue;
+      homed[global] = 1;
+      if (sg.pendant_weight.empty()) sg.pendant_weight.assign(sg.num_vertices(), 0.0);
+      sg.pendant_weight[local] = static_cast<double>(m);
+      sg.gamma[local] += m;
+      dec.num_pendants_removed += m;
+    }
+  }
+}
+
 }  // namespace apgre

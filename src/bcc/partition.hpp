@@ -37,6 +37,13 @@ struct PartitionOptions {
   /// compute_reach_counts() itself (the APGRE driver does this to time the
   /// two steps separately, as in the paper's Figure 8 breakdown).
   bool compute_reach = true;
+  /// Peel the tree fringe down to the 2-core before decomposing
+  /// (graph/transform.hpp two_core_peel): the apgre_bc driver and
+  /// bc::Solver solve the core-only reduction — anchors absorb their peeled
+  /// subtrees as derived pendant multiplicities (inject_pendant_weights) —
+  /// and re-expand the scores with the exact closed-form corrections.
+  /// Directed graphs bypass conservatively.
+  bool peel_two_core = false;
 
   /// Memberwise equality — bc::Solver keys its cached decomposition on this.
   friend bool operator==(const PartitionOptions&,
@@ -63,6 +70,12 @@ struct Subgraph {
   std::vector<std::uint8_t> removed;
   /// Root set R_sgi (local ids of sources whose DAGs are built), sorted.
   std::vector<Vertex> roots;
+  /// Derived pendant multiplicity folded at each local vertex (empty =
+  /// none). Set by inject_pendant_weights: the vertex stands in for this
+  /// many phantom depth-1 pendants, which the scoring kernels account as
+  /// extra targets and the self/interior bonus terms — without the pendant
+  /// vertices ever entering a BFS.
+  std::vector<double> pendant_weight;
 
   Vertex num_vertices() const { return graph.num_vertices(); }
   EdgeId num_arcs() const { return graph.num_arcs(); }
@@ -97,5 +110,17 @@ struct Decomposition {
 /// otherwise) fill in alpha/beta. Runs per connected component of the
 /// undirected projection; vertices with no arcs are skipped.
 Decomposition decompose(const CsrGraph& g, const PartitionOptions& opts = {});
+
+/// Fold per-vertex phantom-pendant multiplicities into an existing
+/// decomposition (the 2-core peel's anchor weights: each anchor stands in
+/// for `multiplicity[v]` peeled tree vertices). For every vertex with a
+/// non-zero multiplicity, exactly one sub-graph containing it — its "home"
+/// — absorbs the weight into gamma and Subgraph::pendant_weight; every
+/// other sub-graph sees the phantoms as outside vertices through the
+/// weighted reach counts. Call BEFORE compute_reach_counts (pass the same
+/// multiplicities there). Vertices absent from every sub-graph (isolated)
+/// must have zero multiplicity.
+void inject_pendant_weights(Decomposition& dec,
+                            const std::vector<Vertex>& multiplicity);
 
 }  // namespace apgre

@@ -25,16 +25,20 @@ struct BfsScratch {
 struct ReachRegionCtx {
   const CsrGraph* g = nullptr;
   Decomposition* dec = nullptr;
+  const std::vector<Vertex>* mult = nullptr;
 };
 
 ReachRegionCtx* reach_region_ctx = nullptr;
 
 /// Count vertices reachable from `start` (itself excluded), following
 /// out-arcs (forward) or in-arcs (reverse), never entering a vertex whose
-/// mark equals `blocked_tag`.
+/// mark equals `blocked_tag`. With `mult`, every visited vertex w counts as
+/// 1 + mult[w] (itself plus its phantom pendants, which hang directly off w
+/// and are therefore reachable exactly when w is).
 std::uint64_t restricted_reach(const CsrGraph& g, Vertex start, bool forward,
                                std::uint64_t blocked_tag, std::uint64_t visited_tag,
-                               BfsScratch& scratch) {
+                               BfsScratch& scratch,
+                               const std::vector<Vertex>* mult) {
   auto& mark = scratch.mark;
   auto& queue = scratch.queue;
   queue.assign(1, start);
@@ -46,17 +50,18 @@ std::uint64_t restricted_reach(const CsrGraph& g, Vertex start, bool forward,
       if (mark[w] == blocked_tag || mark[w] == visited_tag) continue;
       mark[w] = visited_tag;
       queue.push_back(w);
-      ++count;
+      count += 1 + (mult ? static_cast<std::uint64_t>((*mult)[w]) : 0);
     }
   }
   return count;
 }
 
-void reach_by_bfs(const CsrGraph& g, Decomposition& dec) {
+void reach_by_bfs(const CsrGraph& g, Decomposition& dec,
+                  const std::vector<Vertex>* mult) {
   // Region-context OpenMP kernel (support/parallel.hpp): not reentrant,
   // serialize whole invocations against concurrent caller threads.
   std::lock_guard<std::recursive_mutex> lock(legacy_omp_kernel_mutex());
-  ReachRegionCtx ctx{&g, &dec};
+  ReachRegionCtx ctx{&g, &dec, mult};
   reach_region_ctx = &ctx;
   omp_fork_fence();
 #pragma omp parallel
@@ -74,11 +79,22 @@ void reach_by_bfs(const CsrGraph& g, Decomposition& dec) {
       for (Vertex v : sg.to_global) scratch.mark[v] = blocked_tag;
       for (Vertex local : sg.boundary_aps) {
         const Vertex global = sg.to_global[local];
-        sg.alpha[local] = restricted_reach(cg, global, /*forward=*/true,
-                                           blocked_tag, ++scratch.epoch, scratch);
+        // Phantom pendants hang directly off `global`. They are "outside"
+        // every sub-graph except the one that homed them (pendant_weight
+        // non-zero there), so from any other sub-graph they join alpha/beta
+        // even though the BFS never leaves through them.
+        std::uint64_t own = 0;
+        if (C.mult != nullptr && (*C.mult)[global] > 0 &&
+            (sg.pendant_weight.empty() || sg.pendant_weight[local] == 0.0)) {
+          own = (*C.mult)[global];
+        }
+        sg.alpha[local] = own + restricted_reach(cg, global, /*forward=*/true,
+                                                 blocked_tag, ++scratch.epoch,
+                                                 scratch, C.mult);
         if (cg.directed()) {
-          sg.beta[local] = restricted_reach(cg, global, /*forward=*/false,
-                                            blocked_tag, ++scratch.epoch, scratch);
+          sg.beta[local] =
+              own + restricted_reach(cg, global, /*forward=*/false, blocked_tag,
+                                     ++scratch.epoch, scratch, C.mult);
         } else {
           sg.beta[local] = sg.alpha[local];
         }
@@ -136,6 +152,12 @@ void reach_by_tree_dp(const CsrGraph& g, Decomposition& dec) {
   for (Vertex sgi = 0; sgi < num_subgraphs; ++sgi) {
     const Subgraph& sg = dec.subgraphs[sgi];
     dp.weight[sgi] = sg.to_global.size() - sg.boundary_aps.size();
+    // Phantom pendants (2-core peel) count as private vertices of the
+    // sub-graph that homed them; every other sub-graph then sees them on the
+    // correct side of the block-cut tree automatically.
+    for (double pw : sg.pendant_weight) {
+      dp.weight[sgi] += static_cast<std::uint64_t>(pw);
+    }
     for (Vertex local : sg.boundary_aps) {
       const Vertex node = num_subgraphs + ap_node[sg.to_global[local]];
       dp.adjacency[sgi].push_back(node);
@@ -195,16 +217,25 @@ void reach_by_tree_dp(const CsrGraph& g, Decomposition& dec) {
 
 }  // namespace
 
-void compute_reach_counts(const CsrGraph& g, Decomposition& dec, ReachMethod method) {
+void compute_reach_counts(const CsrGraph& g, Decomposition& dec,
+                          ReachMethod method,
+                          const std::vector<Vertex>* multiplicity) {
+  if (multiplicity != nullptr) {
+    APGRE_ASSERT_MSG(multiplicity->size() == g.num_vertices(),
+                     "multiplicity size mismatch");
+  }
   if (method == ReachMethod::kAuto) {
     method = g.directed() ? ReachMethod::kBfs : ReachMethod::kTreeDp;
   }
   if (method == ReachMethod::kTreeDp) {
     APGRE_REQUIRE(!g.directed(),
                   "ReachMethod::kTreeDp only supports undirected graphs");
+    // Weighted counts come in through Subgraph::pendant_weight (the home
+    // convention); the raw multiplicity array is only needed by the BFS
+    // strategy, which walks the graph directly.
     reach_by_tree_dp(g, dec);
   } else {
-    reach_by_bfs(g, dec);
+    reach_by_bfs(g, dec, multiplicity);
   }
 }
 

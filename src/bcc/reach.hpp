@@ -23,6 +23,14 @@ namespace apgre {
 
 /// Fill dec.subgraphs[*].alpha / .beta. kAuto selects kTreeDp for
 /// undirected inputs and kBfs for directed ones.
-void compute_reach_counts(const CsrGraph& g, Decomposition& dec, ReachMethod method);
+///
+/// `multiplicity` (optional) weights every vertex as 1 + multiplicity[v]:
+/// the phantom-pendant counts folded in by inject_pendant_weights (2-core
+/// peel anchors). Reach counts then include the peeled tree vertices each
+/// anchor stands in for, except in the one sub-graph that homed them
+/// (Subgraph::pendant_weight non-zero there), where they count as inside.
+void compute_reach_counts(const CsrGraph& g, Decomposition& dec,
+                          ReachMethod method,
+                          const std::vector<Vertex>* multiplicity = nullptr);
 
 }  // namespace apgre

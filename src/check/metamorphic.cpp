@@ -184,6 +184,36 @@ MetamorphicResult check_isolated_vertex(const CsrGraph& g, const BcOptions& opts
   return verdict("isolated", predicted, run_algorithm(padded, opts), rel, abs);
 }
 
+MetamorphicResult check_peel_attachment(const CsrGraph& g, const BcOptions& opts,
+                                        std::uint64_t seed, double rel,
+                                        double abs) {
+  if (g.directed()) return not_applied("peel_attach", "directed graph");
+  if (g.num_vertices() == 0) return not_applied("peel_attach", "empty graph");
+
+  // Decorate with the tree-fringe shapes the peel exists for: tendril
+  // chains plus single pendants, hosts seeded per rule invocation.
+  const CsrGraph decorated = attach_pendants(
+      attach_chains(g, /*count=*/2, /*length=*/3, hash_combine64(seed, 0x2c07)),
+      /*count=*/3, hash_combine64(seed, 0x9ee1));
+
+  const PeelResult peel = two_core_peel(decorated);
+  std::vector<double> predicted =
+      run_algorithm(peeled_reduction(decorated, peel), opts);
+  expand_peeled_scores(peel, predicted);
+  return verdict("peel_attach", predicted, run_algorithm(decorated, opts), rel,
+                 abs);
+}
+
+MetamorphicResult check_peel_solve_equivalence(const CsrGraph& g,
+                                               const BcOptions& opts,
+                                               double rel, double abs) {
+  BcOptions peeled = opts;
+  peeled.algorithm = Algorithm::kApgre;
+  peeled.apgre.partition.peel_two_core = true;
+  return verdict("peel_solve", run_algorithm(g, opts), run_algorithm(g, peeled),
+                 rel, abs);
+}
+
 std::vector<MetamorphicResult> run_metamorphic_rules(const CsrGraph& g,
                                                      const BcOptions& opts,
                                                      std::uint64_t seed,
@@ -196,6 +226,8 @@ std::vector<MetamorphicResult> run_metamorphic_rules(const CsrGraph& g,
   const CsrGraph companion =
       erdos_renyi(20, 40, g.directed(), hash_combine64(seed, 0xc0de));
   results.push_back(check_disjoint_union(g, companion, opts, rel, abs));
+  results.push_back(check_peel_attachment(g, opts, seed, rel, abs));
+  results.push_back(check_peel_solve_equivalence(g, opts, rel, abs));
   return results;
 }
 

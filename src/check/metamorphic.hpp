@@ -18,6 +18,16 @@
 //                    bridge (the ordered pairs that must cross it)
 //   * isolated       appending an isolated vertex changes nothing and the
 //                    new vertex scores 0
+//   * peel_attach    decorating the graph with seeded chains + pendants and
+//                    then 2-core-peeling the decoration must reproduce the
+//                    algorithm under test exactly: the 2-core keeps its
+//                    scores (up to the closed-form anchor correction) and
+//                    every attached vertex matches its closed-form
+//                    prediction (graph/transform.hpp two_core_peel)
+//   * peel_solve     solving through PartitionOptions::peel_two_core must
+//                    equal the algorithm under test unpeeled — exactly, on
+//                    every graph including pure trees (empty core) and
+//                    directed inputs (conservative bypass)
 //
 // delta_s is the Brandes single-source dependency, so the pendant and
 // subdivision predictions cross-check the algorithm under test against an
@@ -65,6 +75,24 @@ MetamorphicResult check_bridge_subdivision(const CsrGraph& g,
 
 MetamorphicResult check_isolated_vertex(const CsrGraph& g, const BcOptions& opts,
                                         double rel = 1e-7, double abs = 1e-6);
+
+/// peel_attach: attach seeded tendril chains and pendants to `g`, peel the
+/// decorated graph to its 2-core, solve the flat reduction with the
+/// algorithm under test and re-expand — must equal solving the decorated
+/// graph directly. Not applied to directed or empty graphs (nothing to
+/// peel / nothing to attach to).
+MetamorphicResult check_peel_attachment(const CsrGraph& g, const BcOptions& opts,
+                                        std::uint64_t seed, double rel = 1e-7,
+                                        double abs = 1e-6);
+
+/// peel_solve: betweenness with Algorithm::kApgre and
+/// PartitionOptions::peel_two_core enabled must equal the algorithm under
+/// test without peeling. Applies to every graph — directed inputs exercise
+/// the conservative bypass, pure trees the empty-core path.
+MetamorphicResult check_peel_solve_equivalence(const CsrGraph& g,
+                                               const BcOptions& opts,
+                                               double rel = 1e-7,
+                                               double abs = 1e-6);
 
 /// Run every applicable rule on `g` (union pairs it with a small seeded
 /// companion of the same directedness).

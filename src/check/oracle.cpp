@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "bc/dynamic.hpp"
+#include "bc/incremental.hpp"
 #include "bc/weighted.hpp"
 #include "support/error.hpp"
 
@@ -147,6 +148,34 @@ OracleReport dynamic_differential_check(const CsrGraph& g,
         betweenness(dynamic.graph(), run).scores;
     AlgorithmDivergence d{Algorithm::kApgre,
                           compare_scores(expected, dynamic.scores(),
+                                         opts.rel_tolerance,
+                                         opts.abs_tolerance)};
+    report.ok = report.ok && d.comparison.ok;
+    report.max_divergence =
+        std::max(report.max_divergence, d.comparison.max_divergence);
+    report.algorithms.push_back(std::move(d));
+  }
+  return report;
+}
+
+OracleReport incremental_differential_check(const CsrGraph& g,
+                                            const std::vector<DynamicStep>& steps,
+                                            const BcOptions& engine_options,
+                                            const OracleOptions& opts) {
+  OracleReport report;
+  report.reference = opts.reference;
+
+  IncrementalBc engine(g, engine_options);
+  BcOptions run;
+  run.threads = opts.threads;
+  run.algorithm = opts.reference;
+  for (const DynamicStep& step : steps) {
+    step.inserting ? engine.insert_edge(step.u, step.v)
+                   : engine.remove_edge(step.u, step.v);
+    const std::vector<double> expected =
+        betweenness(engine.graph(), run).scores;
+    AlgorithmDivergence d{Algorithm::kApgre,
+                          compare_scores(expected, engine.scores(),
                                          opts.rel_tolerance,
                                          opts.abs_tolerance)};
     report.ok = report.ok && d.comparison.ok;

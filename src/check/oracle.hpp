@@ -99,6 +99,16 @@ OracleReport dynamic_differential_check(const CsrGraph& g,
                                         const std::vector<DynamicStep>& steps,
                                         const OracleOptions& opts = {});
 
+/// Same trajectory check driven through the IncrementalBc engine (localized
+/// block re-solves, pendant closed forms, structural-conservative routing)
+/// instead of DynamicBc. `engine_options` tunes the engine's APGRE solves —
+/// pass PartitionOptions::peel_two_core to diff a *peeled* incremental
+/// solver against the static oracle after every step, including the
+/// structural fallbacks taken when an update touches the peeled forest.
+OracleReport incremental_differential_check(
+    const CsrGraph& g, const std::vector<DynamicStep>& steps,
+    const BcOptions& engine_options, const OracleOptions& opts = {});
+
 /// Generate `count` valid random mutations for `g` (mixed inserts and
 /// removals, deterministic in `seed`), reusable as dynamic_differential_check
 /// input. Inserts pick currently-absent non-loop edges, removals pick

@@ -4,9 +4,143 @@
 #include <numeric>
 
 #include "graph/components.hpp"
+#include "support/metrics.hpp"
 #include "support/prng.hpp"
+#include "support/trace.hpp"
 
 namespace apgre {
+
+PeelResult two_core_peel(const CsrGraph& g) {
+  APGRE_TRACE_SPAN("graph/peel");
+  PeelResult out;
+  out.num_vertices = g.num_vertices();
+  out.in_core.assign(g.num_vertices(), 1);
+  out.anchor_weight.assign(g.num_vertices(), 0);
+  out.core_correction.assign(g.num_vertices(), 0.0);
+  if (g.directed()) return out;  // conservative bypass: applied stays false
+  out.applied = true;
+  const Vertex n = g.num_vertices();
+
+  const ComponentLabels labels = connected_components(g);
+  std::vector<Vertex> comp_size(labels.num_components, 0);
+  for (Vertex v = 0; v < n; ++v) ++comp_size[labels.component[v]];
+
+  // r[v]: peeled vertices merged under v so far (v itself excluded);
+  // sq[v]: sum of (subtree size)^2 over v's already-peeled child subtrees.
+  // Kept as double for the closed forms; exact for any graph that fits in
+  // memory (subtree sizes are far below 2^26).
+  std::vector<Vertex> degree(n), r(n, 0);
+  std::vector<double> sq(n, 0.0);
+  std::vector<std::uint8_t> peeled(n, 0), queued(n, 0);
+  std::vector<Vertex> queue;
+  queue.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    degree[v] = g.out_degree(v);
+    if (degree[v] <= 1) {
+      queue.push_back(v);
+      queued[v] = 1;
+    }
+  }
+
+  // FIFO peel, seeded in ascending vertex id: deterministic, leaves before
+  // their parents. degree[] counts *unpeeled* neighbours throughout —
+  // every vertex popped has at most one left.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
+    peeled[u] = 1;
+    out.in_core[u] = 0;
+    Vertex parent = kInvalidVertex;
+    for (Vertex w : g.out_neighbors(u)) {
+      if (!peeled[w]) {
+        parent = w;
+        break;
+      }
+    }
+    // Ordered pairs through u: across u's child subtrees (r^2 - sq) plus
+    // between u's subtree and the rest of its component (2 r (N_c - r - 1)).
+    const double nc = comp_size[labels.component[u]];
+    const double ru = r[u];
+    const double score = ru * ru - sq[u] + 2.0 * ru * (nc - ru - 1.0);
+    out.forest.push_back(PeeledVertex{u, parent, kInvalidVertex, r[u] + 1, score});
+    if (parent != kInvalidVertex) {
+      r[parent] += r[u] + 1;
+      const double sub = static_cast<double>(r[u]) + 1.0;
+      sq[parent] += sub * sub;
+      --degree[parent];
+      if (!queued[parent] && degree[parent] <= 1) {
+        queue.push_back(parent);
+        queued[parent] = 1;
+      }
+    }
+  }
+  out.num_peeled = static_cast<Vertex>(out.forest.size());
+
+  // Resolve anchors leaves-first by walking the peel order backwards: a
+  // parent is always peeled after its children (or is a core vertex), so
+  // anchor_of[parent] is already final when the child is visited.
+  std::vector<Vertex> anchor_of(n, kInvalidVertex);
+  for (auto it = out.forest.rbegin(); it != out.forest.rend(); ++it) {
+    if (it->parent == kInvalidVertex) continue;  // tree root or isolated
+    it->anchor = out.in_core[it->parent] ? it->parent : anchor_of[it->parent];
+    anchor_of[it->vertex] = it->anchor;
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (out.in_core[v] && r[v] > 0) {
+      out.anchor_weight[v] = r[v];
+      out.core_correction[v] = static_cast<double>(r[v]) - sq[v];
+    }
+  }
+
+  metrics().counter("graph.peel.runs").add();
+  metrics().counter("graph.peel.peeled_vertices").add(out.num_peeled);
+  metrics().gauge("graph.peel.core_fraction").set(out.core_fraction());
+  return out;
+}
+
+CsrGraph peeled_reduction(const CsrGraph& g, const PeelResult& peel) {
+  if (!peel.applied || peel.num_peeled == 0) return g;
+  APGRE_ASSERT(peel.num_vertices == g.num_vertices());
+  EdgeList edges;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (!peel.in_core[v]) continue;
+    for (Vertex w : g.out_neighbors(v)) {
+      if (peel.in_core[w]) edges.push_back(Edge{v, w});
+    }
+  }
+  // Every anchored peeled vertex collapses to a depth-1 pendant of its
+  // anchor — one gamma weight per subtree member, absorbed by APGRE's
+  // single-round pendant removal. Anchor-less vertices become isolated.
+  for (const PeeledVertex& p : peel.forest) {
+    if (p.anchor == kInvalidVertex) continue;
+    edges.push_back(Edge{p.vertex, p.anchor});
+    edges.push_back(Edge{p.anchor, p.vertex});
+  }
+  return CsrGraph::from_edges(g.num_vertices(), std::move(edges),
+                              /*directed=*/false);
+}
+
+CsrGraph peeled_core_reduction(const CsrGraph& g, const PeelResult& peel) {
+  if (!peel.applied || peel.num_peeled == 0) return g;
+  APGRE_ASSERT(peel.num_vertices == g.num_vertices());
+  EdgeList edges;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (!peel.in_core[v]) continue;
+    for (Vertex w : g.out_neighbors(v)) {
+      if (peel.in_core[w]) edges.push_back(Edge{v, w});
+    }
+  }
+  return CsrGraph::from_edges(g.num_vertices(), std::move(edges),
+                              /*directed=*/false);
+}
+
+void expand_peeled_scores(const PeelResult& peel, std::vector<double>& scores) {
+  if (!peel.applied || peel.num_peeled == 0) return;
+  APGRE_ASSERT(scores.size() == peel.num_vertices);
+  for (Vertex v = 0; v < peel.num_vertices; ++v) {
+    if (peel.in_core[v]) scores[v] += peel.core_correction[v];
+  }
+  for (const PeeledVertex& p : peel.forest) scores[p.vertex] = p.score;
+}
 
 CsrGraph undirected_projection(const CsrGraph& g) {
   if (!g.directed()) return g;

@@ -1,7 +1,9 @@
 // Whole-graph transformations: symmetrisation (the paper's GETUNDG),
-// relabeling, induced sub-graphs and largest-component extraction.
+// relabeling, induced sub-graphs, largest-component extraction and the
+// exact 2-core tree-peeling stage.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/csr.hpp"
@@ -29,6 +31,80 @@ InducedSubgraph induced_subgraph(const CsrGraph& g, const std::vector<Vertex>& v
 
 /// Restrict to the largest connected component of the undirected projection.
 InducedSubgraph largest_component(const CsrGraph& g);
+
+/// One vertex peeled off the tree fringe by two_core_peel, in peel order.
+struct PeeledVertex {
+  Vertex vertex = kInvalidVertex;
+  /// The sole unpeeled neighbour at the moment `vertex` was removed;
+  /// kInvalidVertex for tree roots and isolated vertices (no neighbour left).
+  Vertex parent = kInvalidVertex;
+  /// The 2-core vertex this peeled subtree ultimately hangs off; equals
+  /// kInvalidVertex when the whole component is a tree (empty core).
+  Vertex anchor = kInvalidVertex;
+  /// Vertices merged underneath `vertex` when it was peeled, itself
+  /// included (the reach weight its anchor absorbs on its behalf).
+  Vertex subtree_size = 1;
+  /// Exact closed-form ordered-pair BC of `vertex` in the full graph.
+  double score = 0.0;
+};
+
+/// Exact tree-peeling decomposition of an undirected graph: the forest
+/// hanging off the 2-core, with per-vertex closed-form BC scores and the
+/// correction each anchor needs (Tsourakakis's 2-core note, PAPERS.md).
+///
+/// Peeled vertices never lie on a shortest path between two 2-core
+/// vertices, so with `r[v]` = number of peeled vertices merged under core
+/// vertex v and `sq[v]` = sum over v's peeled child subtrees of
+/// (subtree_size)^2, the flat reduction below satisfies
+///   BC_G(v) = BC_G'(v) + r[v] - sq[v]          for core vertices, and
+///   BC_G(u) = forest[i].score                  for peeled vertices u.
+struct PeelResult {
+  /// False when the graph was left untouched (directed input bypass).
+  bool applied = false;
+  Vertex num_vertices = 0;
+  Vertex num_peeled = 0;
+  /// Per vertex: 1 iff the vertex survives into the 2-core.
+  std::vector<std::uint8_t> in_core;
+  /// Peeled vertices in the order they were removed (leaves before their
+  /// parents; deterministic: FIFO seeded by ascending vertex id).
+  std::vector<PeeledVertex> forest;
+  /// r[v]: peeled vertices absorbed by core vertex v (0 off anchors).
+  std::vector<Vertex> anchor_weight;
+  /// r[v] - sq[v] at anchors, 0 elsewhere: added to reduced-graph scores
+  /// by expand_peeled_scores.
+  std::vector<double> core_correction;
+
+  Vertex core_count() const { return num_vertices - num_peeled; }
+  double core_fraction() const {
+    return num_vertices == 0 ? 1.0
+                             : static_cast<double>(core_count()) / num_vertices;
+  }
+};
+
+/// Peel an undirected graph down to its 2-core. Directed graphs are
+/// bypassed conservatively (`applied == false`, nothing peeled). Pure
+/// trees/forests peel completely (empty core, every score closed-form).
+PeelResult two_core_peel(const CsrGraph& g);
+
+/// Flat reduction G': same vertex ids/count as `g`; core-core edges kept;
+/// each anchored peeled vertex becomes a depth-1 pendant of its anchor
+/// (so APGRE's single-round gamma machinery absorbs the whole subtree as
+/// one reach weight); anchor-less peeled vertices become isolated.
+/// Identity copy when the peel was bypassed or removed nothing.
+CsrGraph peeled_reduction(const CsrGraph& g, const PeelResult& peel);
+
+/// Core-only reduction: same vertex ids/count as `g`, core-core edges kept,
+/// every peeled vertex isolated (no pendant arcs at all). Pair-exact only
+/// when the solver folds `peel.anchor_weight` back in as per-anchor derived
+/// pendant multiplicities (inject_pendant_weights + weighted reach counts);
+/// BFS work then shrinks to the 2-core, which is where the peel's speedup
+/// comes from. Identity copy when the peel was bypassed or removed nothing.
+CsrGraph peeled_core_reduction(const CsrGraph& g, const PeelResult& peel);
+
+/// Turn reduced-graph ordered-pair scores into full-graph scores in place:
+/// adds `core_correction` at anchors and overwrites peeled vertices with
+/// their closed-form scores. No-op when the peel was bypassed.
+void expand_peeled_scores(const PeelResult& peel, std::vector<double>& scores);
 
 /// Append `count` pendant vertices, each attached to a random existing
 /// vertex by a single undirected edge (or, for directed graphs, a single

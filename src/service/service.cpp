@@ -37,6 +37,13 @@ struct Service::Impl {
     /// apply_local_update patches), so it survives kLocalInsert /
     /// kLocalDelete and is only rebuilt after structural ones.
     std::unique_ptr<BlockCutQueries> locality;
+    /// Snapshot-wide 2-core peel, computed lazily for peel-enabled solves
+    /// and handed to every warm session (Solver::adopt_peel) so they skip
+    /// re-peeling. Local updates provably leave the peel intact (both
+    /// endpoints sit in a >= 3-vertex biconnected component, so no degree
+    /// drops below 2 and the peel cascade is untouched); structural ones
+    /// reset it.
+    std::shared_ptr<const PeelResult> peel;
   };
 
   /// A warm Solver bound to one immutable snapshot. The pin keeps the
@@ -202,9 +209,21 @@ struct Service::Impl {
     }
 
     std::shared_ptr<const CsrGraph> snap;
+    std::shared_ptr<const PeelResult> peel;
+    const bool wants_peel =
+        request.options.algorithm == Algorithm::kApgre &&
+        request.options.apgre.partition.peel_two_core;
     {
       std::lock_guard<std::mutex> lk(entry->mu);
       snap = entry->graph;
+      if (wants_peel && !snap->directed()) {
+        // One peel per snapshot, shared by every warm session.
+        if (entry->peel == nullptr ||
+            entry->peel->num_vertices != snap->num_vertices()) {
+          entry->peel = std::make_shared<const PeelResult>(two_core_peel(*snap));
+        }
+        peel = entry->peel;
+      }
     }
 
     std::unique_ptr<Session> session = cache_take(request.graph);
@@ -223,6 +242,7 @@ struct Service::Impl {
         .counter(hit ? "service.session_hits" : "service.session_misses")
         .add();
 
+    if (peel != nullptr) session->solver.adopt_peel(peel);
     BcResult result = session->solver.solve(request.options);
     cache_put(request.graph, std::move(session));
 
@@ -315,6 +335,7 @@ struct Service::Impl {
                                           request.inserting);
     } else {
       entry->locality.reset();
+      entry->peel.reset();  // a structural update can reshape the forest
     }
     (local ? stats.updates_local : stats.updates_structural)
         .fetch_add(1, std::memory_order_relaxed);

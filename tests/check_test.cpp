@@ -251,6 +251,84 @@ TEST(CheckMetamorphic, RulesDetectABrokenAlgorithm) {
   EXPECT_TRUE(any_failure);
 }
 
+// ---- 2-core peel rules ---------------------------------------------------
+
+TEST(CheckMetamorphic, PeelAttachPredictsDecoratedScores) {
+  BcOptions opts;
+  opts.algorithm = Algorithm::kBrandesSerial;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const MetamorphicResult r =
+        check_peel_attachment(caveman(3, 5, seed), opts, seed);
+    EXPECT_TRUE(r.applied);
+    EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.detail;
+  }
+  const MetamorphicResult directed =
+      check_peel_attachment(erdos_renyi(8, 16, true, 2), opts, /*seed=*/3);
+  EXPECT_FALSE(directed.applied);  // two_core_peel bypasses directed inputs
+}
+
+TEST(CheckMetamorphic, PeelSolveCoversTreesCyclesAndDirectedBypass) {
+  BcOptions opts;
+  opts.algorithm = Algorithm::kBrandesSerial;
+  // Pure tree: the core is empty and every score is closed-form.
+  const MetamorphicResult tree =
+      check_peel_solve_equivalence(random_tree(40, 3), opts);
+  EXPECT_TRUE(tree.applied);
+  EXPECT_TRUE(tree.ok) << tree.detail;
+  // 2-core fixpoint: peeling removes nothing.
+  const MetamorphicResult fixpoint =
+      check_peel_solve_equivalence(cycle(12), opts);
+  EXPECT_TRUE(fixpoint.applied);
+  EXPECT_TRUE(fixpoint.ok) << fixpoint.detail;
+  // Directed input: the knob must be a bypassed no-op, not a wrong answer.
+  const MetamorphicResult directed =
+      check_peel_solve_equivalence(erdos_renyi(10, 24, true, 5), opts);
+  EXPECT_TRUE(directed.applied);
+  EXPECT_TRUE(directed.ok) << directed.detail;
+}
+
+TEST(CheckSweep, SolverPeelMatchesUnpeeledAcrossCorpus) {
+  // The peel knob must be score-invisible on every corpus case (tree-heavy,
+  // biconnected, directed, empty) under the full Solver path — weighted
+  // core reduction, gamma/reach injection, closed-form re-expansion.
+  BcOptions off;
+  off.algorithm = Algorithm::kApgre;
+  BcOptions on = off;
+  on.apgre.partition.peel_two_core = true;
+  for (std::uint64_t seed = 1; seed <= kMetamorphicSeeds; ++seed) {
+    for (const CorpusCase& c : graph_corpus(seed, /*tiny=*/true)) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " + c.name);
+      const BcResult a = betweenness(c.graph, off);
+      const BcResult b = betweenness(c.graph, on);
+      ASSERT_TRUE(a.status.ok() && b.status.ok());
+      const ScoreComparison cmp = compare_scores(a.scores, b.scores);
+      EXPECT_TRUE(cmp.ok) << "worst vertex " << cmp.worst_vertex << ": "
+                          << cmp.expected_score << " vs " << cmp.actual_score;
+    }
+  }
+}
+
+TEST(CheckSweep, IncrementalTrajectoriesStayExactWithPeelEnabled) {
+  // Drive the incremental engine with peeling enabled through random
+  // insert/remove trajectories: updates that touch the peeled forest must
+  // route structural (re-peel) and still match the static oracle.
+  BcOptions peeled;
+  peeled.algorithm = Algorithm::kApgre;
+  peeled.apgre.partition.peel_two_core = true;
+  constexpr std::size_t kStepsPerGraph = 4;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    for (const CorpusCase& c : graph_corpus(seed, /*tiny=*/true)) {
+      if (c.graph.num_vertices() < 2) continue;
+      SCOPED_TRACE("seed " + std::to_string(seed) + " " + c.name);
+      const std::vector<DynamicStep> steps =
+          random_dynamic_steps(c.graph, kStepsPerGraph, seed * 211 + 17);
+      const OracleReport report =
+          incremental_differential_check(c.graph, steps, peeled);
+      EXPECT_TRUE(report.ok) << report.summary();
+    }
+  }
+}
+
 // ---- Decomposition / stats invariants -----------------------------------
 
 TEST(CheckSweep, DecompositionInvariantsHoldAcrossCorpusAndReachMethods) {

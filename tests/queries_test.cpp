@@ -3,6 +3,7 @@
 #include "bcc/queries.hpp"
 #include "graph/components.hpp"
 #include "graph/generators.hpp"
+#include "graph/mutate.hpp"
 #include "graph/transform.hpp"
 #include "support/prng.hpp"
 #include "test_util.hpp"
@@ -129,6 +130,38 @@ TEST(ClassifyUpdate, ApplyLocalUpdateKeepsLaterClassificationsExact) {
   // Re-inserting {0,1} restores the original multiset and verdicts.
   q.apply_local_update(0, 1, /*inserting=*/true);
   EXPECT_EQ(q.classify_update(0, 2, false), UpdateLocality::kLocalDelete);
+}
+
+// The peeled Solver (bc/bc.hpp) caches a 2-core reduction and only splices
+// core-core kLocal updates into it; any update incident to the peeled
+// forest must therefore route kStructural so the peel is recomputed. Pin
+// that for every peeled vertex: the fringe consists of bridges and
+// cut-vertex attachments, which the classifier already grades structural.
+TEST(ClassifyUpdate, ForestIncidentUpdatesAreStructuralOnPeeledGraphs) {
+  // Dense core (K4) with a chain 0-4-5 and a pendant 6 off vertex 1.
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      7, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+          {0, 4}, {4, 5}, {1, 6}});
+  const PeelResult peel = two_core_peel(g);
+  ASSERT_EQ(peel.num_peeled, 3u);
+  const BlockCutQueries q(g);
+  for (const PeeledVertex& p : peel.forest) {
+    // Deleting the edge to the parent severs the subtree: structural.
+    EXPECT_EQ(q.classify_update(p.vertex, p.parent, false),
+              UpdateLocality::kStructural)
+        << "delete at peeled vertex " << p.vertex;
+    // Inserting a chord from a peeled vertex into the core crosses blocks
+    // (and would pull the vertex into the 2-core): structural.
+    for (Vertex core_v = 0; core_v < 4; ++core_v) {
+      if (has_arc(g, p.vertex, core_v)) continue;
+      EXPECT_EQ(q.classify_update(p.vertex, core_v, true),
+                UpdateLocality::kStructural)
+          << "insert " << p.vertex << "-" << core_v;
+    }
+  }
+  // Core-side chord stays local — peeling must not widen the fast path's
+  // blast radius.
+  EXPECT_EQ(q.classify_update(2, 3, false), UpdateLocality::kLocalDelete);
 }
 
 TEST(ClassifyUpdate, CommonBlockOnBarbell) {

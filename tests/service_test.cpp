@@ -258,6 +258,60 @@ TEST(Service, DirectedUpdatesAreConservativelyStructural) {
   expect_scores_near(oracle_scores(service, "g"), solved.scores);
 }
 
+// ---- 2-core peel service lifecycle --------------------------------------
+
+Request peeled_solve_request(const std::string& graph) {
+  Request request = solve_request(graph);
+  request.options.apgre.partition.peel_two_core = true;
+  return request;
+}
+
+TEST(Service, PeeledSolveMatchesOracleAndSharesTheSnapshotPeel) {
+  Service service(unit_options());
+  const CsrGraph g =
+      attach_pendants(attach_chains(caveman(4, 4, 3), 4, 3, 4), 8, 5);
+  service.register_graph("g", g);
+
+  const std::uint64_t runs_before =
+      metrics().counter("graph.peel.runs").value();
+  const Response first = service.handle(peeled_solve_request("g"));
+  ASSERT_TRUE(first.ok) << first.error;
+  expect_scores_near(oracle_scores(service, "g"), first.scores);
+  EXPECT_EQ(metrics().counter("graph.peel.runs").value(), runs_before + 1);
+
+  // Warm session: the snapshot-wide peel is adopted, not recomputed, and
+  // the peeled decomposition cache survives.
+  const std::uint64_t dec_after = decompositions();
+  const Response second = service.handle(peeled_solve_request("g"));
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.session_hit);
+  EXPECT_EQ(metrics().counter("graph.peel.runs").value(), runs_before + 1)
+      << "one peel per snapshot, shared by warm sessions";
+  EXPECT_EQ(decompositions(), dec_after);
+  EXPECT_EQ(first.scores, second.scores);
+}
+
+TEST(Service, StructuralUpdateResetsTheSnapshotPeel) {
+  Service service(unit_options());
+  // Cycle core {0..5} with the chain 0-6-7 hanging off it.
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 6}, {6, 7}});
+  service.register_graph("g", g);
+  ASSERT_TRUE(service.handle(peeled_solve_request("g")).ok);
+
+  // Deleting the forest edge 6-7 is structural and reshapes the peel
+  // (vertex count unchanged, so only an explicit reset catches it).
+  const std::uint64_t runs_before =
+      metrics().counter("graph.peel.runs").value();
+  const Response update = service.handle(update_request("g", 6, 7, false));
+  ASSERT_TRUE(update.ok) << update.error;
+  const Response after = service.handle(peeled_solve_request("g"));
+  ASSERT_TRUE(after.ok) << after.error;
+  expect_scores_near(oracle_scores(service, "g"), after.scores);
+  EXPECT_EQ(metrics().counter("graph.peel.runs").value(), runs_before + 1)
+      << "a structural update must drop the snapshot peel and re-peel";
+}
+
 TEST(Service, LruEvictsLeastRecentlyUsedSession) {
   Service service(unit_options(/*capacity=*/2));
   service.register_graph("a", cycle(5));

@@ -231,6 +231,119 @@ TEST(Solver, ApplyLocalUpdateWithoutStoreFallsBackToRebind) {
   EXPECT_TRUE(cmp.ok) << "worst vertex " << cmp.worst_vertex;
 }
 
+// ---- 2-core peel sessions ------------------------------------------------
+
+TEST(Solver, PeelKnobKeysTheDecompositionCache) {
+  const CsrGraph g = skewed_graph();
+  Solver solver(g);
+  const BcOptions opts = pinned_options();
+  ASSERT_TRUE(solver.solve(opts).status.ok());
+  EXPECT_EQ(solver.peel(), nullptr) << "no peel without the knob";
+  const std::uint64_t after_off = decompositions();
+
+  BcOptions peeled = opts;
+  peeled.apgre.partition.peel_two_core = true;
+  const BcResult first_on = solver.solve(peeled);
+  ASSERT_TRUE(first_on.status.ok());
+  EXPECT_EQ(decompositions(), after_off + 1)
+      << "flipping the peel knob must re-decompose (different reduction)";
+  ASSERT_NE(solver.peel(), nullptr);
+  EXPECT_GT(first_on.apgre_stats.peeled_vertices, 0u);
+
+  const BcResult second_on = solver.solve(peeled);
+  EXPECT_EQ(decompositions(), after_off + 1) << "peeled cache hit";
+  EXPECT_EQ(first_on.scores, second_on.scores);
+
+  // Peeled and unpeeled sessions agree with the serial oracle.
+  BcOptions serial = opts;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  const ScoreComparison cmp =
+      compare_scores(betweenness(g, serial).scores, first_on.scores);
+  EXPECT_TRUE(cmp.ok) << "worst vertex " << cmp.worst_vertex << " expected "
+                      << cmp.expected_score << " actual " << cmp.actual_score;
+}
+
+TEST(Solver, AdoptPeelReusesAndInvalidates) {
+  const CsrGraph g = skewed_graph();
+  Solver solver(g);
+  BcOptions peeled = pinned_options();
+  peeled.apgre.partition.peel_two_core = true;
+  ASSERT_TRUE(solver.solve(peeled).status.ok());
+  const std::shared_ptr<const PeelResult> own = solver.peel();
+  ASSERT_NE(own, nullptr);
+  const Decomposition* dec = solver.decomposition();
+
+  // Re-adopting the pointer already held keeps the cache.
+  solver.adopt_peel(own);
+  EXPECT_EQ(solver.decomposition(), dec);
+
+  // A different peel of the same graph invalidates it (different object,
+  // so the cached reduction can no longer be trusted).
+  solver.adopt_peel(std::make_shared<const PeelResult>(two_core_peel(g)));
+  EXPECT_EQ(solver.decomposition(), nullptr);
+  const BcResult r = solver.solve(peeled);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GT(r.apgre_stats.peeled_vertices, 0u);
+}
+
+TEST(Solver, ForestIncidentLocalUpdateFallsBackToRebind) {
+  // Cycle core with a hanging chain 0-6-7: updates touching the chain must
+  // refuse the localized patch (the cached core reduction excludes the
+  // fringe) and rebind so the next solve re-peels.
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      8, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 6}, {6, 7}});
+  Solver solver(g);
+  solver.enable_contribution_tracking();
+  BcOptions peeled = pinned_options();
+  peeled.apgre.partition.peel_two_core = true;
+  ASSERT_TRUE(solver.solve(peeled).status.ok());
+  ASSERT_NE(solver.peel(), nullptr);
+
+  // The chord 6-2 pulls the chain into the 2-core: defensive guard path.
+  const CsrGraph with_chord = with_edge_inserted(g, 6, 2);
+  EXPECT_FALSE(solver.apply_local_update(with_chord, 6, 2, /*inserting=*/true));
+  const BcResult r = solver.solve(peeled);
+  ASSERT_TRUE(r.status.ok());
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  const ScoreComparison cmp =
+      compare_scores(betweenness(with_chord, serial).scores, r.scores);
+  EXPECT_TRUE(cmp.ok) << "worst vertex " << cmp.worst_vertex;
+}
+
+TEST(Solver, TrackedPeeledStoreStaysExactThroughCoreLocalUpdates) {
+  // Two cycles sharing AP 0 plus a peeled fringe: chain 0-9-10, pendant 11
+  // off vertex 2. Core-core chords splice the tracked store AND the cached
+  // core reduction; scores must track a fresh static solve each time.
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      12, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0},
+           {0, 6}, {6, 7}, {7, 8}, {8, 0}, {0, 9}, {9, 10}, {2, 11}});
+  Solver solver(g);
+  solver.enable_contribution_tracking();
+  BcOptions peeled = pinned_options();
+  peeled.apgre.partition.peel_two_core = true;
+  ASSERT_TRUE(solver.solve(peeled).status.ok());
+  const std::uint64_t dec_before = decompositions();
+
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  const CsrGraph with_chord = with_edge_inserted(g, 1, 3);
+  ASSERT_TRUE(solver.apply_local_update(with_chord, 1, 3, /*inserting=*/true));
+  ScoreComparison cmp = compare_scores(betweenness(with_chord, serial).scores,
+                                       solver.solve(peeled).scores);
+  EXPECT_TRUE(cmp.ok) << "insert: worst vertex " << cmp.worst_vertex
+                      << " expected " << cmp.expected_score << " actual "
+                      << cmp.actual_score;
+
+  const CsrGraph restored = with_edge_removed(with_chord, 1, 3);
+  ASSERT_TRUE(solver.apply_local_update(restored, 1, 3, /*inserting=*/false));
+  cmp = compare_scores(betweenness(restored, serial).scores,
+                       solver.solve(peeled).scores);
+  EXPECT_TRUE(cmp.ok) << "delete: worst vertex " << cmp.worst_vertex;
+  EXPECT_EQ(decompositions(), dec_before)
+      << "core-core patches must not re-decompose a peeled session";
+}
+
 TEST(Registry, RoundTripsEveryAlgorithm) {
   EXPECT_EQ(algorithm_registry().size(), 10u);
   for (const AlgorithmInfo& info : algorithm_registry()) {

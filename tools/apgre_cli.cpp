@@ -99,6 +99,9 @@ int main(int argc, char** argv) {
       .add_bool("adaptive-kernel", true,
                 "apgre scheduler: pick the per-sub-graph kernel from "
                 "size/root heuristics")
+      .add_bool("peel", false,
+                "apgre: peel degree-<=1 vertices to the 2-core before "
+                "decomposition (exact; undirected only)")
       .add_string("output", "", "also write all scores to this CSV file");
 
   std::vector<std::string> positional;
@@ -184,6 +187,7 @@ int main(int argc, char** argv) {
     opts.scheduler.steal_policy =
         steal_policy_from_name(flags.get_string("steal-policy"));
     opts.scheduler.adaptive_kernel = flags.get_bool("adaptive-kernel");
+    opts.apgre.partition.peel_two_core = flags.get_bool("peel");
 
     const BcResult result = betweenness(g, opts);
     if (!result.status.ok()) {
@@ -200,6 +204,12 @@ int main(int argc, char** argv) {
                   result.apgre_stats.num_pendants_removed,
                   100.0 * result.apgre_stats.partial_redundancy,
                   100.0 * result.apgre_stats.total_redundancy);
+      if (opts.apgre.partition.peel_two_core) {
+        std::printf("peel: %u vertices peeled (%.1f%% core) in %.3f s\n",
+                    result.apgre_stats.peeled_vertices,
+                    100.0 * result.apgre_stats.core_fraction,
+                    result.apgre_stats.peel_seconds);
+      }
       if (opts.scheduler.enabled) {
         std::printf("scheduler: %llu tasks (%zu fine / %zu batch / %zu whole), "
                     "%llu steals, %.3f s idle\n",

@@ -33,6 +33,7 @@
 #include "check/corpus.hpp"
 #include "graph/generators.hpp"
 #include "graph/mutate.hpp"
+#include "graph/transform.hpp"
 #include "service/service.hpp"
 #include "support/error.hpp"
 #include "support/flags.hpp"
@@ -500,6 +501,72 @@ JsonValue run_updates_workload(std::uint64_t seed, int updates, double scale) {
   return JsonValue(std::move(out));
 }
 
+/// --workload peeling: end-to-end effect of the 2-core peel
+/// (graph/transform.hpp) on the geometry it targets — a scale-free core
+/// with a dominating tree fringe (preferential attachment + tendril chains
+/// + pendants, the skew real social/web graphs show). Times scheduled APGRE
+/// with PartitionOptions::peel_two_core off vs on (median of `repeat` runs
+/// each), self-checks the peeled scores against a fresh serial Brandes
+/// solve at the oracle tolerance, and reports the measured core fraction
+/// next to the speedup so a regressing ratio is attributable (did the peel
+/// get slower, or the fringe smaller?).
+JsonValue run_peeling_workload(std::uint64_t seed, int repeat, double scale) {
+  const Vertex core = std::max<Vertex>(64, static_cast<Vertex>(2000.0 * scale));
+  const CsrGraph graph = attach_pendants(
+      attach_chains(barabasi_albert(core, 4, seed),
+                    /*count=*/core / 2, /*length=*/4, seed + 1),
+      /*count=*/2 * core, seed + 2);
+
+  BcOptions off;
+  off.algorithm = Algorithm::kApgre;
+  BcOptions on = off;
+  on.apgre.partition.peel_two_core = true;
+
+  auto median_seconds = [&](const BcOptions& opts, ApgreStats* stats) {
+    std::vector<double> seconds;
+    seconds.reserve(static_cast<std::size_t>(repeat));
+    for (int i = 0; i < repeat; ++i) {
+      const BcResult r = betweenness(graph, opts);
+      APGRE_REQUIRE(r.status.ok(), "peeling workload: " + r.status.message);
+      seconds.push_back(r.seconds);
+      if (stats != nullptr) *stats = r.apgre_stats;
+    }
+    return percentile(seconds, 50.0);
+  };
+  const double off_seconds = median_seconds(off, nullptr);
+  ApgreStats peel_stats;
+  const double on_seconds = median_seconds(on, &peel_stats);
+
+  // Exactness self-check: the peeled run must reproduce serial Brandes.
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  const std::vector<double> expected = betweenness(graph, serial).scores;
+  const std::vector<double> actual = betweenness(graph, on).scores;
+  for (Vertex v = 0; v < graph.num_vertices(); ++v) {
+    const double a = expected[v];
+    const double b = actual[v];
+    APGRE_REQUIRE(
+        std::abs(a - b) <= 1e-6 + 1e-7 * std::max(std::abs(a), std::abs(b)),
+        "peeling workload: peeled scores diverged from serial Brandes at v" +
+            std::to_string(v));
+  }
+
+  JsonValue::Object out;
+  out["graph_vertices"] =
+      JsonValue(static_cast<std::uint64_t>(graph.num_vertices()));
+  out["graph_arcs"] = JsonValue(static_cast<std::uint64_t>(graph.num_arcs()));
+  out["peeled_vertices"] =
+      JsonValue(static_cast<std::uint64_t>(peel_stats.peeled_vertices));
+  out["core_fraction"] = JsonValue(peel_stats.core_fraction);
+  out["peel_seconds"] = JsonValue(peel_stats.peel_seconds);
+  out["reps"] = JsonValue(static_cast<std::int64_t>(repeat));
+  out["peel_off_seconds_median"] = JsonValue(off_seconds);
+  out["peel_on_seconds_median"] = JsonValue(on_seconds);
+  out["speedup"] =
+      JsonValue(on_seconds > 0.0 ? off_seconds / on_seconds : 0.0);
+  return JsonValue(std::move(out));
+}
+
 /// Throws Error on unreadable / malformed / schema-incompatible reports.
 JsonValue load_report(const std::string& path) {
   std::ifstream in(path);
@@ -596,7 +663,9 @@ int main(int argc, char** argv) {
                   "service_parallel (concurrent clients all running "
                   "parallel-kernel solves; aggregate requests/sec + "
                   "per-solve latency percentiles) or updates (sustained "
-                  "localized incremental updates/sec vs full re-solve)")
+                  "localized incremental updates/sec vs full re-solve) or "
+                  "peeling (2-core peel off vs on over a tree-fringed "
+                  "scale-free graph, exactness self-checked)")
       .add_int("clients", 8, "service workload: concurrent client threads")
       .add_int("requests", 50, "service workload: requests per client")
       .add_int("updates", 200, "updates workload: trajectory length");
@@ -617,9 +686,10 @@ int main(int argc, char** argv) {
                   "--threshold must be non-negative");
     workload = flags.get_string("workload");
     APGRE_REQUIRE(workload == "kernels" || workload == "service" ||
-                      workload == "service_parallel" || workload == "updates",
-                  "--workload must be kernels, service, service_parallel or "
-                  "updates");
+                      workload == "service_parallel" || workload == "updates" ||
+                      workload == "peeling",
+                  "--workload must be kernels, service, service_parallel, "
+                  "updates or peeling");
     APGRE_REQUIRE(flags.get_int("clients") >= 1, "--clients must be >= 1");
     APGRE_REQUIRE(flags.get_int("requests") >= 1, "--requests must be >= 1");
     APGRE_REQUIRE(flags.get_int("updates") >= 1, "--updates must be >= 1");
@@ -676,6 +746,22 @@ int main(int argc, char** argv) {
                  updates_section.at("blocks").as_double());
   }
 
+  JsonValue peeling_section;
+  if (workload == "peeling") {
+    peeling_section = run_peeling_workload(
+        static_cast<std::uint64_t>(flags.get_int("seed")), repeat,
+        flags.get_double("scale"));
+    std::fprintf(stderr,
+                 "peeling workload: %.0f of %.0f vertices peeled (%.1f%% "
+                 "core), %.4fs -> %.4fs median (%.2fx)\n",
+                 peeling_section.at("peeled_vertices").as_double(),
+                 peeling_section.at("graph_vertices").as_double(),
+                 100.0 * peeling_section.at("core_fraction").as_double(),
+                 peeling_section.at("peel_off_seconds_median").as_double(),
+                 peeling_section.at("peel_on_seconds_median").as_double(),
+                 peeling_section.at("speedup").as_double());
+  }
+
   JsonValue::Array results;
   for (const BenchGraph& bg : graph_list) {
     JsonValue::Object algorithms;
@@ -719,6 +805,9 @@ int main(int argc, char** argv) {
   }
   if (!updates_section.is_null()) {
     report["updates"] = std::move(updates_section);
+  }
+  if (!peeling_section.is_null()) {
+    report["peeling"] = std::move(peeling_section);
   }
   const JsonValue head(std::move(report));
 
