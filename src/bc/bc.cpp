@@ -329,45 +329,84 @@ void Solver::refresh_top_subgraph() {
 
 bool Solver::apply_local_update(const CsrGraph& g, Vertex u, Vertex v,
                                 bool inserting) {
-  if (dec_ == nullptr || !track_ || !store_valid_) {
+  // A single update is a batch of one: exactly one sub-graph re-scores on
+  // the localized path, so the boolean maps onto the resolved count.
+  return apply_local_batch(g, {EdgeOp{u, v, inserting}}) > 0;
+}
+
+std::size_t Solver::apply_local_batch(const CsrGraph& g,
+                                      const std::vector<EdgeOp>& ops) {
+  if (dec_ == nullptr || !track_ || !store_valid_ || ops.empty()) {
     rebind(g);
-    return false;
+    return 0;
   }
   APGRE_ASSERT(!g.directed() && g.num_vertices() == dec_->num_vertices);
-  if (reduced_ != nullptr &&
-      (!peel_->in_core[u] || !peel_->in_core[v])) {
-    // An update incident to the peeled forest invalidates the peel analysis
-    // (classify_update routes these kStructural; this is defence in depth).
-    rebind(g);
-    return false;
+  if (reduced_ != nullptr) {
+    for (const EdgeOp& op : ops) {
+      if (!peel_->in_core[op.u] || !peel_->in_core[op.v]) {
+        // An update incident to the peeled forest invalidates the peel
+        // analysis (classify_update routes these kStructural; this is
+        // defence in depth).
+        rebind(g);
+        return 0;
+      }
+    }
   }
 
-  for (std::size_t sgi = 0; sgi < dec_->subgraphs.size(); ++sgi) {
-    Subgraph& sg = dec_->subgraphs[sgi];
-    Vertex lu = kInvalidVertex;
-    Vertex lv = kInvalidVertex;
-    for (Vertex local = 0; local < sg.num_vertices(); ++local) {
-      if (sg.to_global[local] == u) lu = local;
-      if (sg.to_global[local] == v) lv = local;
+  // Route every op to the sub-graph storing its edge *before* mutating
+  // anything, so a routing miss falls back with the store still intact.
+  std::vector<std::vector<std::size_t>> per_sg(dec_->subgraphs.size());
+  std::vector<std::pair<Vertex, Vertex>> local_ids(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const EdgeOp& op = ops[i];
+    bool routed = false;
+    for (std::size_t sgi = 0; sgi < dec_->subgraphs.size() && !routed; ++sgi) {
+      const Subgraph& sg = dec_->subgraphs[sgi];
+      Vertex lu = kInvalidVertex;
+      Vertex lv = kInvalidVertex;
+      for (Vertex local = 0; local < sg.num_vertices(); ++local) {
+        if (sg.to_global[local] == op.u) lu = local;
+        if (sg.to_global[local] == op.v) lv = local;
+      }
+      if (lu == kInvalidVertex || lv == kInvalidVertex) continue;
+      // Articulation endpoints belong to several sub-graph groups, but every
+      // block's edges materialise in exactly one of them — a deletion must
+      // patch the group that actually stores the arc. (Insert endpoints are
+      // non-APs by the classify contract, so the first group wins.)
+      if (!op.insert && !has_arc(sg.graph, lu, lv)) continue;
+      per_sg[sgi].push_back(i);
+      local_ids[i] = {lu, lv};
+      routed = true;
     }
-    if (lu == kInvalidVertex || lv == kInvalidVertex) continue;
-    // Articulation endpoints belong to several sub-graph groups, but every
-    // block's edges materialise in exactly one of them — a deletion must
-    // patch the group that actually stores the arc. (Insert endpoints are
-    // non-APs by the kLocalInsert contract, so the first group wins.)
-    if (!inserting && !has_arc(sg.graph, lu, lv)) continue;
+    if (!routed) {
+      // Endpoints outside every cached sub-graph contradict the locality
+      // precondition; re-decompose rather than score a stale cache.
+      rebind(g);
+      return 0;
+    }
+  }
 
+  // One contribution subtract / splice-all / re-score / add-back cycle per
+  // affected sub-graph — the per-block cost is paid once for the whole
+  // batch, not once per edge.
+  std::size_t resolved = 0;
+  for (std::size_t sgi = 0; sgi < dec_->subgraphs.size(); ++sgi) {
+    if (per_sg[sgi].empty()) continue;
+    Subgraph& sg = dec_->subgraphs[sgi];
     for (Vertex local = 0; local < sg.num_vertices(); ++local) {
       tracked_scores_[sg.to_global[local]] -= contrib_[sgi][local];
     }
     EdgeList arcs = sg.graph.arcs();
-    if (inserting) {
-      arcs.push_back(Edge{lu, lv});
-      arcs.push_back(Edge{lv, lu});
-    } else {
-      std::erase_if(arcs, [&](const Edge& e) {
-        return (e.src == lu && e.dst == lv) || (e.src == lv && e.dst == lu);
-      });
+    for (const std::size_t i : per_sg[sgi]) {
+      const auto [lu, lv] = local_ids[i];
+      if (ops[i].insert) {
+        arcs.push_back(Edge{lu, lv});
+        arcs.push_back(Edge{lv, lu});
+      } else {
+        std::erase_if(arcs, [lu, lv](const Edge& e) {
+          return (e.src == lu && e.dst == lv) || (e.src == lv && e.dst == lu);
+        });
+      }
     }
     sg.graph = CsrGraph::from_edges(sg.num_vertices(), std::move(arcs),
                                     /*directed=*/false);
@@ -378,22 +417,20 @@ bool Solver::apply_local_update(const CsrGraph& g, Vertex u, Vertex v,
       // Clamp subtract/re-add cancellation noise on exact zeros.
       if (std::abs(score) < 1e-9) score = std::max(score, 0.0);
     }
-    if (reduced_ != nullptr) {
-      // Both endpoints are 2-core (guard above) and kLocal updates leave
-      // the peel cascade untouched, so the reduction tracks g by the same
-      // one-edge splice.
-      *reduced_ = inserting ? with_edge_inserted(*reduced_, u, v)
-                            : with_edge_removed(*reduced_, u, v);
-    }
-    refresh_top_subgraph();
-    g_ = &g;
+    ++resolved;
     metrics().counter("bc.solver.local_recomputes").add();
-    return true;
   }
-  // Endpoints outside every cached sub-graph contradict the locality
-  // precondition; re-decompose rather than score a stale cache.
-  rebind(g);
-  return false;
+  if (reduced_ != nullptr) {
+    // Every endpoint is 2-core (guard above) and local batches leave the
+    // peel cascade untouched, so the reduction tracks g by the same splices.
+    for (const EdgeOp& op : ops) {
+      *reduced_ = op.insert ? with_edge_inserted(*reduced_, op.u, op.v)
+                            : with_edge_removed(*reduced_, op.u, op.v);
+    }
+  }
+  refresh_top_subgraph();
+  g_ = &g;
+  return resolved;
 }
 
 void Solver::rebind_local_insert(const CsrGraph& g, Vertex u, Vertex v) {

@@ -34,6 +34,7 @@
 #include "bcc/partition.hpp"
 #include "graph/csr.hpp"
 #include "graph/transform.hpp"
+#include "graph/update.hpp"
 #include "support/error.hpp"
 
 namespace apgre {
@@ -220,6 +221,23 @@ class Solver {
   /// classify first.
   bool apply_local_update(const CsrGraph& g, Vertex u, Vertex v,
                           bool inserting);
+
+  /// Batched localized update: `g` must equal the previous graph with every
+  /// op in `ops` applied (coalesced — at most one op per edge) and the
+  /// batch must have been classified local as a whole
+  /// (BlockCutQueries::classify_batch) against the previous graph. Groups
+  /// the ops by cached sub-graph and re-scores each affected sub-graph
+  /// exactly once, however many ops landed in it — the contribution
+  /// subtract / splice-all / re-score / add-back cycle runs per *block*,
+  /// not per edge, which is the batch ingest win. Returns the number of
+  /// sub-graphs re-scored (>= 1 on the localized path; "blocks_resolved" in
+  /// the service's batch stats, one "bc.solver.local_recomputes" tick
+  /// each). Returns 0 after falling back to a plain rebind() under the same
+  /// conditions as apply_local_update — no valid store, peeled-forest
+  /// endpoints, or endpoints outside every cached sub-graph. Violating the
+  /// locality precondition silently corrupts later scores — classify first.
+  std::size_t apply_local_batch(const CsrGraph& g,
+                                const std::vector<EdgeOp>& ops);
 
  private:
   void build_store();

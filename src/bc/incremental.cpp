@@ -70,6 +70,62 @@ UpdateLocality IncrementalBc::apply_edge(CsrGraph next, Vertex u, Vertex v,
   return grade;
 }
 
+BatchStats IncrementalBc::apply_batch(const UpdateRequest& batch) {
+  BatchStats out;
+  out.batch_edges = batch.ops.size();
+  // Coalesce + validate against the current graph; a rejected batch throws
+  // here, before any member changes (atomicity matches the per-edge path).
+  CoalesceResult coalesced = coalesce_batch(graph_, batch.ops);
+  APGRE_REQUIRE(coalesced.status.ok(), coalesced.status.message);
+  out.coalesced_away = coalesced.coalesced_away;
+  if (coalesced.survivors.empty()) {
+    // The batch cancelled itself out — a legal no-op.
+    stats_.batches += 1;
+    stats_.batch_edges += out.batch_edges;
+    stats_.coalesced_away += out.coalesced_away;
+    return out;
+  }
+
+  ensure_queries();
+  const BatchClassification verdict =
+      queries_->classify_batch(coalesced.survivors);
+  // Survivors are legal by construction, so this cannot throw mid-chain.
+  graph_ = apply_edge_ops(graph_, coalesced.survivors);
+
+  if (verdict.structural) {
+    // One re-decomposition for the whole batch, however many ops survived.
+    out.batch_downgrades = 1;
+    resolve_full();
+  } else {
+    // The tree survives the whole batch: patch the classifier's edge
+    // multisets per op, then re-score each affected block exactly once.
+    for (const EdgeOp& op : coalesced.survivors) {
+      queries_->apply_local_update(op.u, op.v, op.insert);
+    }
+    const std::size_t resolved =
+        solver_.apply_local_batch(graph_, coalesced.survivors);
+    if (resolved == 0) {
+      // No valid contribution store to patch — cannot happen after the
+      // constructor's tracked solve, but re-solve rather than trust it.
+      out.batch_downgrades = 1;
+      resolve_full();
+    } else {
+      scores_ = *solver_.tracked_scores();
+      out.blocks_resolved = resolved;
+      for (const EdgeOp& op : coalesced.survivors) {
+        (op.insert ? stats_.local_inserts : stats_.local_deletes) += 1;
+      }
+    }
+  }
+
+  stats_.batches += 1;
+  stats_.batch_edges += out.batch_edges;
+  stats_.coalesced_away += out.coalesced_away;
+  stats_.blocks_resolved += out.blocks_resolved;
+  stats_.batch_downgrades += out.batch_downgrades;
+  return out;
+}
+
 UpdateLocality IncrementalBc::insert_edge(Vertex u, Vertex v) {
   // Validates (and throws) before any member changes.
   return apply_edge(with_edge_inserted(graph_, u, v), u, v,

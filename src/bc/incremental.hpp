@@ -41,8 +41,16 @@ struct IncrementalStats {
   std::uint64_t local_deletes = 0;
   std::uint64_t pendant_attaches = 0;
   std::uint64_t pendant_detaches = 0;
-  /// Full re-decomposition + solve fallbacks (structural updates).
+  /// Full re-decomposition + solve fallbacks (structural updates). A
+  /// downgraded batch counts once, however many ops it carried.
   std::uint64_t structural_resolves = 0;
+  /// apply_batch totals, accumulated across batches (same fields as the
+  /// per-batch BatchStats it returns).
+  std::uint64_t batches = 0;
+  std::uint64_t batch_edges = 0;
+  std::uint64_t coalesced_away = 0;
+  std::uint64_t blocks_resolved = 0;
+  std::uint64_t batch_downgrades = 0;
 };
 
 class IncrementalBc {
@@ -64,6 +72,19 @@ class IncrementalBc {
   /// change on an illegal update.
   UpdateLocality insert_edge(Vertex u, Vertex v);
   UpdateLocality remove_edge(Vertex u, Vertex v);
+
+  /// Apply a whole timestamped batch with the same locality-routing
+  /// invariants as the per-edge path, amortised batch-wide: coalesce
+  /// (cancel insert/delete pairs, dedupe repeats — an illegal op rejects
+  /// the batch with apgre::Error before any state change), classify the
+  /// survivors as a whole (BlockCutQueries::classify_batch, one survival
+  /// check per affected block), then either re-score each affected block
+  /// exactly once (all-local batch; blocks_resolved counts them) or fall
+  /// back to a single re-decomposition + solve for the entire batch
+  /// (batch_downgrades = 1 — never one per op). A batch that coalesces to
+  /// nothing is a legal no-op. Returns the per-batch stats; stats() keeps
+  /// running totals.
+  BatchStats apply_batch(const UpdateRequest& batch);
 
   /// Attach a fresh degree-1 vertex to `host` (arc pendant -> host for
   /// directed graphs); returns the new vertex id (= old num_vertices()).

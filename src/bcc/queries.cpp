@@ -120,20 +120,32 @@ Vertex BlockCutQueries::common_block(Vertex u, Vertex v) const {
 
 bool BlockCutQueries::block_survives_deletion(Vertex b, Vertex u,
                                               Vertex v) const {
+  return block_survives_ops(
+      b, EdgeList{Edge{std::min(u, v), std::max(u, v)}}, EdgeList{});
+}
+
+bool BlockCutQueries::block_survives_ops(Vertex b, const EdgeList& removed,
+                                         const EdgeList& added) const {
   const auto& members = bcc_.component_vertices[b];
   // A two-vertex block is a bridge: deleting its edge disconnects it.
-  if (members.size() < 3) return false;
-  const Vertex lo = std::min(u, v);
-  const Vertex hi = std::max(u, v);
+  if (!removed.empty() && members.size() < 3) return false;
   auto local_id = [&](Vertex global) {
     const auto it = std::lower_bound(members.begin(), members.end(), global);
     APGRE_ASSERT(it != members.end() && *it == global);
     return static_cast<Vertex>(it - members.begin());
   };
+  auto is_removed = [&removed](const Edge& e) {
+    return std::find_if(removed.begin(), removed.end(), [&e](const Edge& r) {
+             return r.src == e.src && r.dst == e.dst;
+           }) != removed.end();
+  };
   EdgeList local_edges;
-  local_edges.reserve(bcc_.component_edges[b].size());
+  local_edges.reserve(bcc_.component_edges[b].size() + added.size());
   for (const Edge& e : bcc_.component_edges[b]) {
-    if (e.src == lo && e.dst == hi) continue;  // the candidate deletion
+    if (is_removed(e)) continue;  // a candidate deletion
+    local_edges.push_back(Edge{local_id(e.src), local_id(e.dst)});
+  }
+  for (const Edge& e : added) {
     local_edges.push_back(Edge{local_id(e.src), local_id(e.dst)});
   }
   const CsrGraph block_graph = CsrGraph::undirected_from_edges(
@@ -174,6 +186,59 @@ UpdateLocality BlockCutQueries::classify_update(Vertex u, Vertex v,
   if (block == kInvalidVertex) return UpdateLocality::kStructural;
   return block_survives_deletion(block, u, v) ? UpdateLocality::kLocalDelete
                                               : UpdateLocality::kStructural;
+}
+
+BatchClassification BlockCutQueries::classify_batch(
+    const std::vector<EdgeOp>& ops) const {
+  BatchClassification out;
+  auto downgrade = [&out]() -> BatchClassification& {
+    out.structural = true;
+    out.groups.clear();
+    return out;
+  };
+  if (ops.empty()) return out;
+  // Directed graphs: conservative, same as classify_update.
+  if (directed_) return downgrade();
+
+  // Route every op to its common block. Insert conservatism matches the
+  // per-edge path (AP endpoints may merge blocks); deletes only need a
+  // shared block here — survival is judged per *group* below, against the
+  // block's net post-batch edge set.
+  std::vector<std::size_t> group_of_block(bcc_.num_components, ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const EdgeOp& op = ops[i];
+    APGRE_ASSERT(op.u < tree_.ap_index.size() && op.v < tree_.ap_index.size());
+    if (op.u == op.v) return downgrade();
+    if (op.insert && (tree_.ap_index[op.u] != kInvalidVertex ||
+                      tree_.ap_index[op.v] != kInvalidVertex)) {
+      return downgrade();
+    }
+    const Vertex block = common_block(op.u, op.v);
+    if (block == kInvalidVertex) return downgrade();
+    std::size_t& slot = group_of_block[block];
+    if (slot == ops.size()) {
+      slot = out.groups.size();
+      out.groups.push_back(BatchGroup{block, {}, false});
+    }
+    BatchGroup& group = out.groups[slot];
+    group.ops.push_back(i);
+    group.has_delete |= !op.insert;
+  }
+
+  // One survival check per block with deletions — the whole-batch
+  // amortisation. Insert-only groups are pure chords and always survive.
+  for (const BatchGroup& group : out.groups) {
+    if (!group.has_delete) continue;
+    EdgeList removed;
+    EdgeList added;
+    for (const std::size_t i : group.ops) {
+      const Edge canonical{std::min(ops[i].u, ops[i].v),
+                           std::max(ops[i].u, ops[i].v)};
+      (ops[i].insert ? added : removed).push_back(canonical);
+    }
+    if (!block_survives_ops(group.block, removed, added)) return downgrade();
+  }
+  return out;
 }
 
 void BlockCutQueries::apply_local_update(Vertex u, Vertex v, bool inserting) {

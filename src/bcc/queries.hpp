@@ -4,11 +4,13 @@
 // contingency questions are separation queries.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "bcc/bicomp.hpp"
 #include "bcc/block_cut_tree.hpp"
 #include "graph/csr.hpp"
+#include "graph/update.hpp"
 
 namespace apgre {
 
@@ -36,6 +38,22 @@ enum class UpdateLocality {
   kStructural,
 };
 
+/// One affected block of a local batch: every surviving op whose edge lies
+/// inside `block`, as indices into the classified op vector.
+struct BatchGroup {
+  Vertex block = kInvalidVertex;
+  std::vector<std::size_t> ops;
+  bool has_delete = false;
+};
+
+/// Whole-batch verdict (classify_batch): either the batch is provably
+/// confined to its groups' blocks — the block-cut tree survives all of it —
+/// or any one op poisons the batch structural and `groups` is empty.
+struct BatchClassification {
+  bool structural = false;
+  std::vector<BatchGroup> groups;
+};
+
 /// Prebuilt query structure; O(|V|+|E|) construction, O(tree depth) per
 /// separation query, O(log deg) per same-block query.
 class BlockCutQueries {
@@ -50,6 +68,20 @@ class BlockCutQueries {
   /// between two non-articulation vertices of one block, kLocalDelete for
   /// an edge whose block stays biconnected without it.
   UpdateLocality classify_update(Vertex u, Vertex v, bool inserting) const;
+
+  /// Classify a coalesced batch (at most one op per edge) as a whole: group
+  /// the ops by their common block, then run ONE biconnectivity-survival
+  /// check per block containing deletions — the post-batch block (all group
+  /// deletes removed, all group inserts added) must still be one biconnected
+  /// component spanning every member. That amortisation over co-located
+  /// edges is the batch win: per-edge classification would rebuild and
+  /// re-check the block once per delete. It is also strictly more precise
+  /// than per-edge grading — a delete that per-edge splits the block can be
+  /// repaired by a same-batch insert and still classify local. Any op that
+  /// cannot be confined (directed graphs, AP-endpoint or cross-block
+  /// inserts, cross-block deletes, a block that does not survive its net
+  /// edit) downgrades the whole batch to structural.
+  BatchClassification classify_batch(const std::vector<EdgeOp>& ops) const;
 
   /// True iff u and v share a biconnected component (equivalently: at
   /// least two vertex-disjoint paths join them, or they share an edge).
@@ -89,6 +121,11 @@ class BlockCutQueries {
   bool on_path(Vertex node, Vertex x, Vertex y) const;
   /// Is block `b` minus the edge {u, v} still biconnected?
   bool block_survives_deletion(Vertex b, Vertex u, Vertex v) const;
+  /// Is block `b` with `removed` edges taken out and `added` chords put in
+  /// still one biconnected component spanning all members? (Edges in
+  /// canonical src < dst order.)
+  bool block_survives_ops(Vertex b, const EdgeList& removed,
+                          const EdgeList& added) const;
 
   BiconnectedComponents bcc_;
   BlockCutTree tree_;

@@ -1,0 +1,215 @@
+#include "graph/update.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <ostream>
+#include <utility>
+
+#include "graph/mutate.hpp"
+
+namespace apgre {
+
+namespace {
+
+/// Per-edge fold state while walking the batch in timestamp order.
+struct EdgeFold {
+  bool initial = false;  ///< stored in the snapshot before the batch
+  bool present = false;  ///< pending state after the ops folded so far
+  bool touched = false;  ///< at least one effective op seen
+  EdgeOp last;           ///< the op that set the current pending state
+  std::size_t order_pos = 0;
+};
+
+}  // namespace
+
+CoalesceResult coalesce_batch(const CsrGraph& g,
+                              const std::vector<EdgeOp>& ops) {
+  CoalesceResult out;
+  auto reject = [&out](std::string why) -> CoalesceResult& {
+    out.survivors.clear();
+    out.coalesced_away = 0;
+    out.status = Status::failed(std::move(why));
+    return out;
+  };
+
+  // Stable timestamp order: ties keep arrival order, so replayed streams
+  // coalesce deterministically.
+  std::vector<std::size_t> order(ops.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&ops](std::size_t a, std::size_t b) {
+                     return ops[a].timestamp < ops[b].timestamp;
+                   });
+
+  const Vertex n = g.num_vertices();
+  std::map<std::pair<Vertex, Vertex>, EdgeFold> folds;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const EdgeOp& op = ops[order[pos]];
+    if (op.u >= n || op.v >= n) {
+      return reject("update endpoint out of range");
+    }
+    if (op.u == op.v) {
+      return reject("self-loops do not affect betweenness");
+    }
+    if (op.weight != 1.0) {
+      // Reserved field: the scored graphs are unweighted (docs/API.md).
+      return reject("non-unit edge weights are not supported");
+    }
+    const auto key = g.directed()
+                         ? std::make_pair(op.u, op.v)
+                         : std::make_pair(std::min(op.u, op.v),
+                                          std::max(op.u, op.v));
+    auto [it, fresh] = folds.try_emplace(key);
+    EdgeFold& fold = it->second;
+    if (fresh) {
+      fold.initial = has_arc(g, key.first, key.second);
+      fold.present = fold.initial;
+    }
+    if (op.insert == fold.present) {
+      // Redundant against what an earlier batch op already established:
+      // silently dedupe. Redundant against the snapshot itself: the op was
+      // illegal when submitted — reject the whole batch, state untouched.
+      if (!fold.touched) {
+        return reject(op.insert ? "arc already present" : "arc not present");
+      }
+      continue;
+    }
+    fold.present = op.insert;
+    fold.last = op;
+    fold.order_pos = pos;
+    fold.touched = true;
+  }
+
+  // One net survivor per edge whose final state differs from the snapshot,
+  // ordered by where its last effective op sat in the timestamp order.
+  std::vector<std::pair<std::size_t, EdgeOp>> net;
+  for (const auto& [key, fold] : folds) {
+    if (fold.present != fold.initial) net.emplace_back(fold.order_pos, fold.last);
+  }
+  std::sort(net.begin(), net.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.survivors.reserve(net.size());
+  for (auto& [pos, op] : net) out.survivors.push_back(op);
+  out.coalesced_away = ops.size() - out.survivors.size();
+  return out;
+}
+
+CsrGraph apply_edge_ops(const CsrGraph& g, const std::vector<EdgeOp>& ops) {
+  APGRE_REQUIRE(!ops.empty(), "apply_edge_ops on an empty batch");
+  CsrGraph next = ops[0].insert ? with_edge_inserted(g, ops[0].u, ops[0].v)
+                                : with_edge_removed(g, ops[0].u, ops[0].v);
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    next = ops[i].insert ? with_edge_inserted(next, ops[i].u, ops[i].v)
+                         : with_edge_removed(next, ops[i].u, ops[i].v);
+  }
+  return next;
+}
+
+// ---- binary edge-batch frames ("APGB") ------------------------------------
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'P', 'G', 'B'};
+constexpr std::uint32_t kFrameVersion = 1;
+
+void put_u32(std::ostream& out, std::uint32_t value) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+  out.write(bytes, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+  out.write(bytes, 8);
+}
+
+void put_f64(std::ostream& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  APGRE_REQUIRE(in.gcount() == 4, "unexpected end of edge-batch frame");
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value |= std::uint32_t{bytes[i]} << (8 * i);
+  return value;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  unsigned char bytes[8];
+  in.read(reinterpret_cast<char*>(bytes), 8);
+  APGRE_REQUIRE(in.gcount() == 8, "unexpected end of edge-batch frame");
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value |= std::uint64_t{bytes[i]} << (8 * i);
+  return value;
+}
+
+double get_f64(std::istream& in) {
+  return std::bit_cast<double>(get_u64(in));
+}
+
+}  // namespace
+
+void write_edge_batch(std::ostream& out, const UpdateRequest& batch) {
+  out.write(kMagic, 4);
+  put_u32(out, kFrameVersion);
+  put_u64(out, batch.ops.size());
+  for (const EdgeOp& op : batch.ops) {
+    put_u32(out, op.u);
+    put_u32(out, op.v);
+    put_u32(out, op.insert ? 1 : 0);
+    put_f64(out, op.weight);
+    put_u64(out, op.timestamp);
+  }
+}
+
+UpdateRequest read_edge_batch(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  APGRE_REQUIRE(in.gcount() == 4 && std::memcmp(magic, kMagic, 4) == 0,
+                "not an edge-batch frame (bad magic)");
+  const std::uint32_t version = get_u32(in);
+  APGRE_REQUIRE(version == kFrameVersion,
+                "unsupported edge-batch frame version");
+  const std::uint64_t count = get_u64(in);
+  UpdateRequest batch;
+  // Untrusted count: grow as ops actually arrive (the fuzz-hardening idiom
+  // from io_binary) instead of reserving attacker-chosen sizes.
+  batch.ops.reserve(std::min<std::uint64_t>(count, 1u << 20));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EdgeOp op;
+    op.u = get_u32(in);
+    op.v = get_u32(in);
+    op.insert = get_u32(in) != 0;
+    op.weight = get_f64(in);
+    op.timestamp = get_u64(in);
+    batch.ops.push_back(op);
+  }
+  return batch;
+}
+
+void write_edge_batch_file(const std::string& path,
+                           const std::vector<UpdateRequest>& batches) {
+  std::ofstream out(path, std::ios::binary);
+  APGRE_REQUIRE(out.good(), "cannot open for writing: " + path);
+  for (const UpdateRequest& batch : batches) write_edge_batch(out, batch);
+  APGRE_REQUIRE(out.good(), "write failed: " + path);
+}
+
+std::vector<UpdateRequest> read_edge_batch_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  APGRE_REQUIRE(in.good(), "cannot open: " + path);
+  std::vector<UpdateRequest> batches;
+  while (in.peek() != std::ifstream::traits_type::eof()) {
+    batches.push_back(read_edge_batch(in));
+  }
+  return batches;
+}
+
+}  // namespace apgre

@@ -1,0 +1,101 @@
+// Batched edge updates: the value types and pure algebra of STINGER-style
+// streaming ingest, shared by every layer that thinks in batches
+// (bcc/queries classify_batch, bc/incremental apply_batch, the service's
+// kUpdateBatch pipeline, apgre_serve's batch_update verb and bench_regress
+// --workload stream).
+//
+// An UpdateBatch is a list of timestamped EdgeOps. coalesce_batch() reduces
+// it to its net effect against one graph snapshot: insert/delete pairs on
+// the same edge cancel, repeats dedupe, and the survivors come out in
+// stable timestamp order with at most one op per edge. Coalescing is also
+// where batch validation lives — an op that is redundant against the
+// *snapshot* on first touch (inserting a present arc, deleting an absent
+// one, self-loops, out-of-range endpoints) rejects the whole batch with a
+// Status carrying the same message the single-edge mutate helpers throw,
+// so nothing downstream needs a second validation pass and a failed batch
+// provably changed no state.
+//
+// The binary edge-batch frame ("APGB") is the replay-file format: one frame
+// per batch, frames concatenated until EOF, used by apgre_serve's
+// path-based batch_update and bench_regress --stream-file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "support/error.hpp"
+
+namespace apgre {
+
+/// One timestamped edge operation. `weight` is carried end to end (wire,
+/// frames, coalescing) but the BC graphs are unweighted, so non-unit
+/// weights are rejected at coalesce time — the field is reserved for the
+/// weighted-BC extension (docs/API.md "Batched streaming ingest").
+struct EdgeOp {
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  bool insert = true;
+  double weight = 1.0;
+  /// Stream time; coalescing orders ops by (timestamp, arrival position),
+  /// and bench_regress --replay-speed paces batches by timestamp gaps.
+  std::uint64_t timestamp = 0;
+};
+
+/// The unified mutation payload of the service API: every edge mutation is
+/// a batch, a single update being a batch of size 1 (docs/API.md).
+struct UpdateRequest {
+  std::vector<EdgeOp> ops;
+};
+
+/// Per-batch outcome counters, reported in Response::batch and accumulated
+/// into ServiceStats / IncrementalStats. Tests pin blocks_resolved.
+struct BatchStats {
+  /// Raw ops in the submitted batch (before coalescing).
+  std::uint64_t batch_edges = 0;
+  /// Ops removed by coalescing (cancelled pairs, deduped repeats).
+  std::uint64_t coalesced_away = 0;
+  /// Biconnected blocks re-solved by the localized path — one per affected
+  /// block, however many ops landed in it. 0 for downgraded batches.
+  std::uint64_t blocks_resolved = 0;
+  /// 1 when any surviving op was structural and the whole batch fell back
+  /// to a single re-decomposition, else 0.
+  std::uint64_t batch_downgrades = 0;
+};
+
+/// Result of coalescing one batch against a snapshot.
+struct CoalesceResult {
+  /// Net ops, at most one per edge, stable timestamp order. Empty when the
+  /// batch cancels out entirely (a legal no-op).
+  std::vector<EdgeOp> survivors;
+  /// Ops folded away: batch size minus survivors when status.ok().
+  std::uint64_t coalesced_away = 0;
+  /// Why the batch was rejected; survivors is empty when !ok(). Messages
+  /// match the single-edge mutate helpers ("arc already present", ...).
+  Status status;
+};
+
+/// Reduce `ops` to their net effect against `g` (see file comment).
+CoalesceResult coalesce_batch(const CsrGraph& g, const std::vector<EdgeOp>& ops);
+
+/// Successor graph after applying every op in order via the O(degree) CSR
+/// splice mutators. Callers pass coalesce_batch survivors, which are legal
+/// by construction; an illegal op throws apgre::Error mid-chain, so only
+/// pre-validated ops give the atomic commit-point guarantee.
+CsrGraph apply_edge_ops(const CsrGraph& g, const std::vector<EdgeOp>& ops);
+
+/// Serialize one batch as a binary frame (magic "APGB", version, count,
+/// fixed-width little-endian ops).
+void write_edge_batch(std::ostream& out, const UpdateRequest& batch);
+
+/// Read one frame. Throws apgre::Error on a malformed frame.
+UpdateRequest read_edge_batch(std::istream& in);
+
+/// Whole replay file: frames back to back until EOF.
+void write_edge_batch_file(const std::string& path,
+                           const std::vector<UpdateRequest>& batches);
+std::vector<UpdateRequest> read_edge_batch_file(const std::string& path);
+
+}  // namespace apgre

@@ -1,0 +1,41 @@
+#include "service/ingest.hpp"
+
+#include "support/error.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace apgre {
+
+IngestPlan plan_ingest(const CsrGraph& snapshot, const BlockCutQueries* queries,
+                       const UpdateRequest& request) {
+  APGRE_TRACE_SPAN("service/plan_ingest");
+  IngestPlan plan;
+  plan.coalesced = coalesce_batch(snapshot, request.ops);
+  if (!plan.ok() || plan.empty()) return plan;
+
+  if (snapshot.directed()) {
+    // Conservative, same as the per-edge path: directed reachability can
+    // change while the projection's block structure survives.
+    plan.classification.structural = true;
+    return plan;
+  }
+  APGRE_ASSERT_MSG(queries != nullptr,
+                   "plan_ingest needs a classifier for undirected snapshots");
+  plan.classification = queries->classify_batch(plan.coalesced.survivors);
+  if (plan.local()) {
+    for (const BatchGroup& group : plan.classification.groups) {
+      plan.affected_sources += static_cast<Vertex>(
+          queries->bcc().component_vertices[group.block].size());
+    }
+  }
+  return plan;
+}
+
+void record_batch_metrics(const BatchStats& stats) {
+  metrics().counter("service.batch.edges").add(stats.batch_edges);
+  metrics().counter("service.batch.coalesced_away").add(stats.coalesced_away);
+  metrics().counter("service.batch.blocks_resolved").add(stats.blocks_resolved);
+  metrics().counter("service.batch.downgrades").add(stats.batch_downgrades);
+}
+
+}  // namespace apgre

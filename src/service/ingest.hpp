@@ -1,0 +1,64 @@
+// STINGER-style batched streaming ingest: the service's UpdateBatch
+// pipeline (docs/API.md "Batched streaming ingest").
+//
+// A batch of timestamped edge ops flows through three stages:
+//
+//   1. coalesce  — cancel insert/delete pairs on the same edge, dedupe
+//                  repeats, order survivors by timestamp; illegal ops
+//                  reject the whole batch before any state changes
+//                  (graph/update.hpp coalesce_batch).
+//   2. classify  — grade the surviving ops against the block-cut tree as a
+//                  whole: group by affected block via common_block, one
+//                  biconnectivity-survival check per block instead of per
+//                  edge (bcc/queries.hpp classify_batch).
+//   3. execute   — all-local plans patch the tracked contribution store
+//                  with ONE block re-solve per affected block; any
+//                  structural op downgrades the whole batch to a single
+//                  re-decomposition. Execution lives with the state it
+//                  mutates (service.cpp for the service's snapshot/session
+//                  machinery, bc/incremental.cpp for IncrementalBc) — this
+//                  header owns the shared planning half.
+//
+// plan_ingest() is pure: it never mutates the snapshot, the classifier, or
+// any session, so a failed plan provably changed nothing and a successful
+// one can be executed (or discarded) by the caller at its own commit point.
+#pragma once
+
+#include "bcc/queries.hpp"
+#include "graph/csr.hpp"
+#include "graph/update.hpp"
+
+namespace apgre {
+
+/// The full decision for one batch against one snapshot: what survives
+/// coalescing, how the survivors classify, and the deterministic batch
+/// stats both execution paths report.
+struct IngestPlan {
+  CoalesceResult coalesced;
+  BatchClassification classification;
+  /// Sum of the affected blocks' vertex counts for local plans — the
+  /// batch's blast radius (Response::affected_sources). 0 for structural
+  /// or empty plans.
+  Vertex affected_sources = 0;
+
+  /// The batch is legal (possibly a no-op). !ok() carries the rejection in
+  /// coalesced.status.
+  bool ok() const { return coalesced.status.ok(); }
+  /// Everything cancelled out; applying the plan is a no-op.
+  bool empty() const { return coalesced.survivors.empty(); }
+  /// The block-cut tree provably survives the whole batch.
+  bool local() const { return !classification.structural; }
+};
+
+/// Coalesce `request` against `snapshot` and classify the survivors as a
+/// whole. `queries` must be a classifier built on `snapshot` for undirected
+/// graphs and may be null for directed ones (directed batches always
+/// classify structural, matching the per-edge conservatism).
+IngestPlan plan_ingest(const CsrGraph& snapshot, const BlockCutQueries* queries,
+                       const UpdateRequest& request);
+
+/// Emit the service.batch.* metrics for one executed batch
+/// (docs/OBSERVABILITY.md).
+void record_batch_metrics(const BatchStats& stats);
+
+}  // namespace apgre

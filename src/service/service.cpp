@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "graph/mutate.hpp"
+#include "service/ingest.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
@@ -74,6 +75,11 @@ struct Service::Impl {
     std::atomic<std::uint64_t> updates_structural{0};
     std::atomic<std::uint64_t> local_recomputes{0};
     std::atomic<std::uint64_t> full_invalidations{0};
+    std::atomic<std::uint64_t> batch_updates{0};
+    std::atomic<std::uint64_t> batch_edges{0};
+    std::atomic<std::uint64_t> coalesced_away{0};
+    std::atomic<std::uint64_t> blocks_resolved{0};
+    std::atomic<std::uint64_t> batch_downgrades{0};
   };
 
   explicit Impl(ServiceOptions opts) : options(opts) {
@@ -113,12 +119,23 @@ struct Service::Impl {
   }
 
   std::future<Response> submit(Request request) {
+    const RequestKind kind = request.kind;
     std::packaged_task<Response()> task(
         [this, req = std::move(request)] { return process(req); });
     std::future<Response> future = task.get_future();
     {
       std::lock_guard<std::mutex> lk(queue_mu);
-      APGRE_REQUIRE(!stopping, "Service is shutting down");
+      if (stopping) {
+        // Status-based error path: resolve immediately instead of throwing
+        // into the caller's enqueue site.
+        std::promise<Response> broken;
+        Response response;
+        response.kind = kind;
+        response.status = Status::failed("Service is shutting down");
+        response.error = response.status.message;
+        broken.set_value(std::move(response));
+        return broken.get_future();
+      }
       queue.push_back(std::move(task));
       metrics().gauge("service.queue_depth").set(
           static_cast<double>(queue.size()));
@@ -178,8 +195,9 @@ struct Service::Impl {
   Response process(const Request& request) {
     stats.requests.fetch_add(1, std::memory_order_relaxed);
     metrics().counter("service.requests").add();
-    Response response =
-        request.kind == RequestKind::kUpdate ? update(request) : solve(request);
+    const bool mutation = request.kind == RequestKind::kUpdate ||
+                          request.kind == RequestKind::kUpdateBatch;
+    Response response = mutation ? update(request) : solve(request);
     if (!response.ok) {
       stats.errors.fetch_add(1, std::memory_order_relaxed);
       metrics().counter("service.errors").add();
@@ -187,9 +205,21 @@ struct Service::Impl {
     return response;
   }
 
-  static Response fail(Response response, std::string why) {
+  static Response fail(Response response, Status status) {
+    response.status = std::move(status);
     response.ok = false;
-    response.error = std::move(why);
+    response.error = response.status.message;
+    return response;
+  }
+
+  static Response fail(Response response, std::string why) {
+    return fail(std::move(response), Status::failed(std::move(why)));
+  }
+
+  static Response& succeed(Response& response) {
+    response.status = Status::Ok();
+    response.ok = true;
+    response.error.clear();
     return response;
   }
 
@@ -205,7 +235,8 @@ struct Service::Impl {
       return fail(std::move(response), "unknown graph: " + request.graph);
     }
     if (request.kind == RequestKind::kTopK && request.k == 0) {
-      return fail(std::move(response), "top_k requires k >= 1");
+      return fail(std::move(response),
+                  Status::invalid_option("top_k requires k >= 1"));
     }
 
     std::shared_ptr<const CsrGraph> snap;
@@ -247,9 +278,9 @@ struct Service::Impl {
     cache_put(request.graph, std::move(session));
 
     if (!result.status.ok()) {
-      return fail(std::move(response), result.status.message);
+      return fail(std::move(response), result.status);
     }
-    response.ok = true;
+    succeed(response);
     response.session_hit = hit;
     response.seconds = result.seconds;
     if (request.kind == RequestKind::kSolve) {
@@ -278,11 +309,31 @@ struct Service::Impl {
     return response;
   }
 
+  /// The unified mutation path: kUpdate and kUpdateBatch both run the
+  /// ingest pipeline (service/ingest.hpp) — a single update is a batch of
+  /// size 1, so the per-edge counters and response fields keep their exact
+  /// pre-batch meaning while the batch path amortises classification and
+  /// re-solves across co-located edges.
   Response update(const Request& request) {
     APGRE_TRACE_SPAN("service/update");
+    const bool batched = request.kind == RequestKind::kUpdateBatch;
     Response response;
-    response.kind = RequestKind::kUpdate;
-    stats.updates.fetch_add(1, std::memory_order_relaxed);
+    response.kind = request.kind;
+    (batched ? stats.batch_updates : stats.updates)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (batched) metrics().counter("service.batch.requests").add();
+
+    // Fold the deprecated per-edge fields into the unified payload.
+    UpdateRequest ops = request.update;
+    if (!batched && ops.ops.empty()) {
+      ops.ops.push_back(EdgeOp{request.u, request.v, request.inserting});
+    }
+    if (!batched && ops.ops.size() != 1) {
+      return fail(std::move(response),
+                  Status::invalid_option(
+                      "update expects exactly one op (use update_batch)"));
+    }
+    response.batch.batch_edges = ops.ops.size();
 
     const std::shared_ptr<GraphEntry> entry = find_entry(request.graph);
     if (entry == nullptr) {
@@ -291,73 +342,83 @@ struct Service::Impl {
 
     std::lock_guard<std::mutex> lk(entry->mu);
     const std::shared_ptr<const CsrGraph> prev = entry->graph;
-    if (request.u >= prev->num_vertices() || request.v >= prev->num_vertices()) {
-      return fail(std::move(response), "update endpoint out of range");
-    }
 
-    // Classify against the pre-update block-cut tree. classify_update
-    // grades directed graphs structural itself, so don't even build the
-    // query structure for them.
-    response.locality = UpdateLocality::kStructural;
-    if (!prev->directed()) {
-      if (entry->locality == nullptr) {
-        entry->locality = std::make_unique<BlockCutQueries>(*prev);
-      }
-      response.locality = entry->locality->classify_update(
-          request.u, request.v, request.inserting);
+    // The classifier survives local batches (only edge multisets move,
+    // patched below); directed graphs never build one — plan_ingest grades
+    // them structural itself.
+    if (!prev->directed() && entry->locality == nullptr) {
+      entry->locality = std::make_unique<BlockCutQueries>(*prev);
     }
-    const bool local = response.locality != UpdateLocality::kStructural;
+    const IngestPlan plan = plan_ingest(*prev, entry->locality.get(), ops);
+    response.batch.coalesced_away = plan.coalesced.coalesced_away;
+    if (!plan.ok()) {
+      // Coalescing rejected the batch (out-of-range endpoint, self-loop,
+      // op redundant against the snapshot, ...) — nothing changed.
+      return fail(std::move(response), plan.coalesced.status);
+    }
+    const std::vector<EdgeOp>& survivors = plan.coalesced.survivors;
+    if (survivors.empty()) {
+      // The batch cancelled itself out: a legal no-op, no snapshot swap.
+      finalize_batch(response, batched);
+      return response;
+    }
+    const bool local = plan.local();
 
     std::shared_ptr<const CsrGraph> snap;
     try {
-      // The mutate helpers validate before building, so a throw here means
-      // nothing changed.
-      snap = std::make_shared<const CsrGraph>(
-          request.inserting
-              ? with_edge_inserted(*prev, request.u, request.v)
-              : with_edge_removed(*prev, request.u, request.v));
+      // Survivors are pre-validated, so this cannot throw; keep the
+      // commit-point shape anyway — a throw here means nothing changed.
+      snap = std::make_shared<const CsrGraph>(apply_edge_ops(*prev, survivors));
     } catch (const Error& e) {
       return fail(std::move(response), e.what());
     }
     entry->graph = snap;
 
     if (local) {
-      // Blast radius: the one biconnected component the update is confined
-      // to. Deterministic from graph state (unlike any recompute count,
-      // which would depend on what happened to be cached).
-      const Vertex block =
-          entry->locality->common_block(request.u, request.v);
-      response.affected_sources = static_cast<Vertex>(
-          entry->locality->bcc().component_vertices[block].size());
+      // Blast radius: the biconnected components the batch is confined to.
+      // Deterministic from graph state (unlike any recompute count, which
+      // would depend on what happened to be cached).
+      response.affected_sources = plan.affected_sources;
+      response.batch.blocks_resolved = plan.classification.groups.size();
+      bool any_delete = false;
+      for (const EdgeOp& op : survivors) any_delete |= !op.insert;
+      response.locality = any_delete ? UpdateLocality::kLocalDelete
+                                     : UpdateLocality::kLocalInsert;
       // Keep later classifications exact: the tree survives, but the
-      // block's edge multiset changed.
-      entry->locality->apply_local_update(request.u, request.v,
-                                          request.inserting);
+      // affected blocks' edge multisets changed.
+      for (const EdgeOp& op : survivors) {
+        entry->locality->apply_local_update(op.u, op.v, op.insert);
+      }
     } else {
+      response.locality = UpdateLocality::kStructural;
+      response.batch.batch_downgrades = 1;
+      // ONE reset per downgraded batch — an entirely forest-incident batch
+      // re-peels the snapshot once on the next solve, not once per edge.
       entry->locality.reset();
-      entry->peel.reset();  // a structural update can reshape the forest
+      entry->peel.reset();
     }
     (local ? stats.updates_local : stats.updates_structural)
-        .fetch_add(1, std::memory_order_relaxed);
+        .fetch_add(survivors.size(), std::memory_order_relaxed);
     metrics()
         .counter(local ? "service.updates_local"
                        : "service.updates_structural")
-        .add();
+        .add(survivors.size());
 
     // Patch the warm session in place (entry->mu is held, so no competing
     // update; sessions inside the cache have no other users). A checked-out
-    // session misses the patch and rebinds structurally on reinsert.
+    // session misses the patch and rebinds structurally on reinsert. One
+    // contribution-store re-solve per affected block for the whole batch.
     {
       std::lock_guard<std::mutex> ck(cache_mu);
       const auto it = lru_index.find(request.graph);
       if (it != lru_index.end()) {
         Session& session = *it->second->second;
+        const bool fresh = session.pin == prev;
         const bool patched =
-            local && session.pin == prev &&
-            session.solver.apply_local_update(*snap, request.u, request.v,
-                                              request.inserting);
-        if (!patched && !(local && session.pin == prev)) {
-          // apply_local_update already rebound on its false path; only the
+            local && fresh &&
+            session.solver.apply_local_batch(*snap, survivors) > 0;
+        if (!patched && !(local && fresh)) {
+          // apply_local_batch already rebound on its zero path; only the
           // cases that never entered it still need the explicit rebind.
           session.solver.rebind(*snap);
         }
@@ -371,8 +432,23 @@ struct Service::Impl {
       }
     }
 
-    response.ok = true;
+    finalize_batch(response, batched);
     return response;
+  }
+
+  /// Success bookkeeping shared by the no-op and executed batch paths.
+  void finalize_batch(Response& response, bool batched) {
+    succeed(response);
+    if (!batched) return;
+    stats.batch_edges.fetch_add(response.batch.batch_edges,
+                                std::memory_order_relaxed);
+    stats.coalesced_away.fetch_add(response.batch.coalesced_away,
+                                   std::memory_order_relaxed);
+    stats.blocks_resolved.fetch_add(response.batch.blocks_resolved,
+                                    std::memory_order_relaxed);
+    stats.batch_downgrades.fetch_add(response.batch.batch_downgrades,
+                                     std::memory_order_relaxed);
+    record_batch_metrics(response.batch);
   }
 
   ServiceOptions options;
@@ -401,8 +477,10 @@ Service::Service(ServiceOptions options)
 
 Service::~Service() = default;
 
-void Service::register_graph(const std::string& name, CsrGraph graph) {
-  APGRE_REQUIRE(!name.empty(), "graph name must be non-empty");
+Status Service::register_graph(const std::string& name, CsrGraph graph) {
+  if (name.empty()) {
+    return Status::invalid_option("graph name must be non-empty");
+  }
   auto entry = std::make_shared<Impl::GraphEntry>();
   entry->graph = std::make_shared<const CsrGraph>(std::move(graph));
   {
@@ -413,6 +491,7 @@ void Service::register_graph(const std::string& name, CsrGraph graph) {
   impl_->cache_drop(name);
   metrics().gauge("service.graphs").set(
       static_cast<double>(graph_names().size()));
+  return Status::Ok();
 }
 
 bool Service::unregister_graph(const std::string& name) {
@@ -494,6 +573,11 @@ ServiceStats Service::stats() const {
   out.local_recomputes = s.local_recomputes.load(std::memory_order_relaxed);
   out.full_invalidations =
       s.full_invalidations.load(std::memory_order_relaxed);
+  out.batch_updates = s.batch_updates.load(std::memory_order_relaxed);
+  out.batch_edges = s.batch_edges.load(std::memory_order_relaxed);
+  out.coalesced_away = s.coalesced_away.load(std::memory_order_relaxed);
+  out.blocks_resolved = s.blocks_resolved.load(std::memory_order_relaxed);
+  out.batch_downgrades = s.batch_downgrades.load(std::memory_order_relaxed);
   return out;
 }
 

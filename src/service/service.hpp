@@ -7,16 +7,25 @@
 //     reach counts instead of recomputing them per request,
 //   * a worker thread pool draining a request queue (submit / run_batch).
 //
-// Three request kinds: `solve` (full score vector, any registered
-// algorithm), `top_k` (partial-sort over the scores), and `update` (edge
-// insert/remove). Updates are AP-aware (docs/API.md "Update lifecycle"):
-// BlockCutQueries::classify_update grades each one, and a kLocalInsert /
-// kLocalDelete — an update provably confined to one biconnected component —
-// routes through the warm session's contribution store
-// (Solver::apply_local_update): subtract the affected block's old scores,
-// re-run Brandes inside the block only, add the new scores back. Anything
-// structural drops the cached decomposition so the next solve re-decomposes.
-// The split is observable as local_recomputes vs full_invalidations.
+// Four request kinds: `solve` (full score vector, any registered
+// algorithm), `top_k` (partial-sort over the scores), `update` (one edge
+// insert/remove), and `update_batch` (a timestamped batch of edge ops).
+// The mutation surface is unified around one UpdateRequest value type —
+// internally a single `update` IS a batch of size 1, flowing through the
+// same ingest pipeline (service/ingest.hpp): coalesce, classify the batch
+// against the block-cut tree as a whole, then either patch the warm
+// session's contribution store with ONE block re-solve per affected block
+// (Solver::apply_local_batch) or — when any op is structural — drop the
+// cached decomposition and snapshot peel ONCE for the whole batch so the
+// next solve re-decomposes. The split is observable as local_recomputes vs
+// full_invalidations plus the batch_* counters.
+//
+// Error channel: every Response carries a Status (Response::status);
+// Response::ok / Response::error mirror it for older call sites. The
+// public API itself is Status-based — register_graph reports an invalid
+// name instead of throwing, submit resolves the future with a failed
+// Response when the service is shutting down — so no service entry point
+// throws on bad requests (docs/API.md "Error handling").
 //
 // Thread-safety: every public member is safe to call from any thread, and
 // the service itself imposes no cross-request serialization. The APGRE
@@ -42,6 +51,7 @@
 #include "bc/bc.hpp"
 #include "bcc/queries.hpp"
 #include "graph/csr.hpp"
+#include "graph/update.hpp"
 
 namespace apgre {
 
@@ -52,7 +62,7 @@ struct ServiceOptions {
   std::size_t session_capacity = 8;
 };
 
-enum class RequestKind { kSolve, kTopK, kUpdate };
+enum class RequestKind { kSolve, kTopK, kUpdate, kUpdateBatch };
 
 struct Request {
   RequestKind kind = RequestKind::kSolve;
@@ -62,7 +72,14 @@ struct Request {
   BcOptions options;
   /// top_k: ranking size (clamped to |V|; must be >= 1).
   Vertex k = 10;
-  /// update: edge endpoints and direction of the mutation.
+  /// kUpdate / kUpdateBatch: the unified mutation payload. kUpdateBatch
+  /// applies all ops as one coalesced batch; kUpdate expects exactly one op
+  /// (when `update.ops` is empty the deprecated fields below are folded in
+  /// as a batch of size 1).
+  UpdateRequest update;
+  /// Deprecated pre-batch shim: single-edge endpoints and direction, read
+  /// only by kUpdate and only when update.ops is empty. Prefer filling
+  /// `update` directly.
   Vertex u = kInvalidVertex;
   Vertex v = kInvalidVertex;
   bool inserting = true;
@@ -75,9 +92,12 @@ struct TopEntry {
 
 struct Response {
   RequestKind kind = RequestKind::kSolve;
+  /// The consistent error channel: Ok() on success, the failure reason
+  /// otherwise (unknown graph, invalid options, duplicate insert, ...).
+  /// Failed requests never mutate service state.
+  Status status = Status::failed("request not processed");
+  /// Mirrors status.ok() / status.message for pre-Status call sites.
   bool ok = false;
-  /// Human-readable reason when !ok (unknown graph, invalid options,
-  /// duplicate insert, ...). Failed requests never mutate service state.
   std::string error;
   /// kSolve: full score vector.
   std::vector<double> scores;
@@ -87,12 +107,20 @@ struct Response {
   /// kSolve / kTopK: whether a warm session (graph snapshot still current)
   /// was reused.
   bool session_hit = false;
-  /// kUpdate: blast radius of the update — the vertex count of the single
-  /// affected biconnected component for local updates, 0 for structural
-  /// ones (the whole graph re-solves lazily). A function of graph state
-  /// alone, deterministic regardless of session-cache state.
+  /// kUpdate / kUpdateBatch: blast radius of the mutation — the summed
+  /// vertex count of the affected biconnected components for local
+  /// updates/batches, 0 for structural ones (the whole graph re-solves
+  /// lazily). A function of graph state alone, deterministic regardless of
+  /// session-cache state.
   Vertex affected_sources = 0;
+  /// kUpdate: the op's exact grade. For kUpdateBatch: kStructural when the
+  /// batch downgraded, else kLocalInsert for an all-insert batch and
+  /// kLocalDelete when any delete survived (per-op grades don't exist at
+  /// batch granularity — read `batch` for the real outcome).
   UpdateLocality locality = UpdateLocality::kStructural;
+  /// kUpdate / kUpdateBatch: per-batch outcome counters (a single update
+  /// reports as a batch of one).
+  BatchStats batch;
   /// kSolve / kTopK: scoring wall time (BcResult::seconds).
   double seconds = 0.0;
 };
@@ -115,8 +143,20 @@ struct ServiceStats {
   std::uint64_t local_recomputes = 0;
   /// ...vs warm sessions that had to drop their decomposition (structural
   /// update, stale pin, or no contribution store yet). Updates with no
-  /// cached session increment neither.
+  /// cached session increment neither; a batch counts once either way.
   std::uint64_t full_invalidations = 0;
+  /// kUpdateBatch requests (kUpdate counts under `updates` as before).
+  std::uint64_t batch_updates = 0;
+  /// Raw ops received across all batch requests, before coalescing.
+  std::uint64_t batch_edges = 0;
+  /// Ops folded away by coalescing (cancelled pairs, deduped repeats).
+  std::uint64_t coalesced_away = 0;
+  /// Blocks re-solved by local batch plans — one per affected block per
+  /// batch (the classification group count; deterministic from graph state,
+  /// unlike the warm-session recompute count, which depends on cache luck).
+  std::uint64_t blocks_resolved = 0;
+  /// Batches downgraded to a single structural re-decomposition.
+  std::uint64_t batch_downgrades = 0;
 
   /// Warm-session fraction of solve/top_k requests; 0 when none ran.
   double hit_rate() const {
@@ -137,8 +177,9 @@ class Service {
   Service& operator=(const Service&) = delete;
 
   /// Register `graph` under `name`, replacing any previous graph of that
-  /// name (its warm session is dropped). Throws Error on an empty name.
-  void register_graph(const std::string& name, CsrGraph graph);
+  /// name (its warm session is dropped). Reports an empty name through the
+  /// returned Status (kInvalidOption) instead of throwing.
+  Status register_graph(const std::string& name, CsrGraph graph);
 
   /// Remove a graph and its warm session. False when the name is unknown.
   bool unregister_graph(const std::string& name);
@@ -151,7 +192,9 @@ class Service {
   /// swap in a new one.
   std::shared_ptr<const CsrGraph> snapshot(const std::string& name) const;
 
-  /// Enqueue one request for the worker pool.
+  /// Enqueue one request for the worker pool. Never throws: submitting to
+  /// a stopping service resolves the future immediately with a failed
+  /// Response ("Service is shutting down").
   std::future<Response> submit(Request request);
 
   /// Enqueue all requests and wait; responses are in request order even

@@ -1,0 +1,642 @@
+// Batched streaming ingest (graph/update.hpp + BlockCutQueries::
+// classify_batch + IncrementalBc::apply_batch + the service's kUpdateBatch
+// pipeline). The tests pin the coalescing algebra (cancel, dedupe, stable
+// timestamp order, reject-before-mutate), the whole-batch classification
+// (one survival check per block, strictly more precise than per-edge), the
+// acceptance criterion that an all-local batch of k edges in one block
+// re-solves exactly 1 block with 0 re-decompositions, the binary
+// edge-batch frame format, and the service-level batch counters. The
+// randomized trajectories diff the batched engine against a per-edge
+// replay AND a fresh static Brandes solve after every batch; the
+// concurrent test interleaves batches with solves across the worker pool
+// (run under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bc/brandes.hpp"
+#include "bc/incremental.hpp"
+#include "bcc/queries.hpp"
+#include "graph/generators.hpp"
+#include "graph/update.hpp"
+#include "service/service.hpp"
+#include "support/metrics.hpp"
+#include "support/prng.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+using testing::expect_scores_near;
+
+std::uint64_t decompositions() {
+  return metrics().counter("bcc.decompositions").value();
+}
+
+std::uint64_t peel_runs() {
+  return metrics().counter("graph.peel.runs").value();
+}
+
+/// Two K6 cliques sharing articulation point 5: two dense blocks, each
+/// tolerating several disjoint chord deletions without losing
+/// biconnectivity.
+CsrGraph two_k6() {
+  EdgeList edges;
+  for (Vertex u = 0; u < 6; ++u) {
+    for (Vertex v = u + 1; v < 6; ++v) edges.push_back(Edge{u, v});
+  }
+  for (Vertex u = 5; u < 11; ++u) {
+    for (Vertex v = u + 1; v < 11; ++v) edges.push_back(Edge{u, v});
+  }
+  return CsrGraph::undirected_from_edges(11, std::move(edges));
+}
+
+/// One sub-graph per block, so blocks_resolved counts blocks 1:1.
+BcOptions per_block_options() {
+  BcOptions opts;
+  opts.apgre.partition.merge_threshold = 2;
+  return opts;
+}
+
+EdgeOp op(Vertex u, Vertex v, bool insert, std::uint64_t t = 0) {
+  EdgeOp e;
+  e.u = u;
+  e.v = v;
+  e.insert = insert;
+  e.timestamp = t;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing algebra.
+
+TEST(Coalesce, InsertThenDeleteCancels) {
+  const CsrGraph g = cycle(4);
+  const CoalesceResult r =
+      coalesce_batch(g, {op(0, 2, true, 0), op(0, 2, false, 1)});
+  ASSERT_TRUE(r.status.ok()) << r.status.message;
+  EXPECT_TRUE(r.survivors.empty());
+  EXPECT_EQ(r.coalesced_away, 2u);
+}
+
+TEST(Coalesce, DeleteThenReinsertIsNoOp) {
+  const CsrGraph g = cycle(4);
+  const CoalesceResult r =
+      coalesce_batch(g, {op(0, 1, false, 0), op(0, 1, true, 1)});
+  ASSERT_TRUE(r.status.ok()) << r.status.message;
+  EXPECT_TRUE(r.survivors.empty());
+  EXPECT_EQ(r.coalesced_away, 2u);
+}
+
+TEST(Coalesce, RepeatedOpDedupes) {
+  const CsrGraph g = cycle(4);
+  const CoalesceResult r =
+      coalesce_batch(g, {op(0, 2, true, 0), op(0, 2, true, 1)});
+  ASSERT_TRUE(r.status.ok()) << r.status.message;
+  ASSERT_EQ(r.survivors.size(), 1u);
+  EXPECT_EQ(r.coalesced_away, 1u);
+  EXPECT_TRUE(r.survivors[0].insert);
+}
+
+TEST(Coalesce, TimestampOrderBeatsArrivalOrder) {
+  // Textually the insert of the present edge 0-1 comes first, which would
+  // reject; ordered by timestamp the delete folds first and the pair
+  // cancels. Survival of this batch is the witness that coalescing sorts.
+  const CsrGraph g = cycle(4);
+  const CoalesceResult r =
+      coalesce_batch(g, {op(0, 1, true, 2), op(0, 1, false, 1)});
+  ASSERT_TRUE(r.status.ok()) << r.status.message;
+  EXPECT_TRUE(r.survivors.empty());
+  EXPECT_EQ(r.coalesced_away, 2u);
+}
+
+TEST(Coalesce, SurvivorsComeOutInTimestampOrder) {
+  const CsrGraph g = cycle(5);
+  const CoalesceResult r = coalesce_batch(
+      g, {op(1, 3, true, 7), op(0, 2, true, 3), op(2, 4, true, 5)});
+  ASSERT_TRUE(r.status.ok()) << r.status.message;
+  ASSERT_EQ(r.survivors.size(), 3u);
+  EXPECT_EQ(r.coalesced_away, 0u);
+  EXPECT_EQ(r.survivors[0].timestamp, 3u);
+  EXPECT_EQ(r.survivors[1].timestamp, 5u);
+  EXPECT_EQ(r.survivors[2].timestamp, 7u);
+}
+
+TEST(Coalesce, RejectsMatchMutateHelperMessages) {
+  const CsrGraph g = cycle(4);
+  EXPECT_EQ(coalesce_batch(g, {op(0, 1, true)}).status.message,
+            "arc already present");
+  EXPECT_EQ(coalesce_batch(g, {op(0, 2, false)}).status.message,
+            "arc not present");
+  EXPECT_NE(coalesce_batch(g, {op(1, 1, true)})
+                .status.message.find("self-loops"),
+            std::string::npos);
+  EXPECT_NE(coalesce_batch(g, {op(0, 9, true)})
+                .status.message.find("out of range"),
+            std::string::npos);
+  EdgeOp weighted = op(0, 2, true);
+  weighted.weight = 2.5;
+  EXPECT_NE(coalesce_batch(g, {weighted})
+                .status.message.find("non-unit edge weights"),
+            std::string::npos);
+  // A rejected batch reports no survivors even when other ops were fine.
+  const CoalesceResult r =
+      coalesce_batch(g, {op(0, 2, true, 0), op(0, 1, true, 1)});
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_TRUE(r.survivors.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-batch classification.
+
+TEST(ClassifyBatch, GroupsOpsByBlock) {
+  const CsrGraph g = two_k6();
+  const BlockCutQueries queries(g);
+  const BatchClassification c = queries.classify_batch(
+      {op(0, 1, false, 0), op(2, 3, false, 1), op(6, 7, false, 2)});
+  EXPECT_FALSE(c.structural);
+  ASSERT_EQ(c.groups.size(), 2u);
+  EXPECT_EQ(c.groups[0].ops.size(), 2u);
+  EXPECT_EQ(c.groups[1].ops.size(), 1u);
+  EXPECT_TRUE(c.groups[0].has_delete);
+}
+
+TEST(ClassifyBatch, ApEndpointInsertDowngrades) {
+  const CsrGraph g = two_k6();
+  const BlockCutQueries queries(g);
+  // Vertex 5 is the articulation point; re-wiring it may merge blocks.
+  const BatchClassification c =
+      queries.classify_batch({op(0, 1, false, 0), op(5, 0, true, 1)});
+  EXPECT_TRUE(c.structural);
+  EXPECT_TRUE(c.groups.empty());
+}
+
+TEST(ClassifyBatch, CrossBlockInsertDowngrades) {
+  const CsrGraph g = two_k6();
+  const BlockCutQueries queries(g);
+  const BatchClassification c = queries.classify_batch({op(0, 6, true, 0)});
+  EXPECT_TRUE(c.structural);
+}
+
+TEST(ClassifyBatch, BlockDissolvingDeleteDowngrades) {
+  // Deleting a C4 edge leaves a path: the block no longer survives.
+  const CsrGraph g = cycle(4);
+  const BlockCutQueries queries(g);
+  const BatchClassification c = queries.classify_batch({op(0, 1, false, 0)});
+  EXPECT_TRUE(c.structural);
+}
+
+TEST(ClassifyBatch, SameBatchRepairIsMorePreciseThanPerEdge) {
+  // Per edge, deleting (0,1) from C4 is structural (see above). Judged as
+  // a whole, the same batch's chords (0,2) and (1,3) restore the block's
+  // biconnectivity, so the batch stays local — the amortisation is not
+  // just cheaper, it is strictly more precise.
+  const CsrGraph g = cycle(4);
+  const BlockCutQueries queries(g);
+  EXPECT_EQ(queries.classify_update(0, 1, /*inserting=*/false),
+            UpdateLocality::kStructural);
+  const BatchClassification c = queries.classify_batch(
+      {op(0, 1, false, 0), op(0, 2, true, 1), op(1, 3, true, 2)});
+  EXPECT_FALSE(c.structural);
+  ASSERT_EQ(c.groups.size(), 1u);
+  EXPECT_EQ(c.groups[0].ops.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalBc::apply_batch.
+
+// The acceptance criterion: an all-local batch of k edges inside one block
+// triggers exactly ONE block re-solve and ZERO re-decompositions.
+TEST(ApplyBatch, OneBlockBatchResolvesOnce) {
+  IncrementalBc engine(two_k6(), per_block_options());
+  const std::uint64_t base = decompositions();
+
+  UpdateRequest batch;
+  batch.ops = {op(0, 1, false, 0), op(2, 3, false, 1), op(1, 4, false, 2)};
+  const BatchStats stats = engine.apply_batch(batch);
+  EXPECT_EQ(stats.batch_edges, 3u);
+  EXPECT_EQ(stats.coalesced_away, 0u);
+  EXPECT_EQ(stats.blocks_resolved, 1u)
+      << "k edges in one block must re-solve that block exactly once";
+  EXPECT_EQ(stats.batch_downgrades, 0u);
+  EXPECT_EQ(decompositions(), base) << "a local batch must not re-decompose";
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+
+  // Re-inserting the chords is the mirror batch: same invariants.
+  UpdateRequest restore;
+  restore.ops = {op(0, 1, true, 3), op(2, 3, true, 4), op(1, 4, true, 5)};
+  const BatchStats back = engine.apply_batch(restore);
+  EXPECT_EQ(back.blocks_resolved, 1u);
+  EXPECT_EQ(back.batch_downgrades, 0u);
+  EXPECT_EQ(decompositions(), base);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+
+  EXPECT_EQ(engine.stats().batches, 2u);
+  EXPECT_EQ(engine.stats().batch_edges, 6u);
+  EXPECT_EQ(engine.stats().blocks_resolved, 2u);
+  EXPECT_EQ(engine.stats().structural_resolves, 0u);
+}
+
+TEST(ApplyBatch, MultiBlockBatchResolvesEachBlockOnce) {
+  IncrementalBc engine(two_k6(), per_block_options());
+  const std::uint64_t base = decompositions();
+  UpdateRequest batch;
+  batch.ops = {op(0, 1, false, 0), op(6, 7, false, 1)};
+  const BatchStats stats = engine.apply_batch(batch);
+  EXPECT_EQ(stats.blocks_resolved, 2u);
+  EXPECT_EQ(stats.batch_downgrades, 0u);
+  EXPECT_EQ(decompositions(), base);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+}
+
+TEST(ApplyBatch, StructuralBatchRedecomposesOnce) {
+  IncrementalBc engine(two_k6(), per_block_options());
+  const std::uint64_t base = decompositions();
+  // The cross-block insert downgrades the whole batch; the local chord
+  // deletes ride along in the single re-decomposition.
+  UpdateRequest batch;
+  batch.ops = {op(0, 1, false, 0), op(6, 7, false, 1), op(0, 6, true, 2)};
+  const BatchStats stats = engine.apply_batch(batch);
+  EXPECT_EQ(stats.batch_downgrades, 1u);
+  EXPECT_EQ(stats.blocks_resolved, 0u);
+  EXPECT_EQ(decompositions(), base + 1)
+      << "a downgraded batch re-decomposes exactly once, not per op";
+  EXPECT_EQ(engine.stats().structural_resolves, 1u);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+}
+
+TEST(ApplyBatch, NetNoOpBatchLeavesEverythingUntouched) {
+  IncrementalBc engine(two_k6(), per_block_options());
+  const std::vector<double> before = engine.scores();
+  const std::uint64_t base = decompositions();
+  UpdateRequest batch;
+  batch.ops = {op(0, 1, false, 0), op(0, 1, true, 1)};
+  const BatchStats stats = engine.apply_batch(batch);
+  EXPECT_EQ(stats.batch_edges, 2u);
+  EXPECT_EQ(stats.coalesced_away, 2u);
+  EXPECT_EQ(stats.blocks_resolved, 0u);
+  EXPECT_EQ(stats.batch_downgrades, 0u);
+  EXPECT_EQ(decompositions(), base);
+  EXPECT_EQ(engine.scores(), before);
+  EXPECT_EQ(engine.graph().num_arcs(), two_k6().num_arcs());
+}
+
+TEST(ApplyBatch, SameBatchRepairAppliesExactly) {
+  IncrementalBc engine(cycle(4), per_block_options());
+  const std::uint64_t base = decompositions();
+  UpdateRequest batch;
+  batch.ops = {op(0, 1, false, 0), op(0, 2, true, 1), op(1, 3, true, 2)};
+  const BatchStats stats = engine.apply_batch(batch);
+  EXPECT_EQ(stats.batch_downgrades, 0u);
+  EXPECT_EQ(stats.blocks_resolved, 1u);
+  EXPECT_EQ(decompositions(), base);
+  expect_scores_near(brandes_bc(engine.graph()), engine.scores());
+}
+
+TEST(ApplyBatch, RejectedBatchChangesNoState) {
+  IncrementalBc engine(two_k6(), per_block_options());
+  const std::vector<double> before = engine.scores();
+  UpdateRequest batch;
+  batch.ops = {op(0, 1, false, 0), op(0, 2, true, 1)};  // 0-2 already present
+  EXPECT_THROW(engine.apply_batch(batch), Error);
+  EXPECT_EQ(engine.scores(), before);
+  EXPECT_EQ(engine.graph().num_arcs(), two_k6().num_arcs());
+  EXPECT_EQ(engine.stats().batches, 0u);
+}
+
+/// Randomized batch trajectories: every batch is applied to a batched
+/// engine and replayed op-by-op through a per-edge engine; after every
+/// batch both must match each other AND a fresh static Brandes solve.
+void random_batch_trajectory(std::uint64_t seed) {
+  const CsrGraph start = caveman(3, 5, seed);
+  IncrementalBc batched(start, per_block_options());
+  IncrementalBc per_edge(start, per_block_options());
+
+  std::set<std::pair<Vertex, Vertex>> edges;
+  for (Vertex u = 0; u < start.num_vertices(); ++u) {
+    for (Vertex v : start.out_neighbors(u)) {
+      if (u < v) edges.insert({u, v});
+    }
+  }
+  SplitMix64 rng(seed);
+  const Vertex n = start.num_vertices();
+  for (int b = 0; b < 12; ++b) {
+    UpdateRequest batch;
+    std::set<std::pair<Vertex, Vertex>> touched;
+    const std::size_t want = 2 + rng.next() % 4;
+    for (int guard = 0; batch.ops.size() < want && guard < 200; ++guard) {
+      const Vertex u = static_cast<Vertex>(rng.next() % n);
+      const Vertex v = static_cast<Vertex>(rng.next() % n);
+      if (u == v) continue;
+      const std::pair<Vertex, Vertex> key{std::min(u, v), std::max(u, v)};
+      if (!touched.insert(key).second) continue;  // one op per edge per batch
+      const bool present = edges.count(key) != 0;
+      batch.ops.push_back(op(key.first, key.second, !present,
+                             batch.ops.size()));
+      if (present) {
+        edges.erase(key);
+      } else {
+        edges.insert(key);
+      }
+    }
+    ASSERT_FALSE(batch.ops.empty());
+    batched.apply_batch(batch);
+    for (const EdgeOp& o : batch.ops) {
+      if (o.insert) {
+        per_edge.insert_edge(o.u, o.v);
+      } else {
+        per_edge.remove_edge(o.u, o.v);
+      }
+    }
+    const std::vector<double> oracle = brandes_bc(batched.graph());
+    expect_scores_near(oracle, batched.scores());
+    expect_scores_near(oracle, per_edge.scores());
+  }
+}
+
+TEST(ApplyBatch, RandomTrajectorySeed7) { random_batch_trajectory(7); }
+TEST(ApplyBatch, RandomTrajectorySeed17) { random_batch_trajectory(17); }
+TEST(ApplyBatch, RandomTrajectorySeed27) { random_batch_trajectory(27); }
+
+// ---------------------------------------------------------------------------
+// Binary edge-batch frames.
+
+TEST(EdgeBatchIo, FrameRoundTripsThroughStream) {
+  UpdateRequest batch;
+  batch.ops = {op(0, 1, false, 42), op(2, 3, true, 43)};
+  batch.ops[1].weight = 1.0;
+  std::stringstream buf;
+  write_edge_batch(buf, batch);
+  const UpdateRequest back = read_edge_batch(buf);
+  ASSERT_EQ(back.ops.size(), 2u);
+  EXPECT_EQ(back.ops[0].u, 0u);
+  EXPECT_EQ(back.ops[0].v, 1u);
+  EXPECT_FALSE(back.ops[0].insert);
+  EXPECT_EQ(back.ops[0].timestamp, 42u);
+  EXPECT_TRUE(back.ops[1].insert);
+  EXPECT_EQ(back.ops[1].weight, 1.0);
+}
+
+TEST(EdgeBatchIo, FileRoundTripsManyFrames) {
+  std::vector<UpdateRequest> batches(3);
+  batches[0].ops = {op(0, 1, true, 0)};
+  batches[1].ops = {op(1, 2, false, 1), op(2, 3, true, 2)};
+  // batches[2] stays empty: an empty frame is legal.
+  const std::string path = ::testing::TempDir() + "/ingest_frames.apgb";
+  write_edge_batch_file(path, batches);
+  const std::vector<UpdateRequest> back = read_edge_batch_file(path);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].ops.size(), 1u);
+  EXPECT_EQ(back[1].ops.size(), 2u);
+  EXPECT_TRUE(back[2].ops.empty());
+  EXPECT_EQ(back[1].ops[0].v, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeBatchIo, TruncatedFrameThrows) {
+  UpdateRequest batch;
+  batch.ops = {op(0, 1, true, 0)};
+  std::stringstream buf;
+  write_edge_batch(buf, batch);
+  const std::string bytes = buf.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() - 4));
+  EXPECT_THROW(read_edge_batch(cut), Error);
+}
+
+TEST(EdgeBatchIo, BadMagicThrows) {
+  std::stringstream buf("XXXXnot a frame at all, nope");
+  EXPECT_THROW(read_edge_batch(buf), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Service-level batching.
+
+Request batch_request(const std::string& graph, std::vector<EdgeOp> ops) {
+  Request request;
+  request.kind = RequestKind::kUpdateBatch;
+  request.graph = graph;
+  request.update.ops = std::move(ops);
+  return request;
+}
+
+Request solve_request(const std::string& graph) {
+  Request request;
+  request.kind = RequestKind::kSolve;
+  request.graph = graph;
+  request.options.algorithm = Algorithm::kBrandesSerial;
+  return request;
+}
+
+ServiceOptions unit_options() {
+  ServiceOptions options;
+  options.workers = 1;
+  options.session_capacity = 2;
+  return options;
+}
+
+TEST(ServiceBatch, LocalBatchCountersAndExactness) {
+  Service service(unit_options());
+  ASSERT_TRUE(service.register_graph("g", two_k6()).ok());
+
+  const Response r = service.handle(
+      batch_request("g", {op(0, 1, false, 0), op(6, 7, false, 1)}));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.locality, UpdateLocality::kLocalDelete);
+  EXPECT_EQ(r.affected_sources, 12u) << "both K6 blocks are affected";
+  EXPECT_EQ(r.batch.batch_edges, 2u);
+  EXPECT_EQ(r.batch.coalesced_away, 0u);
+  EXPECT_EQ(r.batch.blocks_resolved, 2u);
+  EXPECT_EQ(r.batch.batch_downgrades, 0u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batch_updates, 1u);
+  EXPECT_EQ(stats.updates, 0u);
+  EXPECT_EQ(stats.batch_edges, 2u);
+  EXPECT_EQ(stats.blocks_resolved, 2u);
+  EXPECT_EQ(stats.batch_downgrades, 0u);
+  EXPECT_EQ(stats.updates_local, 2u) << "one per surviving op";
+
+  const Response solved = service.handle(solve_request("g"));
+  ASSERT_TRUE(solved.ok);
+  expect_scores_near(brandes_bc(*service.snapshot("g")), solved.scores);
+}
+
+TEST(ServiceBatch, AllInsertBatchGradesLocalInsert) {
+  Service service(unit_options());
+  ASSERT_TRUE(service.register_graph("g", cycle(5)).ok());
+  const Response r = service.handle(
+      batch_request("g", {op(0, 2, true, 0), op(1, 3, true, 1)}));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.locality, UpdateLocality::kLocalInsert);
+  EXPECT_EQ(r.batch.blocks_resolved, 1u);
+}
+
+TEST(ServiceBatch, StructuralBatchDowngradesOnce) {
+  Service service(unit_options());
+  ASSERT_TRUE(service.register_graph("g", two_k6()).ok());
+  const Response r = service.handle(
+      batch_request("g", {op(0, 1, false, 0), op(0, 6, true, 1)}));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.locality, UpdateLocality::kStructural);
+  EXPECT_EQ(r.batch.batch_downgrades, 1u);
+  EXPECT_EQ(r.batch.blocks_resolved, 0u);
+  EXPECT_EQ(service.stats().batch_downgrades, 1u);
+  EXPECT_EQ(service.stats().updates_structural, 2u);
+  const Response solved = service.handle(solve_request("g"));
+  ASSERT_TRUE(solved.ok);
+  expect_scores_near(brandes_bc(*service.snapshot("g")), solved.scores);
+}
+
+TEST(ServiceBatch, EmptyAndFullyCoalescedBatchesAreLegalNoOps) {
+  Service service(unit_options());
+  ASSERT_TRUE(service.register_graph("g", cycle(5)).ok());
+  const auto before = service.snapshot("g");
+
+  const Response empty = service.handle(batch_request("g", {}));
+  ASSERT_TRUE(empty.ok) << empty.error;
+  EXPECT_EQ(empty.batch.batch_edges, 0u);
+
+  const Response cancelled = service.handle(
+      batch_request("g", {op(0, 2, true, 0), op(0, 2, false, 1)}));
+  ASSERT_TRUE(cancelled.ok) << cancelled.error;
+  EXPECT_EQ(cancelled.batch.coalesced_away, 2u);
+  EXPECT_EQ(cancelled.batch.blocks_resolved, 0u);
+  EXPECT_EQ(service.snapshot("g"), before)
+      << "a no-op batch must not swap the snapshot";
+}
+
+TEST(ServiceBatch, RejectedBatchKeepsStateAndCountsError) {
+  Service service(unit_options());
+  ASSERT_TRUE(service.register_graph("g", cycle(5)).ok());
+  const std::vector<double> before =
+      service.handle(solve_request("g")).scores;
+
+  const Response r = service.handle(
+      batch_request("g", {op(0, 2, true, 0), op(0, 1, true, 1)}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_NE(r.error.find("arc already present"), std::string::npos);
+  EXPECT_EQ(service.stats().errors, 1u);
+
+  const Response after = service.handle(solve_request("g"));
+  ASSERT_TRUE(after.ok);
+  expect_scores_near(before, after.scores);
+}
+
+TEST(ServiceBatch, LegacyUpdateIsABatchOfOne) {
+  Service service(unit_options());
+  ASSERT_TRUE(service.register_graph("g", cycle(5)).ok());
+  // Deprecated shim fields only; update.ops stays empty.
+  Request legacy;
+  legacy.kind = RequestKind::kUpdate;
+  legacy.graph = "g";
+  legacy.u = 0;
+  legacy.v = 2;
+  legacy.inserting = true;
+  const Response r = service.handle(legacy);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.locality, UpdateLocality::kLocalInsert);
+  EXPECT_EQ(r.batch.batch_edges, 1u);
+  EXPECT_EQ(service.stats().updates, 1u);
+  EXPECT_EQ(service.stats().batch_updates, 0u)
+      << "kUpdate keeps counting under `updates`";
+}
+
+TEST(ServiceBatch, UpdateRejectsMultiOpPayload) {
+  Service service(unit_options());
+  ASSERT_TRUE(service.register_graph("g", cycle(5)).ok());
+  Request request;
+  request.kind = RequestKind::kUpdate;
+  request.graph = "g";
+  request.update.ops = {op(0, 2, true, 0), op(1, 3, true, 1)};
+  const Response r = service.handle(request);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("update_batch"), std::string::npos);
+}
+
+TEST(ServiceBatch, RegisterRejectsEmptyName) {
+  Service service(unit_options());
+  const Status status = service.register_graph("", cycle(4));
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message.find("non-empty"), std::string::npos);
+  EXPECT_TRUE(service.graph_names().empty());
+}
+
+TEST(ServiceBatch, ForestIncidentBatchResetsPeelOnce) {
+  // K4 core with a pendant chain 3-4-5 and pendant 2-6: the chain edges
+  // are bridge blocks, so a batch deleting both is structural and must
+  // drop the cached snapshot peel exactly once — the next peeled solve
+  // re-runs the peel once, not once per op.
+  const CsrGraph g = CsrGraph::undirected_from_edges(
+      7, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+          {3, 4}, {4, 5}, {2, 6}});
+  Service service(unit_options());
+  ASSERT_TRUE(service.register_graph("g", g).ok());
+
+  Request peeled = solve_request("g");
+  peeled.options.algorithm = Algorithm::kApgre;
+  peeled.options.apgre.partition.peel_two_core = true;
+
+  ASSERT_TRUE(service.handle(peeled).ok);
+  const std::uint64_t base = peel_runs();
+  ASSERT_TRUE(service.handle(peeled).ok);
+  EXPECT_EQ(peel_runs(), base) << "warm snapshot peel must be reused";
+
+  const Response batch = service.handle(
+      batch_request("g", {op(4, 5, false, 0), op(2, 6, false, 1)}));
+  ASSERT_TRUE(batch.ok) << batch.error;
+  EXPECT_EQ(batch.locality, UpdateLocality::kStructural);
+
+  const Response after = service.handle(peeled);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(peel_runs(), base + 1)
+      << "one structural batch = one peel reset = one re-peel at next solve";
+  expect_scores_near(brandes_bc(*service.snapshot("g")), after.scores);
+}
+
+// Adversarial concurrency: one writer streaming batches while readers
+// solve. Run under TSan in CI (docs/TESTING.md); here it also checks the
+// final scores are exact whatever interleaving happened.
+TEST(ServiceBatch, ConcurrentBatchesAndSolves) {
+  ServiceOptions options;
+  options.workers = 4;
+  options.session_capacity = 2;
+  Service service(options);
+  ASSERT_TRUE(service.register_graph("g", two_k6()).ok());
+
+  std::thread writer([&service] {
+    for (int i = 0; i < 16; ++i) {
+      const bool deleting = i % 2 == 0;
+      service
+          .submit(batch_request(
+              "g", {op(0, 1, !deleting, 0), op(6, 7, !deleting, 1)}))
+          .get();
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&service] {
+      for (int i = 0; i < 8; ++i) {
+        const Response r = service.submit(solve_request("g")).get();
+        ASSERT_TRUE(r.ok) << r.error;
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  const Response final_solve = service.handle(solve_request("g"));
+  ASSERT_TRUE(final_solve.ok);
+  expect_scores_near(brandes_bc(*service.snapshot("g")), final_solve.scores);
+  EXPECT_EQ(service.stats().batch_updates, 16u);
+  EXPECT_EQ(service.stats().batch_downgrades, 0u);
+}
+
+}  // namespace
+}  // namespace apgre

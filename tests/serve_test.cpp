@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/update.hpp"
+
 #ifndef APGRE_SERVE_PATH
 #error "APGRE_SERVE_PATH must be defined by the build"
 #endif
@@ -270,6 +272,150 @@ TEST_F(ServeTest, QuitStopsProcessing) {
   });
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_EQ(r.output, "{\"ok\":true,\"op\":\"quit\"}\n");
+}
+
+// K4: one biconnected block, no articulation points. Deleting the two
+// disjoint chords 0-2 and 1-3 leaves the C4 cycle — still one block, so
+// the batch classifies local with deterministic counters.
+const char kRegisterK4[] =
+    R"({"op":"register","graph":"k",)"
+    R"("edges":[[0,1],[0,2],[0,3],[1,2],[1,3],[2,3]]})";
+
+TEST_F(ServeTest, BatchUpdateGoldenV1) {
+  const CommandResult r = serve({
+      kRegisterK4,
+      R"({"op":"batch_update","graph":"k","ops":[)"
+      R"({"u":0,"v":2,"insert":false,"t":0},)"
+      R"({"u":1,"v":3,"insert":false,"t":1}]})",
+      R"({"op":"solve","graph":"k","algorithm":"serial"})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(
+      r.output.find(
+          "{\"affected_sources\":4,\"batch_edges\":2,\"blocks_resolved\":1,"
+          "\"coalesced_away\":0,\"downgraded\":false,\"graph\":\"k\","
+          "\"ok\":true,\"op\":\"batch_update\"}"),
+      std::string::npos)
+      << r.output;
+  // K4 minus both chords is C4: every vertex mediates one antipodal pair
+  // in each direction, half-credit each -> [1,1,1,1] (ordered pairs).
+  EXPECT_NE(r.output.find("\"scores\":[1,1,1,1]"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(ServeTest, BatchUpdateGoldenV2EchoesVersion) {
+  const CommandResult r = serve({
+      kRegisterK4,
+      R"({"v":2,"op":"batch_update","graph":"k","ops":[)"
+      R"({"u":0,"v":2,"insert":false},{"u":1,"v":3,"insert":false}]})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(
+      r.output.find(
+          "{\"affected_sources\":4,\"batch_edges\":2,\"blocks_resolved\":1,"
+          "\"coalesced_away\":0,\"downgraded\":false,\"graph\":\"k\","
+          "\"ok\":true,\"op\":\"batch_update\",\"v\":2}"),
+      std::string::npos)
+      << r.output;
+}
+
+TEST_F(ServeTest, BatchUpdateCoalescesAndDowngrades) {
+  // Insert+delete of the same edge cancels; deleting a P4 edge is
+  // structural (the path's blocks are bridges).
+  const CommandResult r = serve({
+      kRegisterPath,
+      R"({"op":"batch_update","graph":"p","ops":[)"
+      R"({"u":0,"v":2,"insert":true,"t":0},)"
+      R"({"u":0,"v":2,"insert":false,"t":1}]})",
+      R"({"op":"batch_update","graph":"p","ops":[)"
+      R"({"u":2,"v":3,"insert":false}]})",
+  });
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(
+      r.output.find(
+          "{\"affected_sources\":0,\"batch_edges\":2,\"blocks_resolved\":0,"
+          "\"coalesced_away\":2,\"downgraded\":false,\"graph\":\"p\","
+          "\"ok\":true,\"op\":\"batch_update\"}"),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"downgraded\":true"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(ServeTest, MalformedBatchUpdatesAreErrorsAndKeepServing) {
+  const CommandResult r = serve({
+      kRegisterK4,
+      R"({"op":"batch_update","graph":"k"})",                 // no ops/path
+      R"({"v":3,"op":"batch_update","graph":"k","ops":[]})",  // bad version
+      R"({"op":"batch_update","graph":"k","ops":[)"
+      R"({"u":0,"v":1,"insert":true}]})",                     // already present
+      R"({"op":"batch_update","graph":"k",)"
+      R"("ops":[{"u":0,"v":1,"insert":false,"t":-4}]})",      // negative time
+      R"({"op":"batch_update","graph":"missing","ops":[]})",  // unknown graph
+      R"({"op":"graphs"})",
+  });
+  // Malformed batches answer errors; the server keeps serving (exit 0).
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unsupported protocol version: 3"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("arc already present"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("timestamps must be non-negative"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("unknown graph: missing"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("{\"graphs\":[\"k\"],\"ok\":true,\"op\":\"graphs\"}"),
+            std::string::npos)
+      << r.output;
+  // Five errors before the surviving graphs reply.
+  std::size_t errors = 0;
+  for (std::size_t at = r.output.find("\"ok\":false");
+       at != std::string::npos; at = r.output.find("\"ok\":false", at + 1)) {
+    ++errors;
+  }
+  EXPECT_EQ(errors, 5u) << r.output;
+}
+
+TEST_F(ServeTest, BatchUpdateReplaysBinaryFrames) {
+  // Two frames recorded with the library writer: delete both K4 chords,
+  // then re-insert them. Each frame applies as one batch.
+  const std::string frames_path =
+      ::testing::TempDir() + "/serve_frames_" +
+      std::to_string(static_cast<long>(getpid())) + ".apgb";
+  {
+    std::vector<UpdateRequest> frames(2);
+    EdgeOp del02;
+    del02.u = 0;
+    del02.v = 2;
+    del02.insert = false;
+    EdgeOp del13 = del02;
+    del13.u = 1;
+    del13.v = 3;
+    frames[0].ops = {del02, del13};
+    EdgeOp ins02 = del02;
+    ins02.insert = true;
+    EdgeOp ins13 = del13;
+    ins13.insert = true;
+    frames[1].ops = {ins02, ins13};
+    write_edge_batch_file(frames_path, frames);
+  }
+  const CommandResult r = serve({
+      kRegisterK4,
+      R"({"op":"batch_update","graph":"k","path":")" + frames_path + R"("})",
+      R"({"op":"batch_update","graph":"k","path":"/no/such/file.apgb"})",
+  });
+  std::remove(frames_path.c_str());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(
+      r.output.find(
+          "{\"affected_sources\":8,\"batch_edges\":4,\"blocks_resolved\":2,"
+          "\"coalesced_away\":0,\"downgraded\":false,\"frames\":2,"
+          "\"graph\":\"k\",\"ok\":true,\"op\":\"batch_update\"}"),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"ok\":false"), std::string::npos) << r.output;
 }
 
 TEST_F(ServeTest, TimingFlagAddsSeconds) {

@@ -6,16 +6,28 @@
 // request order; objects serialize key-sorted (support/json), so a replay
 // is byte-stable — timing fields are only included under --timing.
 //
-// Protocol (docs/API.md "Serving requests"):
+// Protocol (docs/API.md "Serving requests" + "Protocol v2"):
 //   {"op":"register","graph":"g","edges":[[0,1],...],"vertices":4,
 //    "directed":false}            or  {...,"path":"graph.snap"}
 //   {"op":"solve","graph":"g","algorithm":"apgre","threads":0,
 //    "undirected_halving":false,"samples":0,"seed":1}
 //   {"op":"top_k","graph":"g","k":5,...solve fields...}
 //   {"op":"update","graph":"g","u":0,"v":2,"insert":true}
-//   {"op":"batch","requests":[...solve/top_k/update objects...]}
+//   {"op":"batch_update","graph":"g",
+//    "ops":[{"u":0,"v":2,"insert":true,"w":1.0,"t":0},...]}
+//                                  or  {...,"path":"stream.apgb"}  (binary
+//                                  edge-batch frames, one batch per frame,
+//                                  applied in file order)
+//   {"op":"batch","requests":[...solve/top_k/update/batch_update...]}
 //   {"op":"unregister","graph":"g"} | {"op":"graphs"} | {"op":"stats"} |
 //   {"op":"evict"} | {"op":"quit"}
+//
+// Versioning: every request may carry "v" (1 when absent). v1 requests are
+// answered byte-identically to the pre-batch protocol; "v":2 requests get
+// the same reply plus an echoed "v":2 key. batch_update is the v2 verb but
+// is accepted under either framing. Unsupported versions answer an error.
+// Exception: the legacy `update` verb spends "v" on an edge endpoint, so
+// it is always treated as protocol v1.
 //
 // Malformed lines and failed requests answer {"ok":false,"error":...} and
 // the server keeps reading. Exit codes: 0 on EOF or quit, 2 on usage
@@ -29,6 +41,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/io_snap.hpp"
+#include "graph/update.hpp"
 #include "service/service.hpp"
 #include "support/error.hpp"
 #include "support/flags.hpp"
@@ -50,10 +63,29 @@ JsonValue error_line(const std::string& why) {
   return out;
 }
 
-/// Parse the shared solve/top_k/update fields of one request object.
+/// Parse one inline edge op of a batch_update request.
+EdgeOp parse_edge_op(const JsonValue& item) {
+  EdgeOp op;
+  op.u = as_vertex(item.at("u"));
+  op.v = as_vertex(item.at("v"));
+  if (item.contains("insert")) op.insert = item.at("insert").as_bool();
+  if (item.contains("w")) op.weight = item.at("w").as_double();
+  if (item.contains("t")) {
+    const double t = item.at("t").as_double();
+    APGRE_REQUIRE(t >= 0.0, "timestamps must be non-negative");
+    op.timestamp = static_cast<std::uint64_t>(t);
+  }
+  return op;
+}
+
+/// Parse the shared solve/top_k/update/batch_update fields of one request
+/// object (everything the service executes; admin verbs are handled in
+/// serve_line directly).
 Request parse_request(const JsonValue& obj, const std::string& op) {
-  APGRE_REQUIRE(op == "solve" || op == "top_k" || op == "update",
-                "expected a solve/top_k/update request, got op: " + op);
+  APGRE_REQUIRE(op == "solve" || op == "top_k" || op == "update" ||
+                    op == "batch_update",
+                "expected a solve/top_k/update/batch_update request, got op: " +
+                    op);
   Request request;
   request.graph = obj.at("graph").as_string();
   if (op == "update") {
@@ -61,6 +93,13 @@ Request parse_request(const JsonValue& obj, const std::string& op) {
     request.u = as_vertex(obj.at("u"));
     request.v = as_vertex(obj.at("v"));
     if (obj.contains("insert")) request.inserting = obj.at("insert").as_bool();
+    return request;
+  }
+  if (op == "batch_update") {
+    request.kind = RequestKind::kUpdateBatch;
+    for (const JsonValue& item : obj.at("ops").as_array()) {
+      request.update.ops.push_back(parse_edge_op(item));
+    }
     return request;
   }
   request.kind = op == "top_k" ? RequestKind::kTopK : RequestKind::kSolve;
@@ -124,6 +163,16 @@ JsonValue render_response(const Request& request, const Response& response,
               : "structural");
       break;
     }
+    case RequestKind::kUpdateBatch: {
+      out["op"] = JsonValue("batch_update");
+      out["affected_sources"] =
+          JsonValue(static_cast<std::uint64_t>(response.affected_sources));
+      out["batch_edges"] = JsonValue(response.batch.batch_edges);
+      out["coalesced_away"] = JsonValue(response.batch.coalesced_away);
+      out["blocks_resolved"] = JsonValue(response.batch.blocks_resolved);
+      out["downgraded"] = JsonValue(response.batch.batch_downgrades > 0);
+      break;
+    }
   }
   if (timing) out["seconds"] = JsonValue(response.seconds);
   return out;
@@ -153,13 +202,54 @@ JsonValue handle_register(Service& service, const JsonValue& obj) {
                 : CsrGraph::undirected_from_edges(vertices, std::move(edges));
   }
 
+  const auto vertices = static_cast<std::uint64_t>(graph.num_vertices());
+  const std::uint64_t arcs = graph.num_arcs();
+  const Status status = service.register_graph(name, std::move(graph));
+  if (!status.ok()) return error_line(status.message);
   JsonValue out;
   out["ok"] = JsonValue(true);
   out["op"] = JsonValue("register");
   out["graph"] = JsonValue(name);
-  out["vertices"] = JsonValue(static_cast<std::uint64_t>(graph.num_vertices()));
-  out["arcs"] = JsonValue(graph.num_arcs());
-  service.register_graph(name, std::move(graph));
+  out["vertices"] = JsonValue(vertices);
+  out["arcs"] = JsonValue(arcs);
+  return out;
+}
+
+/// Path-based batch_update: apply each binary frame of the replay file as
+/// one batch, in file order, stopping at the first failure.
+JsonValue handle_batch_file(Service& service, const JsonValue& obj) {
+  const std::string graph = obj.at("graph").as_string();
+  const std::vector<UpdateRequest> frames =
+      read_edge_batch_file(obj.at("path").as_string());
+  Request request;
+  request.kind = RequestKind::kUpdateBatch;
+  request.graph = graph;
+  BatchStats total;
+  Vertex affected = 0;
+  bool downgraded = false;
+  std::uint64_t frames_applied = 0;
+  for (const UpdateRequest& frame : frames) {
+    request.update = frame;
+    const Response response = service.handle(request);
+    if (!response.ok) return error_line(response.error);
+    total.batch_edges += response.batch.batch_edges;
+    total.coalesced_away += response.batch.coalesced_away;
+    total.blocks_resolved += response.batch.blocks_resolved;
+    total.batch_downgrades += response.batch.batch_downgrades;
+    affected += response.affected_sources;
+    downgraded |= response.batch.batch_downgrades > 0;
+    ++frames_applied;
+  }
+  JsonValue out;
+  out["ok"] = JsonValue(true);
+  out["op"] = JsonValue("batch_update");
+  out["graph"] = JsonValue(graph);
+  out["frames"] = JsonValue(frames_applied);
+  out["affected_sources"] = JsonValue(static_cast<std::uint64_t>(affected));
+  out["batch_edges"] = JsonValue(total.batch_edges);
+  out["coalesced_away"] = JsonValue(total.coalesced_away);
+  out["blocks_resolved"] = JsonValue(total.blocks_resolved);
+  out["downgraded"] = JsonValue(downgraded);
   return out;
 }
 
@@ -178,6 +268,11 @@ JsonValue render_stats(const Service& service) {
   s["updates_structural"] = JsonValue(stats.updates_structural);
   s["local_recomputes"] = JsonValue(stats.local_recomputes);
   s["full_invalidations"] = JsonValue(stats.full_invalidations);
+  s["batch_updates"] = JsonValue(stats.batch_updates);
+  s["batch_edges"] = JsonValue(stats.batch_edges);
+  s["coalesced_away"] = JsonValue(stats.coalesced_away);
+  s["blocks_resolved"] = JsonValue(stats.blocks_resolved);
+  s["batch_downgrades"] = JsonValue(stats.batch_downgrades);
   s["hit_rate"] = JsonValue(stats.hit_rate());
   JsonValue out;
   out["ok"] = JsonValue(true);
@@ -192,9 +287,19 @@ bool serve_line(Service& service, const std::string& line, bool timing,
                 std::ostream& out) {
   JsonValue reply;
   bool keep_going = true;
+  bool v2 = false;
   try {
     const JsonValue obj = JsonValue::parse(line);
     const std::string op = obj.at("op").as_string();
+    // The legacy `update` verb spends "v" on an edge endpoint, so it is
+    // pinned to protocol v1; every other verb may declare {"v":2}.
+    if (op != "update") {
+      const double version = obj.get("v", 1.0);
+      APGRE_REQUIRE(version == 1.0 || version == 2.0,
+                    "unsupported protocol version: " +
+                        std::to_string(static_cast<long long>(version)));
+      v2 = version == 2.0;
+    }
     if (op == "quit") {
       reply["ok"] = JsonValue(true);
       reply["op"] = JsonValue("quit");
@@ -238,7 +343,10 @@ bool serve_line(Service& service, const std::string& line, bool timing,
         rendered.push_back(render_response(parsed[i], responses[i], timing));
       }
       reply["responses"] = std::move(rendered);
-    } else if (op == "solve" || op == "top_k" || op == "update") {
+    } else if (op == "batch_update" && obj.contains("path")) {
+      reply = handle_batch_file(service, obj);
+    } else if (op == "solve" || op == "top_k" || op == "update" ||
+               op == "batch_update") {
       const Request request = parse_request(obj, op);
       reply = render_response(request, service.handle(request), timing);
     } else {
@@ -247,6 +355,8 @@ bool serve_line(Service& service, const std::string& line, bool timing,
   } catch (const Error& e) {
     reply = error_line(e.what());
   }
+  // v2 replies echo the protocol version; v1 replies stay byte-stable.
+  if (v2) reply["v"] = JsonValue(static_cast<std::uint64_t>(2));
   out << reply.dump() << "\n" << std::flush;
   return keep_going;
 }

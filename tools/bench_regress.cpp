@@ -17,6 +17,7 @@
 // the report format and how CI refreshes its baseline artifact.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -34,6 +35,7 @@
 #include "graph/generators.hpp"
 #include "graph/mutate.hpp"
 #include "graph/transform.hpp"
+#include "graph/update.hpp"
 #include "service/service.hpp"
 #include "support/error.hpp"
 #include "support/flags.hpp"
@@ -501,6 +503,210 @@ JsonValue run_updates_workload(std::uint64_t seed, int updates, double scale) {
   return JsonValue(std::move(out));
 }
 
+/// --workload stream: sustained batched-ingest throughput of
+/// IncrementalBc::apply_batch vs replaying the same ops one edge at a time
+/// through the per-edge localized path. The trajectory alternates a batch
+/// of `batch_size` vertex-disjoint non-AP chord deletions inside ONE
+/// clique of a caveman graph with the batch re-inserting them, round-robin
+/// over the cliques, so every batch classifies local and lands in a single
+/// block — the geometry where whole-batch classification amortises k
+/// per-edge block re-solves into one. merge_threshold drops to 2 (one
+/// block per sub-graph), the workload asserts zero batch downgrades and a
+/// flat "bcc.decompositions" counter across the batched run, and the final
+/// incremental scores are diffed against a fresh serial Brandes solve.
+/// `--stream-out` records the generated trajectory as binary edge-batch
+/// frames (graph/update.hpp); `--stream-file` replays a recorded file
+/// instead of generating; `--replay-speed N` paces batches by their
+/// recorded millisecond timestamps at N× speed (0 = unpaced).
+JsonValue run_stream_workload(std::uint64_t seed, int batches, int batch_size,
+                              double scale, double replay_speed,
+                              const std::string& stream_file,
+                              const std::string& stream_out) {
+  const Vertex cliques = 8;
+  const Vertex clique_size =
+      std::max<Vertex>(20, static_cast<Vertex>(56.0 * scale));
+  const CsrGraph graph = caveman(cliques, clique_size, seed);
+
+  BcOptions opts;
+  opts.algorithm = Algorithm::kApgre;
+  // One block per sub-graph: the honest localized geometry (see the
+  // updates workload) and the one where blocks_resolved == affected blocks.
+  opts.apgre.partition.merge_threshold = 2;
+
+  // Per-block pools of vertex-disjoint chords with non-AP endpoints:
+  // deleting the whole pool leaves every member at high degree, so the
+  // block survives the net batch and the re-insert batch is pure chords.
+  const BlockCutQueries queries(graph);
+  std::map<Vertex, std::vector<Edge>> pool_of_block;
+  {
+    std::vector<bool> used(graph.num_vertices(), false);
+    for (Vertex u = 0; u < graph.num_vertices(); ++u) {
+      for (Vertex v : graph.out_neighbors(u)) {
+        if (u >= v || used[u] || used[v]) continue;
+        if (queries.bcc().is_articulation[u] ||
+            queries.bcc().is_articulation[v]) {
+          continue;
+        }
+        if (queries.classify_update(u, v, /*inserting=*/false) !=
+            UpdateLocality::kLocalDelete) {
+          continue;
+        }
+        const Vertex block = queries.common_block(u, v);
+        auto& pool = pool_of_block[block];
+        if (pool.size() >= static_cast<std::size_t>(batch_size)) continue;
+        pool.push_back(Edge{u, v});
+        used[u] = used[v] = true;
+      }
+    }
+  }
+  std::vector<std::vector<Edge>> pools;
+  for (auto& [block, pool] : pool_of_block) {
+    if (pool.size() == static_cast<std::size_t>(batch_size)) {
+      pools.push_back(std::move(pool));
+    }
+  }
+  APGRE_REQUIRE(!pools.empty(),
+                "stream workload: no clique yields " +
+                    std::to_string(batch_size) +
+                    " disjoint chords; lower --batch-size or raise --scale");
+
+  // Trajectory: batch 2i deletes clique (i % pools)'s chord pool, batch
+  // 2i+1 re-inserts it. Timestamps are milliseconds, 100ms between batches
+  // (only read back under --replay-speed pacing).
+  std::vector<UpdateRequest> trajectory;
+  if (stream_file.empty()) {
+    trajectory.reserve(static_cast<std::size_t>(batches));
+    for (int b = 0; b < batches; ++b) {
+      const auto& pool = pools[static_cast<std::size_t>(b / 2) % pools.size()];
+      UpdateRequest batch;
+      batch.ops.reserve(pool.size());
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        EdgeOp op;
+        op.u = pool[i].src;
+        op.v = pool[i].dst;
+        op.insert = b % 2 != 0;
+        op.timestamp = static_cast<std::uint64_t>(b) * 100 + i;
+        batch.ops.push_back(op);
+      }
+      trajectory.push_back(std::move(batch));
+    }
+    if (!stream_out.empty()) write_edge_batch_file(stream_out, trajectory);
+  } else {
+    trajectory = read_edge_batch_file(stream_file);
+    APGRE_REQUIRE(!trajectory.empty(),
+                  "stream workload: " + stream_file + " holds no batches");
+  }
+
+  // Batched run.
+  IncrementalBc engine(graph, opts);
+  const std::uint64_t decompositions_before =
+      metrics().counter("bcc.decompositions").value();
+  std::vector<double> batch_seconds;
+  batch_seconds.reserve(trajectory.size());
+  std::uint64_t ops_total = 0;
+  Timer stream_timer;
+  const std::uint64_t first_ts =
+      trajectory.front().ops.empty() ? 0 : trajectory.front().ops.front().timestamp;
+  for (const UpdateRequest& batch : trajectory) {
+    if (replay_speed > 0.0 && !batch.ops.empty()) {
+      const double due_ms = static_cast<double>(batch.ops.front().timestamp -
+                                                first_ts) /
+                            replay_speed;
+      const double now_ms = stream_timer.seconds() * 1000.0;
+      if (due_ms > now_ms) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(due_ms - now_ms));
+      }
+    }
+    ops_total += batch.ops.size();
+    Timer batch_timer;
+    engine.apply_batch(batch);
+    batch_seconds.push_back(batch_timer.seconds());
+  }
+  const double stream_elapsed = stream_timer.seconds();
+  const std::uint64_t decompositions =
+      metrics().counter("bcc.decompositions").value() - decompositions_before;
+  const IncrementalStats stats = engine.stats();
+  APGRE_REQUIRE(stats.batch_downgrades == 0,
+                "stream workload: " + std::to_string(stats.batch_downgrades) +
+                    " of " + std::to_string(trajectory.size()) +
+                    " batches downgraded to a structural re-solve");
+  APGRE_REQUIRE(decompositions == 0,
+                "stream workload: batched path re-decomposed");
+
+  // Exactness: the batched scores must reproduce a fresh serial solve of
+  // the final graph (hard gate — throughput means nothing if it drifts).
+  {
+    BcOptions serial;
+    serial.algorithm = Algorithm::kBrandesSerial;
+    const std::vector<double> expected =
+        betweenness(engine.graph(), serial).scores;
+    for (Vertex v = 0; v < engine.graph().num_vertices(); ++v) {
+      const double a = expected[v];
+      const double b = engine.scores()[v];
+      APGRE_REQUIRE(
+          std::abs(a - b) <= 1e-6 + 1e-7 * std::max(std::abs(a), std::abs(b)),
+          "stream workload: batched scores diverged from serial Brandes at v" +
+              std::to_string(v));
+    }
+  }
+
+  // Per-edge replay baseline: the same trajectory prefix through the
+  // per-edge localized path, one remove_edge/insert_edge per op (capped —
+  // it is the slow side by design).
+  const std::size_t replay_batches =
+      std::min<std::size_t>(trajectory.size(), 24);
+  IncrementalBc per_edge(graph, opts);
+  std::uint64_t replay_ops = 0;
+  Timer replay_timer;
+  for (std::size_t b = 0; b < replay_batches; ++b) {
+    for (const EdgeOp& op : trajectory[b].ops) {
+      if (op.insert) {
+        per_edge.insert_edge(op.u, op.v);
+      } else {
+        per_edge.remove_edge(op.u, op.v);
+      }
+      ++replay_ops;
+    }
+  }
+  const double replay_elapsed = replay_timer.seconds();
+
+  const double stream_ups =
+      stream_elapsed > 0.0 ? static_cast<double>(ops_total) / stream_elapsed
+                           : 0.0;
+  const double replay_ups =
+      replay_elapsed > 0.0 ? static_cast<double>(replay_ops) / replay_elapsed
+                           : 0.0;
+  JsonValue::Object out;
+  out["graph_vertices"] =
+      JsonValue(static_cast<std::uint64_t>(graph.num_vertices()));
+  out["graph_arcs"] = JsonValue(static_cast<std::uint64_t>(graph.num_arcs()));
+  out["blocks"] =
+      JsonValue(static_cast<std::uint64_t>(queries.bcc().num_components));
+  out["batches"] = JsonValue(static_cast<std::uint64_t>(trajectory.size()));
+  out["batch_size"] = JsonValue(static_cast<std::int64_t>(batch_size));
+  out["ops"] = JsonValue(ops_total);
+  out["replay_speed"] = JsonValue(replay_speed);
+  out["elapsed_seconds"] = JsonValue(stream_elapsed);
+  out["updates_per_second"] = JsonValue(stream_ups);
+  out["batch_seconds_p50"] = JsonValue(percentile(batch_seconds, 50.0));
+  out["batch_seconds_p90"] = JsonValue(percentile(batch_seconds, 90.0));
+  out["per_edge_replay_batches"] =
+      JsonValue(static_cast<std::uint64_t>(replay_batches));
+  out["per_edge_replay_ops"] = JsonValue(replay_ops);
+  out["per_edge_replay_elapsed_seconds"] = JsonValue(replay_elapsed);
+  out["per_edge_replay_updates_per_second"] = JsonValue(replay_ups);
+  out["speedup"] = JsonValue(replay_ups > 0.0 ? stream_ups / replay_ups : 0.0);
+  JsonValue::Object counters;
+  counters["batches"] = JsonValue(stats.batches);
+  counters["batch_edges"] = JsonValue(stats.batch_edges);
+  counters["coalesced_away"] = JsonValue(stats.coalesced_away);
+  counters["blocks_resolved"] = JsonValue(stats.blocks_resolved);
+  counters["batch_downgrades"] = JsonValue(stats.batch_downgrades);
+  out["engine"] = JsonValue(std::move(counters));
+  return JsonValue(std::move(out));
+}
+
 /// --workload peeling: end-to-end effect of the 2-core peel
 /// (graph/transform.hpp) on the geometry it targets — a scale-free core
 /// with a dominating tree fringe (preferential attachment + tendril chains
@@ -665,10 +871,23 @@ int main(int argc, char** argv) {
                   "per-solve latency percentiles) or updates (sustained "
                   "localized incremental updates/sec vs full re-solve) or "
                   "peeling (2-core peel off vs on over a tree-fringed "
-                  "scale-free graph, exactness self-checked)")
+                  "scale-free graph, exactness self-checked) or stream "
+                  "(batched ingest via IncrementalBc::apply_batch vs "
+                  "per-edge replay, exactness self-checked)")
       .add_int("clients", 8, "service workload: concurrent client threads")
       .add_int("requests", 50, "service workload: requests per client")
-      .add_int("updates", 200, "updates workload: trajectory length");
+      .add_int("updates", 200, "updates workload: trajectory length")
+      .add_int("batches", 64, "stream workload: batches in the trajectory")
+      .add_int("batch-size", 8, "stream workload: edge ops per batch")
+      .add_double("replay-speed", 0.0,
+                  "stream workload: pace batches by their recorded millisecond "
+                  "timestamps at this multiplier (0 = unpaced)")
+      .add_string("stream-file", "",
+                  "stream workload: replay batches from this edge-batch file "
+                  "instead of generating a trajectory")
+      .add_string("stream-out", "",
+                  "stream workload: record the generated trajectory to this "
+                  "edge-batch file");
 
   std::vector<MeasureSpec> algo_set;
   std::vector<BenchGraph> graph_list;
@@ -687,12 +906,17 @@ int main(int argc, char** argv) {
     workload = flags.get_string("workload");
     APGRE_REQUIRE(workload == "kernels" || workload == "service" ||
                       workload == "service_parallel" || workload == "updates" ||
-                      workload == "peeling",
+                      workload == "peeling" || workload == "stream",
                   "--workload must be kernels, service, service_parallel, "
-                  "updates or peeling");
+                  "updates, peeling or stream");
     APGRE_REQUIRE(flags.get_int("clients") >= 1, "--clients must be >= 1");
     APGRE_REQUIRE(flags.get_int("requests") >= 1, "--requests must be >= 1");
     APGRE_REQUIRE(flags.get_int("updates") >= 1, "--updates must be >= 1");
+    APGRE_REQUIRE(flags.get_int("batches") >= 1, "--batches must be >= 1");
+    APGRE_REQUIRE(flags.get_int("batch-size") >= 1,
+                  "--batch-size must be >= 1");
+    APGRE_REQUIRE(flags.get_double("replay-speed") >= 0.0,
+                  "--replay-speed must be non-negative");
     if (workload == "kernels") {
       algo_set = parse_algo_set(flags.get_string("algo-set"));
       graph_list = build_graph_list(
@@ -744,6 +968,32 @@ int main(int argc, char** argv) {
                      .as_double(),
                  updates_section.at("speedup").as_double(),
                  updates_section.at("blocks").as_double());
+  }
+
+  JsonValue stream_section;
+  if (workload == "stream") {
+    try {
+      stream_section = run_stream_workload(
+          static_cast<std::uint64_t>(flags.get_int("seed")),
+          static_cast<int>(flags.get_int("batches")),
+          static_cast<int>(flags.get_int("batch-size")),
+          flags.get_double("scale"), flags.get_double("replay-speed"),
+          flags.get_string("stream-file"), flags.get_string("stream-out"));
+    } catch (const Error& e) {
+      // Exactness / downgrade gates are hard failures, not usage errors.
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "stream workload: %.0f batched updates/sec vs %.0f per-edge "
+                 "(%.1fx), batch p90 %.5fs, %.0f batches of %d\n",
+                 stream_section.at("updates_per_second").as_double(),
+                 stream_section.at("per_edge_replay_updates_per_second")
+                     .as_double(),
+                 stream_section.at("speedup").as_double(),
+                 stream_section.at("batch_seconds_p90").as_double(),
+                 stream_section.at("batches").as_double(),
+                 static_cast<int>(flags.get_int("batch-size")));
   }
 
   JsonValue peeling_section;
@@ -808,6 +1058,9 @@ int main(int argc, char** argv) {
   }
   if (!peeling_section.is_null()) {
     report["peeling"] = std::move(peeling_section);
+  }
+  if (!stream_section.is_null()) {
+    report["stream"] = std::move(stream_section);
   }
   const JsonValue head(std::move(report));
 
