@@ -34,7 +34,8 @@ IncrementalBc::IncrementalBc(CsrGraph graph, BcOptions opts)
 
 void IncrementalBc::ensure_queries() {
   if (queries_ == nullptr) {
-    queries_ = std::make_unique<BlockCutQueries>(graph_);
+    queries_ = std::make_unique<BlockCutQueries>(
+        graph_, opts_.apgre.partition.parallel_decomposition);
   }
 }
 

@@ -5,10 +5,12 @@
 
 #include "bcc/bicomp.hpp"
 #include "bcc/block_cut_tree.hpp"
+#include "bcc/parallel_bicomp.hpp"
 #include "bcc/reach.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace apgre {
 
@@ -150,7 +152,13 @@ Decomposition decompose(const CsrGraph& g, const PartitionOptions& opts) {
   // Lets callers (and the Solver-reuse tests) observe how often the
   // expensive decomposition actually runs.
   metrics().counter("bcc.decompositions").add(1);
-  const BiconnectedComponents bcc = biconnected_components(g);
+  BiconnectedComponents bcc;
+  {
+    APGRE_TRACE_SPAN("bcc/decompose");
+    bcc = use_parallel_decomposition(opts.parallel_decomposition, g)
+              ? parallel_biconnected_components(g)
+              : biconnected_components(g);
+  }
   const BlockCutTree tree = block_cut_tree(bcc, g.num_vertices());
 
   Decomposition dec;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bcc/parallel_bicomp.hpp"
 #include "graph/csr.hpp"
 
 namespace apgre {
@@ -44,6 +45,14 @@ struct PartitionOptions {
   /// and re-expand the scores with the exact closed-form corrections.
   /// Directed graphs bypass conservatively.
   bool peel_two_core = false;
+  /// Which biconnectivity pass labels the blocks: kAuto runs the
+  /// scheduler-native parallel pass (bcc/parallel_bicomp.hpp) once the
+  /// graph clears kParallelDecompositionAutoThreshold, kOn forces it (the
+  /// differential tests pin small graphs through it), kOff keeps the
+  /// serial Hopcroft-Tarjan DFS. Directed graphs always decompose
+  /// serially. The parallel pass emits canonical block numbering, so the
+  /// resulting Decomposition is deterministic either way.
+  ParallelDecomposition parallel_decomposition = ParallelDecomposition::kAuto;
 
   /// Memberwise equality — bc::Solver keys its cached decomposition on this.
   friend bool operator==(const PartitionOptions&,

@@ -9,6 +9,7 @@
 
 #include "bcc/bicomp.hpp"
 #include "bcc/block_cut_tree.hpp"
+#include "bcc/parallel_bicomp.hpp"
 #include "graph/csr.hpp"
 #include "graph/update.hpp"
 
@@ -58,7 +59,13 @@ struct BatchClassification {
 /// separation query, O(log deg) per same-block query.
 class BlockCutQueries {
  public:
-  explicit BlockCutQueries(const CsrGraph& g);
+  /// `decomposition` picks the biconnectivity pass the structure is built
+  /// from (serial DFS vs the scheduler-native parallel pass); every query
+  /// answer is independent of the choice — only internal block numbering
+  /// differs, and the parallel pass canonicalizes even that.
+  explicit BlockCutQueries(
+      const CsrGraph& g,
+      ParallelDecomposition decomposition = ParallelDecomposition::kAuto);
 
   /// Classify the update "insert (inserting = true) or remove the edge
   /// (u, v)" against the tree this structure was built from. Directed

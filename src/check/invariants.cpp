@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
 
 #include "bcc/articulation.hpp"
+#include "bcc/bicomp.hpp"
+#include "bcc/block_cut_tree.hpp"
+#include "bcc/parallel_bicomp.hpp"
+#include "graph/transform.hpp"
 
 namespace apgre {
 
@@ -224,6 +229,107 @@ std::vector<std::string> check_decomposition_invariants(
               " != decomposition counter ", dec.num_pendants_removed);
   }
 
+  return violations;
+}
+
+std::vector<std::string> check_decomposition_agreement(
+    const CsrGraph& g, ParallelDecomposition mode) {
+  std::vector<std::string> violations;
+  const bool parallel = use_parallel_decomposition(mode, g);
+  const BiconnectedComponents bcc = parallel
+                                        ? parallel_biconnected_components(g)
+                                        : biconnected_components(g);
+
+  const CsrGraph projection_storage =
+      g.directed() ? undirected_projection(g) : CsrGraph();
+  const CsrGraph& u = g.directed() ? projection_storage : g;
+  const Vertex n = u.num_vertices();
+
+  // --- 1. Edge partition: every projection edge in exactly one block ----
+  std::map<Edge, int> edge_blocks;
+  for (const Edge& e : u.arcs()) {
+    if (e.src < e.dst) edge_blocks.emplace(e, 0);
+  }
+  for (Vertex b = 0; b < bcc.num_components; ++b) {
+    for (const Edge& e : bcc.component_edges[b]) {
+      auto it = edge_blocks.find(e);
+      if (it == edge_blocks.end()) {
+        violation(violations, "block ", b, " lists edge ", e.src, "-", e.dst,
+                  " absent from the graph");
+        continue;
+      }
+      ++it->second;
+    }
+    // Vertex set == edge endpoints (k2+ blocks always carry edges).
+    std::vector<Vertex> endpoints;
+    for (const Edge& e : bcc.component_edges[b]) {
+      endpoints.push_back(e.src);
+      endpoints.push_back(e.dst);
+    }
+    std::sort(endpoints.begin(), endpoints.end());
+    endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                    endpoints.end());
+    if (bcc.component_vertices[b] != endpoints) {
+      violation(violations, "block ", b,
+                " vertex set is not its edges' endpoint set");
+    }
+  }
+  for (const auto& [e, count] : edge_blocks) {
+    if (count != 1) {
+      violation(violations, "edge ", e.src, "-", e.dst, " lies in ", count,
+                " blocks (expected exactly 1)");
+    }
+  }
+
+  // --- 2. Articulation flags against the standalone finder -------------
+  const std::vector<bool> standalone = articulation_points(u);
+  std::vector<Vertex> membership(n, 0);
+  for (const auto& vertices : bcc.component_vertices) {
+    for (Vertex v : vertices) ++membership[v];
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    if (bcc.is_articulation[v] != standalone[v]) {
+      violation(violations, "vertex ", v, " articulation flag ",
+                bcc.is_articulation[v] ? "set" : "clear",
+                ", standalone finder says ", standalone[v] ? "set" : "clear");
+    }
+    if (bcc.is_articulation[v] && membership[v] < 2) {
+      violation(violations, "articulation point ", v, " is in ",
+                membership[v], " blocks");
+    }
+    const Vertex home = bcc.any_component[v];
+    if (u.out_degree(v) == 0) {
+      if (home != kInvalidVertex) {
+        violation(violations, "isolated vertex ", v, " has any_component ",
+                  home);
+      }
+    } else if (home >= bcc.num_components ||
+               !std::binary_search(bcc.component_vertices[home].begin(),
+                                   bcc.component_vertices[home].end(), v)) {
+      violation(violations, "any_component[", v, "] = ", home,
+                " does not contain the vertex");
+    }
+  }
+
+  // --- 3. Block-cut tree is a forest ------------------------------------
+  if (!is_forest(block_cut_tree(bcc, n))) {
+    violation(violations, "block-cut tree has a cycle");
+  }
+
+  // --- 4. Parallel pass agrees with the serial DFS ----------------------
+  if (parallel) {
+    BiconnectedComponents serial = biconnected_components(g);
+    canonicalize_blocks(serial);
+    if (serial.num_components != bcc.num_components ||
+        serial.component_vertices != bcc.component_vertices ||
+        serial.component_edges != bcc.component_edges ||
+        serial.is_articulation != bcc.is_articulation ||
+        serial.any_component != bcc.any_component) {
+      violation(violations,
+                "canonicalized parallel decomposition differs from the ",
+                "canonicalized serial Hopcroft-Tarjan output");
+    }
+  }
   return violations;
 }
 

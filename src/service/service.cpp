@@ -347,7 +347,8 @@ struct Service::Impl {
     // patched below); directed graphs never build one — plan_ingest grades
     // them structural itself.
     if (!prev->directed() && entry->locality == nullptr) {
-      entry->locality = std::make_unique<BlockCutQueries>(*prev);
+      entry->locality = std::make_unique<BlockCutQueries>(
+          *prev, options.parallel_decomposition);
     }
     const IngestPlan plan = plan_ingest(*prev, entry->locality.get(), ops);
     response.batch.coalesced_away = plan.coalesced.coalesced_away;

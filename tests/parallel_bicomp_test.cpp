@@ -1,0 +1,281 @@
+// Differential equivalence suite for the scheduler-native parallel
+// biconnectivity pass (bcc/parallel_bicomp.hpp): canonicalized parallel
+// output must be structure-identical to the serial Hopcroft-Tarjan DFS —
+// same blocks (vertex and edge sets), same articulation flags, same
+// bridges, same block-cut tree — over the shared seeded corpus and a set
+// of adversarial shapes, and the decomposition/solve layers above it must
+// be score-identical with the pass forced on. Runs under ASan/UBSan and
+// TSan in CI (docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bcc/articulation.hpp"
+#include "bcc/bicomp.hpp"
+#include "bcc/block_cut_tree.hpp"
+#include "bcc/bridges.hpp"
+#include "bcc/parallel_bicomp.hpp"
+#include "bcc/partition.hpp"
+#include "check/invariants.hpp"
+#include "check/oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/transform.hpp"
+#include "test_util.hpp"
+
+namespace apgre {
+namespace {
+
+using testing::expect_scores_near;
+
+/// The serial reference in the parallel pass's output contract: serial
+/// Hopcroft-Tarjan on the undirected projection, renumbered canonically.
+BiconnectedComponents canonical_serial(const CsrGraph& g) {
+  BiconnectedComponents bcc = biconnected_components(g);
+  canonicalize_blocks(bcc);
+  return bcc;
+}
+
+void expect_identical(const BiconnectedComponents& expected,
+                      const BiconnectedComponents& actual) {
+  ASSERT_EQ(expected.num_components, actual.num_components);
+  EXPECT_EQ(expected.component_vertices, actual.component_vertices);
+  EXPECT_EQ(expected.component_edges, actual.component_edges);
+  EXPECT_EQ(expected.is_articulation, actual.is_articulation);
+  EXPECT_EQ(expected.any_component, actual.any_component);
+}
+
+/// Full differential check of one graph: canonicalized serial vs parallel
+/// structures, plus the numbering-free views (AP finder, bridges as
+/// 2-vertex blocks, block-cut tree shape).
+void expect_parallel_matches_serial(const CsrGraph& g) {
+  const BiconnectedComponents serial = canonical_serial(g);
+  const BiconnectedComponents parallel = parallel_biconnected_components(g);
+  expect_identical(serial, parallel);
+
+  const CsrGraph projection_storage =
+      g.directed() ? undirected_projection(g) : CsrGraph();
+  const CsrGraph& u = g.directed() ? projection_storage : g;
+
+  EXPECT_EQ(parallel.is_articulation, articulation_points(u));
+
+  // Bridges are exactly the 2-vertex blocks.
+  EdgeList two_vertex_blocks;
+  for (Vertex b = 0; b < parallel.num_components; ++b) {
+    if (parallel.component_vertices[b].size() == 2) {
+      ASSERT_EQ(parallel.component_edges[b].size(), 1u);
+      two_vertex_blocks.push_back(parallel.component_edges[b][0]);
+    }
+  }
+  std::sort(two_vertex_blocks.begin(), two_vertex_blocks.end());
+  EXPECT_EQ(two_vertex_blocks, bridge_decomposition(u).bridges);
+
+  // Identical block structure induces the identical block-cut tree.
+  const BlockCutTree serial_tree = block_cut_tree(serial, u.num_vertices());
+  const BlockCutTree parallel_tree =
+      block_cut_tree(parallel, u.num_vertices());
+  EXPECT_EQ(serial_tree.articulation_vertices,
+            parallel_tree.articulation_vertices);
+  EXPECT_EQ(serial_tree.block_aps, parallel_tree.block_aps);
+  EXPECT_EQ(serial_tree.ap_blocks, parallel_tree.ap_blocks);
+  EXPECT_TRUE(is_forest(parallel_tree));
+}
+
+// ---- seeded corpus ------------------------------------------------------
+
+class ParallelBicompSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelBicompSweep, MatchesSerialOnCorpus) {
+  for (const auto& gc : graph_corpus(GetParam(), /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    expect_parallel_matches_serial(gc.graph);
+  }
+}
+
+TEST_P(ParallelBicompSweep, MatchesSerialOnLargeCorpus) {
+  for (const auto& gc : graph_corpus(GetParam(), /*tiny=*/false)) {
+    SCOPED_TRACE(gc.name);
+    expect_parallel_matches_serial(gc.graph);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelBicompSweep,
+                         ::testing::Values(3, 13, 23, 43));
+
+// ---- adversarial shapes -------------------------------------------------
+
+TEST(ParallelBicomp, LongPathBeyondRecursionDepth) {
+  // Deeper than any reasonable stack would allow a recursive DFS; also the
+  // worst case for the level sweeps (one vertex per BFS level).
+  expect_parallel_matches_serial(path(100000));
+}
+
+TEST(ParallelBicomp, LongCycle) {
+  expect_parallel_matches_serial(cycle(50000));
+}
+
+TEST(ParallelBicomp, Star) { expect_parallel_matches_serial(star(20000)); }
+
+TEST(ParallelBicomp, Clique) { expect_parallel_matches_serial(complete(80)); }
+
+TEST(ParallelBicomp, CliquesOfCliques) {
+  // Caveman cliques chained by bridges, then every clique vertex sprouting
+  // a pendant triangle: blocks at two scales sharing many APs.
+  const CsrGraph base = caveman(8, 6, 99);
+  EdgeList edges = base.arcs();
+  Vertex next = base.num_vertices();
+  for (Vertex v = 0; v < base.num_vertices(); ++v) {
+    edges.push_back(Edge{v, next});
+    edges.push_back(Edge{v, static_cast<Vertex>(next + 1)});
+    edges.push_back(Edge{next, static_cast<Vertex>(next + 1)});
+    next += 2;
+  }
+  expect_parallel_matches_serial(CsrGraph::undirected_from_edges(next, edges));
+}
+
+TEST(ParallelBicomp, DisconnectedForestWithIsolatedVertices) {
+  // Three trees and a cycle, separated by gaps of isolated vertices.
+  EdgeList edges;
+  Vertex base = 3;  // vertices 0..2 isolated
+  for (Vertex t = 0; t < 3; ++t) {
+    const CsrGraph tree = random_tree(40 + 7 * t, 17 + t);
+    for (const Edge& e : tree.arcs()) {
+      if (e.src < e.dst) {
+        edges.push_back(Edge{static_cast<Vertex>(base + e.src),
+                             static_cast<Vertex>(base + e.dst)});
+      }
+    }
+    base += tree.num_vertices() + 2;  // leave 2 isolated vertices behind
+  }
+  for (Vertex i = 0; i < 5; ++i) {
+    edges.push_back(Edge{static_cast<Vertex>(base + i),
+                         static_cast<Vertex>(base + (i + 1) % 5)});
+  }
+  expect_parallel_matches_serial(
+      CsrGraph::undirected_from_edges(base + 5, edges));
+}
+
+TEST(ParallelBicomp, SelfLoopAndMultiEdgeInputs) {
+  // CsrGraph::from_edges drops self-loops and duplicate arcs; graphs built
+  // from dirty edge lists must decompose like their clean counterparts.
+  const EdgeList dirty = {{0, 0}, {0, 1}, {0, 1}, {1, 0}, {1, 2}, {2, 0},
+                          {2, 2}, {3, 3}, {3, 4}, {4, 3}, {4, 3}, {5, 5}};
+  const CsrGraph g = CsrGraph::undirected_from_edges(6, dirty);
+  expect_parallel_matches_serial(g);
+  const CsrGraph clean = CsrGraph::undirected_from_edges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}});
+  expect_identical(parallel_biconnected_components(clean),
+                   parallel_biconnected_components(g));
+}
+
+TEST(ParallelBicomp, TinyAndDegenerateShapes) {
+  expect_parallel_matches_serial(CsrGraph::undirected_from_edges(0, {}));
+  expect_parallel_matches_serial(CsrGraph::undirected_from_edges(1, {}));
+  expect_parallel_matches_serial(CsrGraph::undirected_from_edges(5, {}));
+  expect_parallel_matches_serial(CsrGraph::undirected_from_edges(2, {{0, 1}}));
+  expect_parallel_matches_serial(path(3));
+  expect_parallel_matches_serial(barbell(4, 2));
+  expect_parallel_matches_serial(paper_figure3());  // directed: fallback
+}
+
+TEST(ParallelBicomp, DirectedGraphsFallBackToSerial) {
+  const CsrGraph g = rmat(8, 6, 0.57, 0.19, 0.19, /*symmetric=*/false, 5);
+  ASSERT_TRUE(g.directed());
+  expect_parallel_matches_serial(g);
+}
+
+// ---- canonicalization contract ------------------------------------------
+
+TEST(ParallelBicomp, CanonicalOrderIsByMinMemberAndIdempotent) {
+  const CsrGraph g = attach_pendants(caveman(5, 5, 7), 6, 8);
+  BiconnectedComponents bcc = parallel_biconnected_components(g);
+  for (Vertex b = 1; b < bcc.num_components; ++b) {
+    EXPECT_LT(bcc.component_vertices[b - 1], bcc.component_vertices[b]);
+  }
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    // any_component is the smallest block containing v.
+    Vertex smallest = kInvalidVertex;
+    for (Vertex b = 0; b < bcc.num_components && smallest == kInvalidVertex;
+         ++b) {
+      if (std::binary_search(bcc.component_vertices[b].begin(),
+                             bcc.component_vertices[b].end(), v)) {
+        smallest = b;
+      }
+    }
+    EXPECT_EQ(bcc.any_component[v], smallest) << "vertex " << v;
+  }
+  BiconnectedComponents again = bcc;
+  canonicalize_blocks(again);
+  expect_identical(bcc, again);
+}
+
+TEST(ParallelBicomp, RepeatedRunsAreDeterministic) {
+  // Block discovery order depends on scheduler interleaving; the canonical
+  // renumbering must erase that (downstream caches key on block ids).
+  const CsrGraph g = attach_pendants(barabasi_albert(3000, 3, 11), 200, 12);
+  const BiconnectedComponents first = parallel_biconnected_components(g);
+  for (int run = 0; run < 4; ++run) {
+    expect_identical(first, parallel_biconnected_components(g));
+  }
+}
+
+// ---- decomposition / solve layers with the pass forced on ---------------
+
+TEST(ParallelBicomp, DecompositionInvariantsHoldWithParallelPass) {
+  PartitionOptions opts;
+  opts.parallel_decomposition = ParallelDecomposition::kOn;
+  for (const auto& gc : graph_corpus(31, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    const Decomposition dec = decompose(gc.graph, opts);
+    const std::vector<std::string> violations =
+        check_decomposition_invariants(gc.graph, dec, /*max_reach_checks=*/32);
+    EXPECT_TRUE(violations.empty())
+        << violations.size() << " violations; first: "
+        << (violations.empty() ? "" : violations.front());
+  }
+}
+
+TEST(ParallelBicomp, ApgreScoresMatchSerialDecomposition) {
+  // Sub-graph *grouping* may differ between the passes (the merge DFS is
+  // numbering-sensitive and serial numbering is not canonical), but the
+  // scores may not.
+  for (const auto& gc : graph_corpus(41, /*tiny=*/true)) {
+    SCOPED_TRACE(gc.name);
+    BcOptions on;
+    on.apgre.partition.parallel_decomposition = ParallelDecomposition::kOn;
+    BcOptions off;
+    off.apgre.partition.parallel_decomposition = ParallelDecomposition::kOff;
+    expect_scores_near(betweenness(gc.graph, off).scores,
+                       betweenness(gc.graph, on).scores);
+  }
+}
+
+// ---- randomized trajectory: parallel decomposition + incremental updates
+
+class ParallelTrajectorySweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelTrajectorySweep, IncrementalUpdatesMatchStaticOracle) {
+  // A Solver that decomposed in parallel must stay exact through localized
+  // updates and batch adoption — pins that canonical block ids keep the
+  // contribution store and peel adoption sound after every step.
+  const std::uint64_t seed = GetParam();
+  for (const auto& gc : graph_corpus(seed, /*tiny=*/true)) {
+    if (gc.graph.directed() || gc.graph.num_vertices() == 0) continue;
+    SCOPED_TRACE(gc.name);
+    const std::vector<DynamicStep> steps =
+        random_dynamic_steps(gc.graph, 12, seed ^ 0x7ea1);
+    if (steps.empty()) continue;
+    BcOptions engine;
+    engine.apgre.partition.parallel_decomposition = ParallelDecomposition::kOn;
+    const OracleReport report =
+        incremental_differential_check(gc.graph, steps, engine);
+    EXPECT_TRUE(report.ok) << report.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelTrajectorySweep,
+                         ::testing::Values(9, 19));
+
+}  // namespace
+}  // namespace apgre

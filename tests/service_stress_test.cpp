@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bc/bc.hpp"
+#include "bcc/parallel_bicomp.hpp"
 #include "check/oracle.hpp"
 #include "graph/generators.hpp"
 #include "graph/transform.hpp"
@@ -54,6 +55,19 @@ bool scheduler_enabled_for_stress() {
   return env == nullptr || std::strcmp(env, "off") != 0;
 }
 
+/// CI matrix knob: APGRE_STRESS_PARALLEL_BCC=on forces the parallel
+/// biconnectivity pass (bcc/parallel_bicomp.hpp) for every decomposition in
+/// this suite — snapshot locality rebuilds and APGRE solves alike — so the
+/// TSan tier races parallel decompositions against each other and against
+/// running kernels on the shared scheduler. Default is kAuto, which at
+/// these graph sizes means the serial DFS (the pre-existing coverage).
+ParallelDecomposition parallel_bcc_for_stress() {
+  const char* env = std::getenv("APGRE_STRESS_PARALLEL_BCC");
+  return env != nullptr && std::strcmp(env, "on") == 0
+             ? ParallelDecomposition::kOn
+             : ParallelDecomposition::kAuto;
+}
+
 /// One client's deterministic request stream. Updates draw a valid random
 /// mutation from the graph's current state, which only this client
 /// mutates, so the stream is reproducible in the replay. The solve mix
@@ -70,6 +84,8 @@ Request next_request(Service& service, std::mt19937_64& rng, int client) {
     request.options.algorithm =
         (roll == 0) ? Algorithm::kBrandesSerial : Algorithm::kApgre;
     request.options.scheduler.enabled = scheduler_enabled_for_stress();
+    request.options.apgre.partition.parallel_decomposition =
+        parallel_bcc_for_stress();
   } else if (roll < 5) {
     request.kind = RequestKind::kTopK;
     request.graph = private_name(client);
@@ -104,6 +120,8 @@ Request next_request(Service& service, std::mt19937_64& rng, int client) {
       default:
         request.options.algorithm = Algorithm::kApgre;
         request.options.scheduler.enabled = scheduler_enabled_for_stress();
+        request.options.apgre.partition.parallel_decomposition =
+            parallel_bcc_for_stress();
         break;
     }
   }
@@ -145,6 +163,7 @@ TEST(ServiceStress, ConcurrentClientsMatchSingleThreadedReplay) {
   // Capacity below clients + shared: evictions and cold rebuilds happen
   // constantly under contention, which is the point.
   options.session_capacity = 4;
+  options.parallel_decomposition = parallel_bcc_for_stress();
   Service service(options);
 
   service.register_graph("shared", shared_graph());
@@ -266,6 +285,75 @@ TEST(ServiceStress, AdversarialUpdatesOnSharedGraphStayConsistent) {
   solve.kind = RequestKind::kSolve;
   solve.graph = "shared";
   solve.options.algorithm = Algorithm::kApgre;
+  const Response served = service.handle(solve);
+  ASSERT_TRUE(served.ok) << served.error;
+  const auto snap = service.snapshot("shared");
+  ASSERT_NE(snap, nullptr);
+  BcOptions serial;
+  serial.algorithm = Algorithm::kBrandesSerial;
+  expect_scores_near(betweenness(*snap, serial).scores, served.scores);
+}
+
+// Concurrent decompose + solve stress: every APGRE solve forces the
+// parallel biconnectivity pass (kOn) while updater threads mutate the same
+// graph, so parallel decompositions — inside racing Solvers and in the
+// snapshot locality rebuild each structural update triggers — overlap with
+// each other and with running kernels on the shared work-stealing
+// scheduler. Racing updates may fail validation (tolerated, as above);
+// what must hold under TSan is no data race in the parallel pass's
+// frontier expansion / union-find / canonicalization, and that the final
+// served scores match a fresh serial solve of the final snapshot.
+TEST(ServiceStress, ConcurrentParallelDecompositionsStayConsistent) {
+  constexpr int kSolveClients = 4;
+  constexpr int kUpdateClients = 2;
+  constexpr int kStepsPerClient = 40;
+
+  ServiceOptions options;
+  options.workers = 4;
+  options.session_capacity = 2;
+  options.parallel_decomposition = ParallelDecomposition::kOn;
+  Service service(options);
+  // Blocks chained by articulation points plus a pendant fringe: updates
+  // hit both the localized and the structural (re-decompose) paths.
+  service.register_graph("shared", attach_pendants(caveman(4, 6, 91), 12, 92));
+
+  std::vector<std::thread> clients;
+  clients.reserve(kSolveClients + kUpdateClients);
+  for (int c = 0; c < kSolveClients + kUpdateClients; ++c) {
+    clients.emplace_back([&service, c] {
+      std::mt19937_64 rng(0xbccULL + static_cast<std::uint64_t>(c));
+      const auto initial = service.snapshot("shared");
+      ASSERT_NE(initial, nullptr);
+      const Vertex n = initial->num_vertices();
+      for (int i = 0; i < kStepsPerClient; ++i) {
+        Request request;
+        request.graph = "shared";
+        if (c < kSolveClients) {
+          request.kind = RequestKind::kSolve;
+          request.options.algorithm = Algorithm::kApgre;
+          request.options.apgre.partition.parallel_decomposition =
+              ParallelDecomposition::kOn;
+        } else {
+          request.kind = RequestKind::kUpdate;
+          request.u = static_cast<Vertex>(rng() % n);
+          request.v = static_cast<Vertex>(rng() % n);
+          request.inserting = rng() % 2 == 0;
+        }
+        const Response r = service.handle(request);
+        if (!r.ok) {
+          EXPECT_EQ(r.kind, RequestKind::kUpdate) << r.error;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  Request solve;
+  solve.kind = RequestKind::kSolve;
+  solve.graph = "shared";
+  solve.options.algorithm = Algorithm::kApgre;
+  solve.options.apgre.partition.parallel_decomposition =
+      ParallelDecomposition::kOn;
   const Response served = service.handle(solve);
   ASSERT_TRUE(served.ok) << served.error;
   const auto snap = service.snapshot("shared");

@@ -8,8 +8,10 @@
 // tool diffs the selected algorithms against serial Brandes with per-vertex
 // blame, runs the metamorphic rules (rotating the algorithm under test
 // through the set), diffs the 2-core-peeled solve and a peeled incremental
-// trajectory against the unpeeled reference (--peel), and validates the
-// decomposition + ApgreStats invariants. Exit status 0 means zero
+// trajectory against the unpeeled reference (--peel), validates the
+// decomposition + ApgreStats invariants, and sweeps the biconnectivity-pass
+// agreement check across the serial and parallel passes (--parallel-bcc).
+// Exit status 0 means zero
 // divergence above tolerance; 1 means
 // at least one check failed (details on stderr); 2 is a usage error.
 // CI and fuzzing drive this binary; a failing (seed, case) pair is
@@ -74,6 +76,7 @@ struct SweepCounters {
   std::size_t invariant_graphs = 0;
   std::size_t weighted_graphs = 0;
   std::size_t peel_graphs = 0;
+  std::size_t agreement_graphs = 0;
   std::size_t trajectory_steps = 0;
   std::size_t failures = 0;
   double worst_divergence = 0.0;
@@ -98,6 +101,9 @@ int main(int argc, char** argv) {
       .add_bool("peel", true,
                 "diff the 2-core-peeled solve (and a peeled incremental "
                 "trajectory) against the unpeeled reference")
+      .add_string("parallel-bcc", "both",
+                  "decomposition_agreement axis: `on` (parallel pass), "
+                  "`off` (serial DFS), `both`, or `none`")
       .add_double("rel", 1e-7, "relative score tolerance")
       .add_double("abs", 1e-6, "absolute score tolerance")
       .add_int("max-naive", 256, "largest |V| the O(V^3) naive oracle runs on")
@@ -107,6 +113,8 @@ int main(int argc, char** argv) {
   std::pair<std::uint64_t, std::uint64_t> seeds;
   OracleOptions oracle;
   bool large = false;
+  bool agreement_on = false;
+  bool agreement_off = false;
   try {
     const auto positional = flags.parse(argc, argv);
     if (flags.help_requested()) {
@@ -121,6 +129,12 @@ int main(int argc, char** argv) {
     oracle.max_naive_vertices = static_cast<Vertex>(flags.get_int("max-naive"));
     oracle.threads = static_cast<int>(flags.get_int("threads"));
     large = flags.get_bool("large");
+    const std::string axis = flags.get_string("parallel-bcc");
+    APGRE_REQUIRE(axis == "on" || axis == "off" || axis == "both" ||
+                      axis == "none",
+                  "--parallel-bcc expects on, off, both, or none");
+    agreement_on = axis == "on" || axis == "both";
+    agreement_off = axis == "off" || axis == "both";
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n%s", e.what(), flags.help().c_str());
     return 2;
@@ -254,6 +268,38 @@ int main(int argc, char** argv) {
           std::printf("ok   [invariants] %s\n", tag.c_str());
         }
       }
+
+      // --- Biconnectivity-pass agreement axis ---------------------------
+      // Runs check_decomposition_agreement with the parallel pass forced on
+      // and/or the serial DFS forced, per --parallel-bcc. The kOn leg also
+      // cross-checks the canonicalized parallel output against the serial
+      // reference (invariants.hpp point 4), so `both` diffs the two passes
+      // on every corpus case.
+      if (agreement_on || agreement_off) {
+        ++counters.agreement_graphs;
+        std::vector<std::string> violations;
+        if (agreement_off) {
+          for (std::string& v : check_decomposition_agreement(
+                   c.graph, ParallelDecomposition::kOff)) {
+            violations.push_back("serial: " + std::move(v));
+          }
+        }
+        if (agreement_on) {
+          for (std::string& v : check_decomposition_agreement(
+                   c.graph, ParallelDecomposition::kOn)) {
+            violations.push_back("parallel: " + std::move(v));
+          }
+        }
+        if (!violations.empty()) {
+          ++counters.failures;
+          std::fprintf(stderr, "FAIL [parallel-bcc] %s:\n", tag.c_str());
+          for (const std::string& v : violations) {
+            std::fprintf(stderr, "  %s\n", v.c_str());
+          }
+        } else if (verbose) {
+          std::printf("ok   [parallel-bcc] %s\n", tag.c_str());
+        }
+      }
     }
 
     // --- Weighted family ------------------------------------------------
@@ -287,13 +333,14 @@ int main(int argc, char** argv) {
   std::printf(
       "apgre_diff: seeds %llu..%llu, %zu graphs (%zu weighted), "
       "%zu differential runs, %zu metamorphic checks, %zu invariant graphs, "
-      "%zu peel graphs (%zu trajectory steps); worst divergence %.3g; "
-      "%zu failures in %.2f s\n",
+      "%zu peel graphs (%zu trajectory steps), %zu agreement graphs; "
+      "worst divergence %.3g; %zu failures in %.2f s\n",
       static_cast<unsigned long long>(seeds.first),
       static_cast<unsigned long long>(seeds.second), counters.graphs,
       counters.weighted_graphs, counters.differential_runs,
       counters.metamorphic_checks, counters.invariant_graphs,
       counters.peel_graphs, counters.trajectory_steps,
-      counters.worst_divergence, counters.failures, timer.seconds());
+      counters.agreement_graphs, counters.worst_divergence, counters.failures,
+      timer.seconds());
   return counters.failures == 0 ? 0 : 1;
 }
